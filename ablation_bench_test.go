@@ -1,0 +1,182 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/loader"
+	"repro/internal/pipeline"
+)
+
+// ablationWorkload builds the single-node ImageNet-1K workload all design
+// ablations run on.
+func ablationWorkload(b *testing.B) (cluster.Topology, cluster.DNNModel, *dataset.Dataset) {
+	b.Helper()
+	spec := dataset.ImageNet1K(benchScale(b), 42)
+	min := 12 * 8 * 32
+	if spec.NumSamples < min {
+		spec.NumSamples = min
+	}
+	ds, err := dataset.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	top := cluster.ThetaGPULike(1, ds.TotalBytes()*30/100)
+	model, err := cluster.ModelByName("resnet50")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return top, model, ds
+}
+
+func runSpec(b *testing.B, top cluster.Topology, model cluster.DNNModel, ds *dataset.Dataset, spec loader.Spec) *pipeline.Result {
+	b.Helper()
+	res, err := pipeline.Run(pipeline.Config{
+		Topology: top, Model: model, Dataset: ds, Epochs: 6, Seed: 42, Strategy: spec,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkAblEviction sweeps the eviction policy under otherwise-fixed
+// Lobster mechanics (DESIGN.md ablation 3): how much of the win is the
+// reuse-based policy vs. LRU/FIFO/page-cache/NoPFS, with the clairvoyant
+// Belady policy as the ceiling. Reported metrics are cache hit ratios.
+func BenchmarkAblEviction(b *testing.B) {
+	top, model, ds := ablationWorkload(b)
+	policies := []struct {
+		name string
+		kind loader.PolicyKind
+	}{
+		{"fifo", loader.PolicyFIFO},
+		{"lru", loader.PolicyLRU},
+		{"pagecache", loader.PolicyPageCache},
+		{"nopfs", loader.PolicyNoPFS},
+		{"lobster", loader.PolicyLobster},
+		{"belady", loader.PolicyBelady},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range policies {
+			spec := loader.Lobster()
+			spec.Name = "lobster+" + p.name
+			spec.Policy = p.kind
+			res := runSpec(b, top, model, ds, spec)
+			if i == b.N-1 {
+				b.ReportMetric(res.Metrics.HitRatio(), p.name+"Hit")
+			}
+		}
+	}
+}
+
+// BenchmarkAblQueues compares the multi-queue design of Section 4.2
+// (a request queue per GPU) against a single shared loading pool with the
+// same total thread count (DESIGN.md ablation 4). The reported metric is
+// the end-to-end time ratio shared/perGPU — above 1 means per-GPU queues
+// win.
+func BenchmarkAblQueues(b *testing.B) {
+	top, model, ds := ablationWorkload(b)
+	perGPU := loader.NoPFS(top.GPUsPerNode, top.CPUThreads) // per-GPU static queues
+	shared := perGPU
+	shared.Name = "nopfs_sharedpool"
+	shared.Mode = loader.ThreadsSharedPool
+	shared.SharedLoading = perGPU.LoadingPerGPU * top.GPUsPerNode
+	shared.LoadingPerGPU = 0
+
+	var ratio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := runSpec(b, top, model, ds, perGPU)
+		s := runSpec(b, top, model, ds, shared)
+		ratio = s.Metrics.TotalTime / a.Metrics.TotalTime
+	}
+	b.StopTimer()
+	b.ReportMetric(ratio, "sharedOverPerGPU")
+}
+
+// BenchmarkAblPrefetchDepth sweeps the clairvoyant lookahead (DESIGN.md
+// ablation on prefetching): demand-only, shallow, and deep windows under
+// the Lobster policy.
+func BenchmarkAblPrefetchDepth(b *testing.B) {
+	top, model, ds := ablationWorkload(b)
+	depths := []int{0, 2, 8, 64}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range depths {
+			spec := loader.Lobster()
+			spec.PrefetchDepth = d
+			res := runSpec(b, top, model, ds, spec)
+			if i == b.N-1 {
+				b.ReportMetric(res.Metrics.HitRatio(), "hitAtDepth"+itoa(d))
+			}
+		}
+	}
+}
+
+// BenchmarkAblPipelineDepth sweeps how far the loading pipeline may run
+// ahead of training (double-buffering depth).
+func BenchmarkAblPipelineDepth(b *testing.B) {
+	top, model, ds := ablationWorkload(b)
+	var times []float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		times = times[:0]
+		for _, depth := range []int{1, 2, 4} {
+			res, err := pipeline.Run(pipeline.Config{
+				Topology: top, Model: model, Dataset: ds, Epochs: 6, Seed: 42,
+				Strategy: loader.Lobster(), PipelineDepth: depth,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			times = append(times, res.Metrics.TotalTime)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(times[0]/times[1], "depth1Over2")
+	b.ReportMetric(times[2]/times[1], "depth4Over2")
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkAblDecideFrequency sweeps how often Lobster re-runs its thread
+// manager (Section 4.1's overhead-vs-adaptivity trade-off). The reported
+// metrics are the slowdown relative to per-iteration decisions.
+func BenchmarkAblDecideFrequency(b *testing.B) {
+	top, model, ds := ablationWorkload(b)
+	var times []float64
+	freqs := []int{1, 4, 16, 64}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		times = times[:0]
+		for _, every := range freqs {
+			res, err := pipeline.Run(pipeline.Config{
+				Topology: top, Model: model, Dataset: ds, Epochs: 6, Seed: 42,
+				Strategy: loader.Lobster(), DecideEvery: every,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			times = append(times, res.Metrics.TotalTime)
+		}
+	}
+	b.StopTimer()
+	for i, every := range freqs[1:] {
+		b.ReportMetric(times[i+1]/times[0], "slowdownEvery"+itoa(every))
+	}
+}

@@ -1,0 +1,210 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the paper's evaluation, one testing.B target per experiment (the mapping
+// is in DESIGN.md's per-experiment index). Each benchmark runs its
+// experiment at the benchmark scale and reports the headline quantities as
+// custom metrics — e.g. Lobster's speedup over PyTorch for Fig. 7(a) — so
+// `go test -bench=.` prints a compact paper-vs-measured summary.
+//
+// Environment knob: REPRO_BENCH_SCALE=tiny|small|medium|full (default
+// tiny, so the full suite completes in well under a minute on one core).
+package repro
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+)
+
+func benchScale(b *testing.B) dataset.Scale {
+	name := os.Getenv("REPRO_BENCH_SCALE")
+	if name == "" {
+		return dataset.ScaleTiny
+	}
+	s, err := dataset.ParseScale(name)
+	if err != nil {
+		b.Fatalf("REPRO_BENCH_SCALE: %v", err)
+	}
+	return s
+}
+
+// runExperiment executes the experiment once per benchmark iteration and
+// publishes the selected headline values as custom metrics.
+func runExperiment(b *testing.B, id string, metrics map[string]string) {
+	b.Helper()
+	exp, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := experiments.Params{Scale: benchScale(b), Seed: 42}
+	var rep *experiments.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err = exp.Run(params)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for key, unit := range metrics {
+		v, ok := rep.Values[key]
+		if !ok {
+			b.Fatalf("experiment %s did not report %q", id, key)
+		}
+		b.ReportMetric(v, unit)
+	}
+}
+
+// BenchmarkFig03Breakdown regenerates Fig. 3 (pipeline breakdown; paper:
+// imbalance in 65.3% of iterations under DALI).
+func BenchmarkFig03Breakdown(b *testing.B) {
+	runExperiment(b, "fig03", map[string]string{
+		"imbalanced_frac":      "imbalancedFrac",
+		"load_bottleneck_frac": "loadBoundFrac",
+	})
+}
+
+// BenchmarkFig04ReuseDistance regenerates Fig. 4 (paper: ~80% of samples
+// have reuse distance beyond ~1.6 epochs).
+func BenchmarkFig04ReuseDistance(b *testing.B) {
+	runExperiment(b, "fig04", map[string]string{
+		"frac_long": "fracLongReuse",
+	})
+}
+
+// BenchmarkFig06PreprocThreads regenerates Fig. 6 (paper: preprocessing
+// throughput peaks at ~6 threads).
+func BenchmarkFig06PreprocThreads(b *testing.B) {
+	runExperiment(b, "fig06", map[string]string{
+		"peak_threads": "peakThreads",
+	})
+}
+
+// BenchmarkFig07aSingleNode1K regenerates Fig. 7(a) (paper: Lobster 1.6x
+// vs PyTorch, 1.7x vs DALI, 1.2x vs NoPFS).
+func BenchmarkFig07aSingleNode1K(b *testing.B) {
+	runExperiment(b, "fig07a", map[string]string{
+		"speedup_lobster": "lobsterVsPytorch",
+		"speedup_nopfs":   "nopfsVsPytorch",
+	})
+}
+
+// BenchmarkFig07bSingleNode22K regenerates Fig. 7(b) (paper: 1.8x vs
+// PyTorch on the larger dataset).
+func BenchmarkFig07bSingleNode22K(b *testing.B) {
+	runExperiment(b, "fig07b", map[string]string{
+		"speedup_lobster": "lobsterVsPytorch",
+	})
+}
+
+// BenchmarkFig07cMultiNode22K regenerates Fig. 7(c) (paper: 2.0x / 1.4x /
+// 1.2x vs PyTorch / DALI / NoPFS on 8 nodes).
+func BenchmarkFig07cMultiNode22K(b *testing.B) {
+	runExperiment(b, "fig07c", map[string]string{
+		"speedup_lobster": "lobsterVsPytorch",
+		"speedup_nopfs":   "nopfsVsPytorch",
+	})
+}
+
+// BenchmarkFig07dScalability regenerates Fig. 7(d) (paper: avg 1.53x, up
+// to 1.9x across node counts).
+func BenchmarkFig07dScalability(b *testing.B) {
+	runExperiment(b, "fig07d", map[string]string{
+		"avg_speedup": "avgSpeedup",
+		"max_speedup": "maxSpeedup",
+	})
+}
+
+// BenchmarkFig08aImbalanceSingle regenerates Fig. 8(a) (paper: Lobster
+// cuts imbalanced iterations to 17.5%).
+func BenchmarkFig08aImbalanceSingle(b *testing.B) {
+	runExperiment(b, "fig08a", map[string]string{
+		"imbalance_lobster": "lobsterImbalance",
+		"imbalance_pytorch": "pytorchImbalance",
+	})
+}
+
+// BenchmarkFig08bImbalanceMulti regenerates Fig. 8(b) (paper: Lobster at
+// 22.8% on 8 nodes).
+func BenchmarkFig08bImbalanceMulti(b *testing.B) {
+	runExperiment(b, "fig08b", map[string]string{
+		"imbalance_lobster": "lobsterImbalance",
+		"imbalance_pytorch": "pytorchImbalance",
+	})
+}
+
+// BenchmarkFig08cBatchTime regenerates Fig. 8(c) (paper: Lobster has
+// shorter, less variable batch times).
+func BenchmarkFig08cBatchTime(b *testing.B) {
+	runExperiment(b, "fig08c", map[string]string{
+		"mean_lobster": "lobsterMeanBatchS",
+		"mean_pytorch": "pytorchMeanBatchS",
+	})
+}
+
+// BenchmarkFig09Accuracy regenerates Fig. 9 (paper: identical per-epoch
+// curves, Lobster faster in wall time).
+func BenchmarkFig09Accuracy(b *testing.B) {
+	runExperiment(b, "fig09", map[string]string{
+		"curves_identical": "curvesIdentical",
+		"walltime_speedup": "walltimeSpeedup",
+	})
+}
+
+// BenchmarkTabHitRatio regenerates the Section 5.5 hit-ratio comparison
+// (paper: 63.2 / 48.9 / 32.6 / 24.5 %).
+func BenchmarkTabHitRatio(b *testing.B) {
+	runExperiment(b, "tab-hitratio", map[string]string{
+		"hit_lobster": "lobsterHit",
+		"hit_nopfs":   "nopfsHit",
+		"hit_dali":    "daliHit",
+		"hit_pytorch": "pytorchHit",
+	})
+}
+
+// BenchmarkFig10GPUUtil regenerates Fig. 10 (paper averages: 76.1 / 72.4 /
+// 57.5 / 52.3 %).
+func BenchmarkFig10GPUUtil(b *testing.B) {
+	runExperiment(b, "fig10", map[string]string{
+		"avg_util_lobster": "lobsterUtil",
+		"avg_util_pytorch": "pytorchUtil",
+	})
+}
+
+// BenchmarkFig11Ablation regenerates Fig. 11 (paper: thread management avg
+// 1.3x vs DALI, eviction ~1.15x, full Lobster 1.7x).
+func BenchmarkFig11Ablation(b *testing.B) {
+	runExperiment(b, "fig11", map[string]string{
+		"avg_speedup_lobster_th":    "thVsDali",
+		"avg_speedup_lobster_evict": "evictVsDali",
+		"avg_speedup_lobster":       "lobsterVsDali",
+	})
+}
+
+// BenchmarkExtCacheSweep regenerates the cache-size sensitivity extension
+// (not in the paper; see EXPERIMENTS.md).
+func BenchmarkExtCacheSweep(b *testing.B) {
+	runExperiment(b, "ext-cachesweep", map[string]string{
+		"speedup_at_30": "speedupAt30pct",
+		"speedup_at_80": "speedupAt80pct",
+	})
+}
+
+// BenchmarkExtPolicyZoo regenerates the eviction-policy-zoo extension.
+func BenchmarkExtPolicyZoo(b *testing.B) {
+	runExperiment(b, "ext-policyzoo", map[string]string{
+		"hit_lobster": "lobsterHit",
+		"hit_belady":  "beladyHit",
+		"hit_arc":     "arcHit",
+	})
+}
+
+// BenchmarkExtTimeToAccuracy regenerates the time-to-target-accuracy
+// extension (Fig. 9 curves x Fig. 7 speedups).
+func BenchmarkExtTimeToAccuracy(b *testing.B) {
+	runExperiment(b, "ext-tta", map[string]string{
+		"speedup_lobster": "lobsterTTASpeedup",
+		"speedup_nopfs":   "nopfsTTASpeedup",
+	})
+}

@@ -1,0 +1,88 @@
+// Command lobster-bench regenerates the paper's tables and figures: it
+// runs every experiment (or a selected one) at the chosen scale and prints
+// the reproduced rows/series with the paper's published values alongside.
+//
+// Examples:
+//
+//	lobster-bench                         # everything at small scale
+//	lobster-bench -experiment fig07a      # one figure
+//	lobster-bench -scale medium -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "small", "tiny | small | medium | full")
+		expID     = flag.String("experiment", "", "run only this experiment id (e.g. fig07a); empty = all")
+		epochs    = flag.Int("epochs", 0, "override epochs (0 = per-scale default)")
+		seed      = flag.Uint64("seed", 42, "base seed")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		mdPath    = flag.String("markdown", "", "also write the full report as a Markdown file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-13s %s\n              paper: %s\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+	scale, err := dataset.ParseScale(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	params := experiments.Params{Scale: scale, Epochs: *epochs, Seed: *seed}
+
+	todo := experiments.All()
+	if *expID != "" {
+		e, err := experiments.ByID(*expID)
+		if err != nil {
+			fatal(err)
+		}
+		todo = []experiments.Experiment{e}
+	}
+	var md strings.Builder
+	if *mdPath != "" {
+		fmt.Fprintf(&md, "# Lobster reproduction report\n\nscale: %s, seed: %d\n\n", scale, *seed)
+	}
+	for _, e := range todo {
+		start := time.Now()
+		rep, err := e.Run(params)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		fmt.Printf("################ %s — %s\n", e.ID, e.Title)
+		fmt.Printf("paper: %s\n\n", e.Paper)
+		fmt.Print(rep.Text())
+		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+		if *mdPath != "" {
+			fmt.Fprintf(&md, "## %s — %s\n\npaper: %s\n\n```\n", e.ID, e.Title, e.Paper)
+			for _, line := range rep.Lines {
+				md.WriteString(line)
+				md.WriteByte('\n')
+			}
+			fmt.Fprintf(&md, "```\n\nheadline values: %s\n\n", strings.Join(rep.SortedValues(), ", "))
+		}
+	}
+	if *mdPath != "" {
+		if err := os.WriteFile(*mdPath, []byte(md.String()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("markdown report written to %s\n", *mdPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lobster-bench:", err)
+	os.Exit(1)
+}

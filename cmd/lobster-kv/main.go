@@ -1,0 +1,92 @@
+// Command lobster-kv runs one shard of the key-value cache tier as a
+// standalone process, so a cluster can be deployed across machines (the
+// "alternatives to distributed caching like for example KV-stores" of the
+// paper's Section 2). Point the online runtime's KVCache at the shard
+// addresses.
+//
+// Example:
+//
+//	lobster-kv -addr 127.0.0.1:7001 -capacity 512MiB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/kvstore"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7001", "listen address")
+		capacity = flag.String("capacity", "256MiB", "shard capacity (bytes; supports KiB/MiB/GiB suffixes)")
+		statsSec = flag.Int("stats-interval", 30, "seconds between stats log lines (0 = silent)")
+	)
+	flag.Parse()
+
+	bytes, err := parseBytes(*capacity)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := kvstore.NewServer(*addr, bytes)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("lobster-kv shard listening on %s (capacity %s)\n", srv.Addr(), *capacity)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *statsSec > 0 {
+		ticker = time.NewTicker(time.Duration(*statsSec) * time.Second)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+	for {
+		select {
+		case <-tick:
+			st := srv.Stats()
+			fmt.Printf("items=%d used=%.1fMB hits=%d misses=%d evictions=%d\n",
+				st.Items, float64(st.UsedBytes)/1e6, st.Hits, st.Misses, st.Evictions)
+		case <-stop:
+			fmt.Println("shutting down")
+			if err := srv.Close(); err != nil {
+				fatal(err)
+			}
+			return
+		}
+	}
+}
+
+// parseBytes understands plain integers and KiB/MiB/GiB suffixes.
+func parseBytes(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "KiB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KiB")
+	case strings.HasSuffix(s, "MiB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MiB")
+	case strings.HasSuffix(s, "GiB"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "GiB")
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad capacity %q: %w", s, err)
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("capacity must be positive, got %d", v)
+	}
+	return v * mult, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lobster-kv:", err)
+	os.Exit(1)
+}

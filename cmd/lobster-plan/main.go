@@ -1,0 +1,73 @@
+// Command lobster-plan runs the offline planner (the simulator, as in the
+// paper's Section 4.5) and prints the per-iteration thread-management plan
+// it pre-computes: preprocessing pool size and per-GPU loading threads.
+//
+// Example:
+//
+//	lobster-plan -dataset imagenet-1k -scale tiny -iterations 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		datasetName = flag.String("dataset", "imagenet-1k", "imagenet-1k | imagenet-22k")
+		scale       = flag.String("scale", "tiny", "tiny | small | medium | full")
+		model       = flag.String("model", "resnet50", "DNN model")
+		nodes       = flag.Int("nodes", 1, "number of nodes (8 GPUs each)")
+		strategy    = flag.String("strategy", "lobster", "loading strategy to plan for")
+		iterations  = flag.Int("iterations", 16, "iterations to plan")
+		seed        = flag.Uint64("seed", 42, "schedule seed")
+		output      = flag.String("o", "", "write the plan as JSON to this file (interpretable by the online runtime)")
+	)
+	flag.Parse()
+
+	cfg, err := core.NewConfig(core.Workload{
+		Dataset: *datasetName, Scale: *scale, Model: *model,
+		Nodes: *nodes, Epochs: 2, Strategy: *strategy, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	plan, err := core.BuildPlan(cfg, *iterations)
+	if err != nil {
+		fatal(err)
+	}
+	if *output != "" {
+		f, err := os.Create(*output)
+		if err != nil {
+			fatal(err)
+		}
+		if err := plan.File.Encode(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("plan written to %s (%d iterations)\n\n", *output, len(plan.File.Iterations))
+	}
+	fmt.Printf("plan for %s on %s (%d nodes, I=%d iterations/epoch)\n\n",
+		*strategy, *datasetName, *nodes, plan.IterationsPerEpoch)
+	fmt.Printf("%-9s %10s   %s\n", "iter", "batch(s)", "per-node threads: preproc | loading per GPU")
+	for _, rec := range plan.PerIteration {
+		fmt.Printf("e%02d/i%03d  %10.4f", rec.Epoch, rec.Iter, rec.BatchTime)
+		for n, th := range rec.Threads {
+			fmt.Printf("   node%d: %d |", n, th.Preproc)
+			for _, l := range th.Loading {
+				fmt.Printf(" %d", l)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lobster-plan:", err)
+	os.Exit(1)
+}

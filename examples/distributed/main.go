@@ -1,0 +1,46 @@
+// Distributed: the paper's headline scenario — eight nodes (64 GPUs)
+// training ResNet50 on ImageNet-22K, whose 1.3 TB dwarf the 40 GB node
+// caches. All four loading systems run on the identical deterministic
+// schedule; the distributed cache, PFS contention, prefetching and thread
+// management determine who keeps the GPUs busy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+func main() {
+	fmt.Println("ResNet50 on synthetic ImageNet-22K, 8 nodes x 8 GPUs:")
+	fmt.Println()
+	var runs []*metrics.Run
+	for _, strategy := range []string{"pytorch", "dali", "nopfs", "lobster"} {
+		cfg, err := core.NewConfig(core.Workload{
+			Dataset:  "imagenet-22k",
+			Scale:    "tiny",
+			Model:    "resnet50",
+			Nodes:    8,
+			Epochs:   4,
+			Strategy: strategy,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := core.Simulate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := res.Metrics
+		runs = append(runs, m)
+		fmt.Printf("%-10s remote hits %6d, PFS fetches %7d, prefetched %7.1f MB\n",
+			strategy, m.RemoteHits, m.PFSFetches, float64(m.PrefetchedBytes)/1e6)
+	}
+	fmt.Println()
+	fmt.Print(metrics.Table(runs))
+	fmt.Println()
+	fmt.Println("Compare with the paper's Fig. 7(c): Lobster 2.0x vs PyTorch,")
+	fmt.Println("1.4x vs DALI, 1.2x vs NoPFS on the real testbed.")
+}

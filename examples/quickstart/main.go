@@ -1,0 +1,41 @@
+// Quickstart: simulate one epoch-scale training run with Lobster and with
+// the PyTorch DataLoader baseline on a single 8-GPU node, and print the
+// comparison — the smallest end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var runs []*metrics.Run
+	for _, strategy := range []string{"pytorch", "lobster"} {
+		cfg, err := core.NewConfig(core.Workload{
+			Dataset:  "imagenet-1k",
+			Scale:    "tiny", // a few thousand synthetic samples
+			Model:    "resnet50",
+			Nodes:    1,
+			Epochs:   6,
+			Strategy: strategy,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := core.Simulate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runs = append(runs, res.Metrics)
+	}
+	fmt.Println("ResNet50 on synthetic ImageNet-1K, one node with 8 GPUs:")
+	fmt.Println()
+	fmt.Print(metrics.Table(runs))
+	fmt.Println()
+	fmt.Printf("Lobster trains the same schedule %.2fx faster by keeping the\n",
+		runs[1].Speedup(runs[0]))
+	fmt.Println("GPUs fed: higher cache hit ratio, fewer imbalanced iterations.")
+}

@@ -1,0 +1,76 @@
+// Threadtuning: run the REAL concurrent runtime (goroutine worker pools,
+// throttled storage, channel-based distribution manager) and watch
+// Lobster's flexible thread manager at work: every decoded tensor is
+// verified end to end, and the final thread assignment shows preprocessing
+// throttled to its peak-throughput size with the remaining threads spread
+// over the per-GPU loading queues.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/runtime"
+)
+
+func main() {
+	fmt.Println("online runtime, 2 nodes x 8 GPUs, Lobster strategy:")
+	fmt.Println()
+	cfg, err := core.NewConfig(core.Workload{
+		Dataset:  "imagenet-1k",
+		Scale:    "tiny",
+		Model:    "resnet50",
+		Nodes:    2,
+		Epochs:   2,
+		Strategy: "lobster",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Expose live progress over HTTP while the run executes — the
+	// observability surface a production deployment would scrape.
+	mon, err := monitor.Serve("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mon.Close()
+	fmt.Printf("live metrics at http://%s/metrics.json\n\n", mon.Addr())
+
+	stats, err := runtime.Run(runtime.Options{
+		Topology:   cfg.Pipeline.Topology,
+		Dataset:    cfg.Pipeline.Dataset,
+		Model:      cfg.Pipeline.Model,
+		Epochs:     cfg.Pipeline.Epochs,
+		Seed:       cfg.Pipeline.Seed,
+		Strategy:   cfg.Pipeline.Strategy,
+		TimeScale:  0.002, // 500x faster than modeled time
+		OnProgress: func(p runtime.Progress) { mon.Update(p) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// One last scrape of the dashboard, as a monitoring client would see it.
+	if resp, err := http.Get("http://" + mon.Addr() + "/metrics.json"); err == nil {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		fmt.Printf("final scrape (truncated):\n%s...\n\n", body)
+	}
+	fmt.Printf("iterations: %d   wall time: %v\n", stats.Iterations, stats.WallTime)
+	fmt.Printf("samples loaded: %d, all verified: %v\n",
+		stats.SamplesLoaded, stats.SamplesVerified == stats.SamplesLoaded)
+	fmt.Printf("cache hit ratio: %.1f%%   remote hits: %d   PFS reads: %d   prefetched: %d\n",
+		stats.HitRatio()*100, stats.RemoteHits, stats.PFSReads, stats.Prefetched)
+	fmt.Println()
+	for n := range stats.FinalPreprocThreads {
+		fmt.Printf("node %d final threads: preprocessing=%d, loading per GPU=%v\n",
+			n, stats.FinalPreprocThreads[n], stats.FinalLoadThreads[n])
+	}
+	fmt.Println()
+	fmt.Println("The controller re-runs Algorithm 1 every iteration: preprocessing")
+	fmt.Println("is held near its peak-throughput thread count (Observation 3) and")
+	fmt.Println("loading threads follow each GPU queue's predicted demand.")
+}

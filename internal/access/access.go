@@ -1,0 +1,165 @@
+// Package access derives, from a deterministic schedule, everything the
+// Lobster policies need to know about the future: for every training
+// sample, when a given node will access it next, and how many times it will
+// still be accessed before training ends.
+//
+// Section 4.4: "we can determine, at each moment during training, two
+// parameters: (1) how many times each training sample will be reused by all
+// GPUs until the end of training; (2) the minimum reuse distance of each
+// training sample across all GPUs. To obtain these parameters efficiently,
+// we maintain a list of future accesses for each training sample."
+// This package is exactly that list.
+package access
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/sampler"
+	"repro/internal/stats"
+)
+
+// Iter is a global iteration index: epoch*I + iterationWithinEpoch.
+// It is an alias (not a defined type) so that access.Plan satisfies
+// oracle interfaces declared in consumer packages (e.g. cache.Oracle)
+// without adapters.
+type Iter = int32
+
+// NoAccess marks "never accessed again".
+const NoAccess Iter = -1
+
+// Plan holds the future-access lists of one node for an entire training
+// run. It is immutable after Build and safe for concurrent readers.
+//
+// Memory: one int32 per (sample, access-by-this-node). A node accesses
+// |D|/N samples per epoch, so a full plan costs 4*E*|D|/N bytes — a few MB
+// at the reduced experiment scales, and bounded by the horizon argument for
+// full-scale runs (the Lobster policies only ever look 2 epochs ahead; see
+// the reuse-distance policy in Section 4.4).
+type Plan struct {
+	node        int
+	gpusPerNode int
+	iters       int // iterations per epoch
+	epochs      int
+	accesses    [][]Iter // per sample: ascending global iterations accessed by this node
+}
+
+// Build constructs the plan of `node` (0-based) for `epochs` epochs of the
+// schedule. horizonEpochs bounds how far ahead the detailed lists extend;
+// pass epochs (or 0) for a full-horizon plan.
+func Build(s *sampler.Schedule, node, gpusPerNode, epochs, horizonEpochs int) (*Plan, error) {
+	if s == nil {
+		return nil, fmt.Errorf("access: nil schedule")
+	}
+	if node < 0 || gpusPerNode < 1 || (node+1)*gpusPerNode > s.WorldSize() {
+		return nil, fmt.Errorf("access: node %d with %d GPUs out of world %d", node, gpusPerNode, s.WorldSize())
+	}
+	if epochs < 1 {
+		return nil, fmt.Errorf("access: epochs %d < 1", epochs)
+	}
+	if horizonEpochs <= 0 || horizonEpochs > epochs {
+		horizonEpochs = epochs
+	}
+	p := &Plan{
+		node:        node,
+		gpusPerNode: gpusPerNode,
+		iters:       s.IterationsPerEpoch(),
+		epochs:      epochs,
+		accesses:    make([][]Iter, s.Dataset().Len()),
+	}
+	var batch []dataset.SampleID
+	for epoch := 0; epoch < horizonEpochs; epoch++ {
+		for it := 0; it < p.iters; it++ {
+			g := Iter(epoch*p.iters + it)
+			batch = s.NodeBatch(batch[:0], epoch, it, node, gpusPerNode)
+			for _, id := range batch {
+				p.accesses[id] = append(p.accesses[id], g)
+			}
+		}
+	}
+	return p, nil
+}
+
+// Node returns the node this plan belongs to.
+func (p *Plan) Node() int { return p.node }
+
+// IterationsPerEpoch returns I.
+func (p *Plan) IterationsPerEpoch() int { return p.iters }
+
+// TotalIterations returns epochs * I.
+func (p *Plan) TotalIterations() Iter { return Iter(p.epochs * p.iters) }
+
+// NextUse returns the first iteration strictly after `after` at which this
+// node accesses the sample, or NoAccess if it never does (within the plan
+// horizon).
+func (p *Plan) NextUse(id dataset.SampleID, after Iter) Iter {
+	list := p.accesses[id]
+	// Binary search: first element > after.
+	i := sort.Search(len(list), func(k int) bool { return list[k] > after })
+	if i == len(list) {
+		return NoAccess
+	}
+	return list[i]
+}
+
+// NextReuseDistance returns NextUse(id, after) - after, or NoAccess if the
+// sample is not used again. This is the quantity the reuse-distance
+// eviction policy thresholds against 2I - h.
+func (p *Plan) NextReuseDistance(id dataset.SampleID, after Iter) Iter {
+	n := p.NextUse(id, after)
+	if n == NoAccess {
+		return NoAccess
+	}
+	return n - after
+}
+
+// UsesRemaining returns how many accesses of the sample by this node occur
+// strictly after `after`. This is the reuse count of Section 4.4.
+func (p *Plan) UsesRemaining(id dataset.SampleID, after Iter) int {
+	list := p.accesses[id]
+	i := sort.Search(len(list), func(k int) bool { return list[k] > after })
+	return len(list) - i
+}
+
+// AccessesOf returns the full access list of a sample (shared slice; do not
+// modify). Used by tests and the trace tooling.
+func (p *Plan) AccessesOf(id dataset.SampleID) []Iter { return p.accesses[id] }
+
+// ReuseDistanceHistogram computes the distribution of reuse distances (in
+// iterations) between consecutive accesses of the same sample on this node
+// — the measurement behind Fig. 4. Distances are collected into a
+// log-scaled histogram from 1 to the run length.
+func (p *Plan) ReuseDistanceHistogram(bins int) (*stats.Histogram, error) {
+	maxD := float64(p.TotalIterations())
+	if maxD < 2 {
+		maxD = 2
+	}
+	h, err := stats.NewLogHistogram(1, maxD, bins)
+	if err != nil {
+		return nil, err
+	}
+	for _, list := range p.accesses {
+		for i := 1; i < len(list); i++ {
+			h.Add(float64(list[i] - list[i-1]))
+		}
+	}
+	return h, nil
+}
+
+// MeanReuseDistance returns the average distance between consecutive
+// accesses, and the number of reuse pairs observed.
+func (p *Plan) MeanReuseDistance() (float64, int) {
+	var sum float64
+	var n int
+	for _, list := range p.accesses {
+		for i := 1; i < len(list); i++ {
+			sum += float64(list[i] - list[i-1])
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), n
+}

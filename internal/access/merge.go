@@ -1,0 +1,73 @@
+package access
+
+import "fmt"
+
+// MergePlans combines the future-access plans of several training jobs
+// that share the same node and training data — the paper's "different DNN
+// models sharing the same training data" scenario (Section 2). The merged
+// plan answers NextUse/UsesRemaining across all jobs, so a shared
+// node-local cache can apply the Lobster eviction rules against the union
+// of futures: a sample one job is done with may still be hot for another.
+//
+// The plans must share the same iteration geometry (iterations per epoch
+// and epoch count); jobs are assumed to advance in lockstep on the shared
+// node, which is how co-located trainers sharing a cache behave once the
+// slowest job paces the I/O.
+func MergePlans(plans ...*Plan) (*Plan, error) {
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("access: no plans to merge")
+	}
+	first := plans[0]
+	for _, p := range plans[1:] {
+		if p.iters != first.iters || p.epochs != first.epochs {
+			return nil, fmt.Errorf("access: cannot merge plans with geometry %dx%d vs %dx%d",
+				p.epochs, p.iters, first.epochs, first.iters)
+		}
+		if len(p.accesses) != len(first.accesses) {
+			return nil, fmt.Errorf("access: cannot merge plans over different datasets (%d vs %d samples)",
+				len(p.accesses), len(first.accesses))
+		}
+	}
+	merged := &Plan{
+		node:        first.node,
+		gpusPerNode: first.gpusPerNode,
+		iters:       first.iters,
+		epochs:      first.epochs,
+		accesses:    make([][]Iter, len(first.accesses)),
+	}
+	for id := range merged.accesses {
+		merged.accesses[id] = mergeSorted(plans, id)
+	}
+	return merged, nil
+}
+
+// mergeSorted k-way merges the (already ascending) access lists of one
+// sample. Duplicate timestamps (two jobs touching the sample in the same
+// iteration) are kept: they are distinct future uses.
+func mergeSorted(plans []*Plan, id int) []Iter {
+	total := 0
+	for _, p := range plans {
+		total += len(p.accesses[id])
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]Iter, 0, total)
+	idx := make([]int, len(plans))
+	for len(out) < total {
+		best := -1
+		var bestV Iter
+		for pi, p := range plans {
+			list := p.accesses[id]
+			if idx[pi] >= len(list) {
+				continue
+			}
+			if best == -1 || list[idx[pi]] < bestV {
+				best, bestV = pi, list[idx[pi]]
+			}
+		}
+		out = append(out, bestV)
+		idx[best]++
+	}
+	return out
+}

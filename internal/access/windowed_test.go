@@ -1,0 +1,157 @@
+package access
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/sampler"
+)
+
+func windowedFixtures(t *testing.T) (*sampler.Schedule, *Plan, *Windowed, int) {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.Spec{
+		Name: "w", NumSamples: 600, MeanSize: 100, Classes: 1, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sampler.New(ds, sampler.Config{WorldSize: 2, BatchSize: 10, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const epochs = 10
+	full, err := Build(s, 0, 2, epochs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win, err := BuildWindowed(s, 0, 2, epochs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, full, win, epochs
+}
+
+func TestBuildWindowedValidation(t *testing.T) {
+	if _, err := BuildWindowed(nil, 0, 1, 1, 3); err == nil {
+		t.Error("nil schedule accepted")
+	}
+	ds, _ := dataset.Generate(dataset.Spec{Name: "v", NumSamples: 100, MeanSize: 10, Classes: 1, Seed: 1})
+	s, _ := sampler.New(ds, sampler.Config{WorldSize: 1, BatchSize: 5, Seed: 1})
+	if _, err := BuildWindowed(s, 0, 1, 0, 3); err == nil {
+		t.Error("zero epochs accepted")
+	}
+	if _, err := BuildWindowed(s, 5, 1, 2, 3); err == nil {
+		t.Error("node beyond world accepted")
+	}
+	// Window longer than the run clamps.
+	w, err := BuildWindowed(s, 0, 1, 2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, end := w.WindowBounds(); end != 2 {
+		t.Fatalf("window end %d, want clamp at 2", end)
+	}
+}
+
+func TestWindowedMatchesFullWithinWindow(t *testing.T) {
+	s, full, win, _ := windowedFixtures(t)
+	iters := s.IterationsPerEpoch()
+	// Queries with `after` inside epoch 0 must match the full plan
+	// whenever the full plan's answer lies within the 3-epoch window.
+	for id := 0; id < 600; id++ {
+		sid := dataset.SampleID(id)
+		for _, after := range []Iter{-1, 0, Iter(iters / 2), Iter(iters - 1)} {
+			fullNext := full.NextUse(sid, after)
+			gotNext := win.NextUse(sid, after)
+			if fullNext != NoAccess && fullNext < Iter(3*iters) {
+				if gotNext != fullNext {
+					t.Fatalf("sample %d after %d: windowed NextUse %d, full %d", id, after, gotNext, fullNext)
+				}
+			} else if fullNext == NoAccess {
+				if gotNext != NoAccess {
+					t.Fatalf("sample %d: windowed %d, full NoAccess", id, gotNext)
+				}
+			} else if gotNext != Iter(3*iters) {
+				t.Fatalf("sample %d: beyond-window NextUse %d, want horizon %d", id, gotNext, 3*iters)
+			}
+			if got, want := win.UsesRemaining(sid, after), full.UsesRemaining(sid, after); got != want {
+				t.Fatalf("sample %d after %d: windowed UsesRemaining %d, full %d", id, after, got, want)
+			}
+		}
+	}
+}
+
+func TestWindowedAdvanceStaysExact(t *testing.T) {
+	s, full, win, epochs := windowedFixtures(t)
+	iters := s.IterationsPerEpoch()
+	for epoch := 1; epoch < epochs; epoch++ {
+		win.Advance(epoch)
+		start, end := win.WindowBounds()
+		if start != epoch {
+			t.Fatalf("window start %d, want %d", start, epoch)
+		}
+		wantEnd := epoch + 3
+		if wantEnd > epochs {
+			wantEnd = epochs
+		}
+		if end != wantEnd {
+			t.Fatalf("window end %d, want %d", end, wantEnd)
+		}
+		after := Iter(epoch * iters) // current-iteration queries
+		for id := 0; id < 600; id += 7 {
+			sid := dataset.SampleID(id)
+			if got, want := win.UsesRemaining(sid, after), full.UsesRemaining(sid, after); got != want {
+				t.Fatalf("epoch %d sample %d: UsesRemaining %d, want %d", epoch, id, got, want)
+			}
+			fullNext := full.NextUse(sid, after)
+			gotNext := win.NextUse(sid, after)
+			switch {
+			case fullNext == NoAccess:
+				if gotNext != NoAccess {
+					t.Fatalf("epoch %d sample %d: got %d, want NoAccess", epoch, id, gotNext)
+				}
+			case fullNext < Iter(end*iters):
+				if gotNext != fullNext {
+					t.Fatalf("epoch %d sample %d: got %d, want exact %d", epoch, id, gotNext, fullNext)
+				}
+			default:
+				if gotNext != Iter(end*iters) {
+					t.Fatalf("epoch %d sample %d: got %d, want horizon %d", epoch, id, gotNext, end*iters)
+				}
+			}
+		}
+	}
+}
+
+func TestWindowedAdvanceBackwardsNoop(t *testing.T) {
+	_, _, win, _ := windowedFixtures(t)
+	win.Advance(2)
+	start, _ := win.WindowBounds()
+	win.Advance(1) // must not rewind
+	if s2, _ := win.WindowBounds(); s2 != start {
+		t.Fatalf("Advance rewound the window: %d -> %d", start, s2)
+	}
+}
+
+func TestWindowedMemoryBounded(t *testing.T) {
+	s, _, win, epochs := windowedFixtures(t)
+	// After advancing to the end, total detailed entries are bounded by
+	// window size x node accesses per epoch.
+	for epoch := 1; epoch < epochs; epoch++ {
+		win.Advance(epoch)
+	}
+	total := 0
+	for _, list := range win.window {
+		total += len(list)
+	}
+	perEpoch := s.SamplesPerEpoch() / 2 // this node's share (1 of 2 nodes)
+	if total > 3*perEpoch {
+		t.Fatalf("window holds %d entries, want <= %d", total, 3*perEpoch)
+	}
+	// And all beyond-window counters must have drained to zero.
+	for id, c := range win.afterWindow {
+		if c != 0 {
+			t.Fatalf("sample %d still has afterWindow %d at the end", id, c)
+		}
+	}
+}

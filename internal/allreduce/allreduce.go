@@ -1,0 +1,145 @@
+// Package allreduce implements the data-parallel gradient averaging that
+// makes stragglers everyone's problem: "as all GPUs must cooperate to
+// average their gradients during the backward pass, these stragglers
+// ultimately slow all GPUs" (Section 1).
+//
+// The implementation is the classic two-phase ring allreduce (reduce-
+// scatter + all-gather) over an in-process channel transport — the same
+// algorithm NCCL uses across a node group, with channels standing in for
+// NVLink/IB exactly as they stand in for MPI elsewhere in this
+// reproduction. Each of the W participants sends and receives 2·(W−1)
+// chunks of N/W elements, so bandwidth per rank is independent of W.
+package allreduce
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Ring is a W-participant allreduce group. Create once, then call Reduce
+// from exactly W goroutines (one per rank) per round. Successive rounds
+// reuse the group.
+type Ring struct {
+	world int
+	// links[r] carries chunks from rank r-1 to rank r (mod world).
+	links []chan []float64
+	// barrier resynchronizes ranks between rounds so a fast rank cannot
+	// race ahead into the next Reduce while a slow one still drains
+	// channels.
+	barrier *barrier
+}
+
+// NewRing creates an allreduce group of the given world size.
+func NewRing(world int) (*Ring, error) {
+	if world < 1 {
+		return nil, fmt.Errorf("allreduce: world %d < 1", world)
+	}
+	r := &Ring{world: world, links: make([]chan []float64, world), barrier: newBarrier(world)}
+	for i := range r.links {
+		r.links[i] = make(chan []float64, 1)
+	}
+	return r, nil
+}
+
+// World returns the group size.
+func (r *Ring) World() int { return r.world }
+
+// Reduce sums `grad` element-wise across all ranks, in place: when every
+// rank has called Reduce, each rank's slice holds the identical global
+// sum. All ranks must pass slices of the same length. The call blocks
+// until the collective completes.
+func (r *Ring) Reduce(rank int, grad []float64) error {
+	if rank < 0 || rank >= r.world {
+		return fmt.Errorf("allreduce: rank %d out of [0, %d)", rank, r.world)
+	}
+	if r.world == 1 {
+		return nil
+	}
+	n := len(grad)
+	w := r.world
+	// Chunk c covers [start(c), start(c+1)): near-equal splits.
+	start := func(c int) int { return (n * c) / w }
+	chunk := func(c int) []float64 { return grad[start(((c%w)+w)%w):start((((c%w)+w)%w)+1)] }
+
+	next := r.links[(rank+1)%w] // we send into our successor's inbox
+	prev := r.links[rank]       // we receive from our predecessor
+
+	// Phase 1: reduce-scatter. In step s, rank sends chunk (rank-s) and
+	// receives chunk (rank-s-1), accumulating into it. After W-1 steps,
+	// chunk (rank+1) holds the full sum on this rank.
+	for s := 0; s < w-1; s++ {
+		send := chunk(rank - s)
+		out := make([]float64, len(send))
+		copy(out, send)
+		next <- out
+		in := <-prev
+		dst := chunk(rank - s - 1)
+		if len(in) != len(dst) {
+			return fmt.Errorf("allreduce: rank %d step %d: chunk length %d, want %d (mismatched gradient sizes?)",
+				rank, s, len(in), len(dst))
+		}
+		for i, v := range in {
+			dst[i] += v
+		}
+	}
+	// Phase 2: all-gather. Rank starts by sending its completed chunk
+	// (rank+1), then forwards what it receives.
+	for s := 0; s < w-1; s++ {
+		send := chunk(rank + 1 - s)
+		out := make([]float64, len(send))
+		copy(out, send)
+		next <- out
+		in := <-prev
+		dst := chunk(rank - s)
+		if len(in) != len(dst) {
+			return fmt.Errorf("allreduce: rank %d gather step %d: chunk length mismatch", rank, s)
+		}
+		copy(dst, in)
+	}
+	r.barrier.wait()
+	return nil
+}
+
+// Average is Reduce followed by division by the world size — the actual
+// gradient-averaging step of data-parallel SGD.
+func (r *Ring) Average(rank int, grad []float64) error {
+	if err := r.Reduce(rank, grad); err != nil {
+		return err
+	}
+	inv := 1 / float64(r.world)
+	for i := range grad {
+		grad[i] *= inv
+	}
+	return nil
+}
+
+// barrier is a reusable counting barrier.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	size    int
+	arrived int
+	gen     int
+}
+
+func newBarrier(size int) *barrier {
+	b := &barrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.arrived++
+	if b.arrived == b.size {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	gen := b.gen
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+}

@@ -1,0 +1,209 @@
+package allreduce
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// runRound executes one collective across all ranks and returns each
+// rank's resulting slice.
+func runRound(t *testing.T, r *Ring, grads [][]float64, average bool) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, len(grads))
+	for rank := range grads {
+		rank := rank
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if average {
+				errs[rank] = r.Average(rank, grads[rank])
+			} else {
+				errs[rank] = r.Reduce(rank, grads[rank])
+			}
+		}()
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+}
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(0); err == nil {
+		t.Fatal("world 0 accepted")
+	}
+	r, err := NewRing(4)
+	if err != nil || r.World() != 4 {
+		t.Fatalf("NewRing: %v", err)
+	}
+}
+
+func TestReduceSumsAcrossRanks(t *testing.T) {
+	const world, n = 4, 10
+	r, err := NewRing(world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grads := make([][]float64, world)
+	want := make([]float64, n)
+	for rank := range grads {
+		grads[rank] = make([]float64, n)
+		for i := range grads[rank] {
+			grads[rank][i] = float64(rank*100 + i)
+			want[i] += grads[rank][i]
+		}
+	}
+	runRound(t, r, grads, false)
+	for rank := range grads {
+		for i := range want {
+			if math.Abs(grads[rank][i]-want[i]) > 1e-9 {
+				t.Fatalf("rank %d element %d = %g, want %g", rank, i, grads[rank][i], want[i])
+			}
+		}
+	}
+}
+
+func TestAverageDividesByWorld(t *testing.T) {
+	const world = 3
+	r, _ := NewRing(world)
+	grads := [][]float64{{3, 6}, {3, 6}, {3, 6}}
+	runRound(t, r, grads, true)
+	for rank := range grads {
+		if grads[rank][0] != 3 || grads[rank][1] != 6 {
+			t.Fatalf("rank %d average = %v, want [3 6]", rank, grads[rank])
+		}
+	}
+}
+
+func TestSingleRankNoop(t *testing.T) {
+	r, _ := NewRing(1)
+	g := []float64{1, 2, 3}
+	if err := r.Reduce(0, g); err != nil {
+		t.Fatal(err)
+	}
+	if g[0] != 1 || g[2] != 3 {
+		t.Fatal("single-rank reduce modified data")
+	}
+}
+
+func TestRankValidation(t *testing.T) {
+	r, _ := NewRing(2)
+	if err := r.Reduce(2, []float64{1}); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+	if err := r.Reduce(-1, []float64{1}); err == nil {
+		t.Fatal("negative rank accepted")
+	}
+}
+
+func TestRepeatedRounds(t *testing.T) {
+	// The group must be reusable: 20 consecutive collectives with
+	// changing data.
+	const world, n = 3, 7
+	r, _ := NewRing(world)
+	for round := 0; round < 20; round++ {
+		grads := make([][]float64, world)
+		want := make([]float64, n)
+		for rank := range grads {
+			grads[rank] = make([]float64, n)
+			for i := range grads[rank] {
+				grads[rank][i] = float64(round + rank + i)
+				want[i] += grads[rank][i]
+			}
+		}
+		runRound(t, r, grads, false)
+		for rank := range grads {
+			for i := range want {
+				if grads[rank][i] != want[i] {
+					t.Fatalf("round %d rank %d: %v, want %v", round, rank, grads[rank], want)
+				}
+			}
+		}
+	}
+}
+
+func TestUnevenChunks(t *testing.T) {
+	// Gradient length not divisible by world: chunking must still cover
+	// every element exactly once.
+	for _, n := range []int{1, 2, 5, 13} {
+		for _, world := range []int{2, 3, 4, 7} {
+			r, _ := NewRing(world)
+			grads := make([][]float64, world)
+			want := make([]float64, n)
+			for rank := range grads {
+				grads[rank] = make([]float64, n)
+				for i := range grads[rank] {
+					grads[rank][i] = float64((rank + 1) * (i + 2))
+					want[i] += grads[rank][i]
+				}
+			}
+			runRound(t, r, grads, false)
+			for rank := range grads {
+				for i := range want {
+					if math.Abs(grads[rank][i]-want[i]) > 1e-9 {
+						t.Fatalf("n=%d world=%d rank %d element %d: %g, want %g",
+							n, world, rank, i, grads[rank][i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReducePropertyRandom(t *testing.T) {
+	f := func(seed uint64, worldRaw, nRaw uint8) bool {
+		world := int(worldRaw%6) + 1
+		n := int(nRaw%32) + 1
+		r, err := NewRing(world)
+		if err != nil {
+			return false
+		}
+		rng := stats.NewRNG(seed)
+		grads := make([][]float64, world)
+		want := make([]float64, n)
+		for rank := range grads {
+			grads[rank] = make([]float64, n)
+			for i := range grads[rank] {
+				grads[rank][i] = rng.Float64()*200 - 100
+				want[i] += grads[rank][i]
+			}
+		}
+		var wg sync.WaitGroup
+		ok := true
+		var mu sync.Mutex
+		for rank := range grads {
+			rank := rank
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := r.Reduce(rank, grads[rank]); err != nil {
+					mu.Lock()
+					ok = false
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if !ok {
+			return false
+		}
+		for rank := range grads {
+			for i := range want {
+				if math.Abs(grads[rank][i]-want[i]) > 1e-6*(math.Abs(want[i])+1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/dataset"
+	"repro/internal/sampler"
+)
+
+// replayHitRatio replays a node's full demand access stream against a
+// cache and returns the hit ratio. Misses are inserted after the access
+// (demand caching, no prefetch) — a policy-only comparison.
+func replayHitRatio(t *testing.T, policy Policy, s *sampler.Schedule, plan *access.Plan, epochs int, capacity int64) float64 {
+	t.Helper()
+	c, err := New(capacity, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := s.Dataset()
+	var batch []dataset.SampleID
+	for epoch := 0; epoch < epochs; epoch++ {
+		for it := 0; it < s.IterationsPerEpoch(); it++ {
+			now := Iter(epoch*s.IterationsPerEpoch() + it)
+			batch = s.NodeBatch(batch[:0], epoch, it, 0, 1)
+			for _, id := range batch {
+				if !c.Get(id, now) {
+					c.Put(id, ds.Size(id), now)
+				}
+			}
+			c.Maintain(now)
+		}
+	}
+	return c.Stats().HitRatio()
+}
+
+func TestPolicyHitRatioOrdering(t *testing.T) {
+	// One node, one GPU, cache holding ~30% of the dataset (the paper's
+	// 40 GB / 135 GB ratio). Expected ordering on demand replay:
+	// Belady >= Lobster >= LRU, and Belady >= FIFO.
+	ds, err := dataset.Generate(dataset.Spec{
+		Name: "cmp", NumSamples: 2000, MeanSize: 1000, SigmaLog: 0.3, Classes: 2, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sampler.New(ds, sampler.Config{WorldSize: 1, BatchSize: 20, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const epochs = 6
+	plan, err := access.Build(s, 0, 1, epochs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := ds.TotalBytes() * 30 / 100
+
+	hr := map[string]float64{}
+	hr["lru"] = replayHitRatio(t, NewLRU(), s, plan, epochs, capacity)
+	hr["fifo"] = replayHitRatio(t, NewFIFO(), s, plan, epochs, capacity)
+	hr["belady"] = replayHitRatio(t, NewBelady(plan), s, plan, epochs, capacity)
+	hr["lobster"] = replayHitRatio(t, NewLobster(plan, LobsterOptions{}), s, plan, epochs, capacity)
+	hr["nopfs"] = replayHitRatio(t, NewNoPFS(plan), s, plan, epochs, capacity)
+
+	t.Logf("hit ratios: %v", hr)
+	if hr["belady"] < hr["lru"] || hr["belady"] < hr["fifo"] || hr["belady"] < hr["nopfs"] {
+		t.Errorf("Belady not the upper bound: %v", hr)
+	}
+	if hr["lobster"] < hr["lru"] {
+		t.Errorf("Lobster below LRU on demand replay: %v", hr)
+	}
+	if hr["belady"]+1e-9 < hr["lobster"] {
+		t.Errorf("Lobster above Belady, impossible: %v", hr)
+	}
+	// All policies must see identical access counts.
+	if hr["lru"] <= 0 || hr["lru"] >= 1 {
+		t.Errorf("degenerate LRU hit ratio %g", hr["lru"])
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	ds, _ := dataset.Generate(dataset.Spec{
+		Name: "cap", NumSamples: 500, MeanSize: 1000, SigmaLog: 0.5, Classes: 2, Seed: 5,
+	})
+	s, _ := sampler.New(ds, sampler.Config{WorldSize: 1, BatchSize: 10, Seed: 5})
+	plan, _ := access.Build(s, 0, 1, 3, 0)
+	for _, mk := range []func() Policy{
+		NewLRU, NewFIFO, NewNeverEvict,
+		func() Policy { return NewBelady(plan) },
+		func() Policy { return NewLobster(plan, LobsterOptions{}) },
+		func() Policy { return NewNoPFS(plan) },
+	} {
+		p := mk()
+		c, _ := New(ds.TotalBytes()/5, p)
+		var batch []dataset.SampleID
+		for epoch := 0; epoch < 3; epoch++ {
+			for it := 0; it < s.IterationsPerEpoch(); it++ {
+				now := Iter(epoch*s.IterationsPerEpoch() + it)
+				batch = s.NodeBatch(batch[:0], epoch, it, 0, 1)
+				for _, id := range batch {
+					if !c.Get(id, now) {
+						c.Put(id, ds.Size(id), now)
+					}
+					if c.Used() > c.Capacity() {
+						t.Fatalf("%s: used %d > capacity %d", p.Name(), c.Used(), c.Capacity())
+					}
+					if c.Used() < 0 {
+						t.Fatalf("%s: negative used %d", p.Name(), c.Used())
+					}
+				}
+				c.Maintain(now)
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package cache
+
+import (
+	"container/list"
+
+	"repro/internal/dataset"
+)
+
+// lruPolicy evicts the least-recently-used sample. It models the behaviour
+// a loader gets "for free" from the OS page cache — the effective policy
+// under PyTorch DataLoader and DALI, which have no application-level
+// eviction logic of their own.
+type lruPolicy struct {
+	name       string
+	order      *list.List // front = most recent
+	entries    map[dataset.SampleID]*list.Element
+	touchOnGet bool // false turns this into FIFO
+}
+
+// NewLRU returns a least-recently-used policy.
+func NewLRU() Policy {
+	return &lruPolicy{
+		name:       "lru",
+		order:      list.New(),
+		entries:    make(map[dataset.SampleID]*list.Element),
+		touchOnGet: true,
+	}
+}
+
+// NewFIFO returns a first-in-first-out policy (insertion order, ignoring
+// hits) — a common low-cost baseline.
+func NewFIFO() Policy {
+	return &lruPolicy{
+		name:    "fifo",
+		order:   list.New(),
+		entries: make(map[dataset.SampleID]*list.Element),
+	}
+}
+
+func (p *lruPolicy) Name() string { return p.name }
+
+func (p *lruPolicy) OnPut(id dataset.SampleID, _ Iter) {
+	if e, ok := p.entries[id]; ok {
+		p.order.MoveToFront(e)
+		return
+	}
+	p.entries[id] = p.order.PushFront(id)
+}
+
+func (p *lruPolicy) OnGet(id dataset.SampleID, _ Iter) {
+	if !p.touchOnGet {
+		return
+	}
+	if e, ok := p.entries[id]; ok {
+		p.order.MoveToFront(e)
+	}
+}
+
+func (p *lruPolicy) OnRemove(id dataset.SampleID) {
+	if e, ok := p.entries[id]; ok {
+		p.order.Remove(e)
+		delete(p.entries, id)
+	}
+}
+
+func (p *lruPolicy) Victim(_ Iter, _ dataset.SampleID) (dataset.SampleID, bool) {
+	back := p.order.Back()
+	if back == nil {
+		return NoSample, false
+	}
+	return back.Value.(dataset.SampleID), true
+}
+
+func (p *lruPolicy) DrainExpired(_ Iter, _ func(dataset.SampleID)) {}
+
+// neverEvict refuses all evictions: once the cache fills, further inserts
+// are rejected. This is the MinIO behaviour the related-work section calls
+// out: "once data samples are cached, they are never evicted out of the
+// cache".
+type neverEvict struct{}
+
+// NewNeverEvict returns the never-evict (MinIO-style) policy.
+func NewNeverEvict() Policy { return neverEvict{} }
+
+func (neverEvict) Name() string                              { return "never-evict" }
+func (neverEvict) OnPut(dataset.SampleID, Iter)              {}
+func (neverEvict) OnGet(dataset.SampleID, Iter)              {}
+func (neverEvict) OnRemove(dataset.SampleID)                 {}
+func (neverEvict) DrainExpired(Iter, func(dataset.SampleID)) {}
+func (neverEvict) Victim(Iter, dataset.SampleID) (dataset.SampleID, bool) {
+	return NoSample, false
+}

@@ -1,0 +1,117 @@
+package cache
+
+import (
+	"container/list"
+
+	"repro/internal/dataset"
+)
+
+// pageCache approximates the OS page cache the PyTorch DataLoader and DALI
+// effectively rely on: a segmented LRU (Linux's active/inactive lists).
+// New samples enter a probationary segment and are evicted from its LRU
+// end; a hit promotes the sample to a protected segment that eviction only
+// touches when probation is empty. Promotion demotes the protected LRU
+// tail once the protected segment exceeds its share of entries.
+//
+// Under epoch-period reuse (every reuse distance ≈ one epoch, Fig. 4) a
+// plain LRU almost never holds a sample long enough to hit (hit ratio
+// ~c²/2 for cache fraction c), which contradicts the measured 24.5% of
+// Section 5.5. Segmented LRU converges instead to a stable protected set
+// of roughly the cache size that hits every epoch — reproducing the
+// page-cache behaviour the paper's baselines actually enjoy.
+type pageCache struct {
+	probation *list.List // front = most recent
+	protected *list.List
+	entries   map[dataset.SampleID]*pcEntry
+	// protectedShare is protected's maximum fraction of total entries,
+	// in eighths (e.g. 6 => 6/8 = 75%).
+	protectedShareEighths int
+}
+
+type pcEntry struct {
+	elem      *list.Element
+	protected bool
+}
+
+// NewPageCache returns the segmented-LRU page-cache model with the Linux
+// default-ish 75% protected share.
+func NewPageCache() Policy {
+	return &pageCache{
+		probation:             list.New(),
+		protected:             list.New(),
+		entries:               make(map[dataset.SampleID]*pcEntry),
+		protectedShareEighths: 6,
+	}
+}
+
+func (p *pageCache) Name() string { return "page-cache" }
+
+func (p *pageCache) OnPut(id dataset.SampleID, _ Iter) {
+	if e, ok := p.entries[id]; ok {
+		p.touch(id, e)
+		return
+	}
+	p.entries[id] = &pcEntry{elem: p.probation.PushFront(id)}
+}
+
+func (p *pageCache) OnGet(id dataset.SampleID, _ Iter) {
+	if e, ok := p.entries[id]; ok {
+		p.touch(id, e)
+	}
+}
+
+// touch promotes on re-reference, keeping the protected share bounded.
+func (p *pageCache) touch(id dataset.SampleID, e *pcEntry) {
+	if e.protected {
+		p.protected.MoveToFront(e.elem)
+		return
+	}
+	p.probation.Remove(e.elem)
+	e.elem = p.protected.PushFront(id)
+	e.protected = true
+	// Re-balance: protected must not exceed its share of all entries.
+	total := len(p.entries)
+	for p.protected.Len()*8 > total*p.protectedShareEighths {
+		tail := p.protected.Back()
+		if tail == nil {
+			break
+		}
+		tid := tail.Value.(dataset.SampleID)
+		te := p.entries[tid]
+		p.protected.Remove(tail)
+		te.elem = p.probation.PushFront(tid)
+		te.protected = false
+	}
+}
+
+func (p *pageCache) OnRemove(id dataset.SampleID) {
+	e, ok := p.entries[id]
+	if !ok {
+		return
+	}
+	if e.protected {
+		p.protected.Remove(e.elem)
+	} else {
+		p.probation.Remove(e.elem)
+	}
+	delete(p.entries, id)
+}
+
+// Victim evicts the oldest probationary entry; protected entries are
+// only touched when probation is empty. Use-once pages therefore wash
+// through probation quickly (surviving for roughly probationBytes /
+// missRate — long enough for prefetched-ahead samples to be consumed)
+// while re-referenced pages accumulate in the protected segment, which
+// converges to a stable set of about the cache size that hits once per
+// epoch.
+func (p *pageCache) Victim(_ Iter, _ dataset.SampleID) (dataset.SampleID, bool) {
+	if tail := p.probation.Back(); tail != nil {
+		return tail.Value.(dataset.SampleID), true
+	}
+	if tail := p.protected.Back(); tail != nil {
+		return tail.Value.(dataset.SampleID), true
+	}
+	return NoSample, false
+}
+
+func (p *pageCache) DrainExpired(_ Iter, _ func(dataset.SampleID)) {}

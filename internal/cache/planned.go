@@ -1,0 +1,272 @@
+package cache
+
+import (
+	"container/heap"
+
+	"repro/internal/dataset"
+)
+
+// NoAccess mirrors access.NoAccess: the sample is never used again.
+const NoAccess Iter = -1
+
+// farFuture is the heap key for samples never accessed again; larger than
+// any real iteration index.
+const farFuture Iter = 1 << 30
+
+// Oracle exposes the future-access knowledge a clairvoyant policy needs.
+// access.Plan satisfies it.
+type Oracle interface {
+	// NextUse returns the first iteration strictly after `after` at which
+	// this node accesses the sample, or NoAccess.
+	NextUse(id dataset.SampleID, after Iter) Iter
+	// UsesRemaining returns the number of accesses strictly after `after`.
+	UsesRemaining(id dataset.SampleID, after Iter) int
+	// IterationsPerEpoch returns I.
+	IterationsPerEpoch() int
+}
+
+// nextUseHeap is a lazy max-heap of (id, nextUse) pairs. Stale entries
+// (older versions of an id, or removed ids) are skipped at pop time.
+type heapEntry struct {
+	id  dataset.SampleID
+	key Iter
+	ver uint32
+}
+
+type nextUseHeap []heapEntry
+
+func (h nextUseHeap) Len() int           { return len(h) }
+func (h nextUseHeap) Less(i, j int) bool { return h[i].key > h[j].key } // max-heap
+func (h nextUseHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *nextUseHeap) Push(x any)        { *h = append(*h, x.(heapEntry)) }
+func (h *nextUseHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// plannedPolicy is the clairvoyant machinery shared by Belady and Lobster:
+// it tracks, for every cached sample, its next use according to the oracle
+// and can evict the sample whose next use is farthest away, refusing to
+// evict anything needed sooner than the incoming sample (the "prioritize
+// the prefetches with the nearest reuse distance" rule).
+type plannedPolicy struct {
+	name   string
+	oracle Oracle
+	h      nextUseHeap
+	vers   map[dataset.SampleID]uint32
+
+	// Lobster-specific features, disabled for plain Belady.
+	reuseCountRule    bool
+	reuseDistanceRule bool
+	isLastCopy        func(dataset.SampleID) bool
+	expired           []dataset.SampleID
+	expiredSet        map[dataset.SampleID]bool
+}
+
+// NewBelady returns the clairvoyant OPT policy: evict the cached sample
+// with the farthest next use; refuse inserts whose own next use is the
+// farthest. It is the hit-ratio upper bound used in tests and ablations.
+func NewBelady(oracle Oracle) Policy {
+	return &plannedPolicy{
+		name:   "belady",
+		oracle: oracle,
+		vers:   make(map[dataset.SampleID]uint32),
+	}
+}
+
+// LobsterOptions configures the Lobster eviction policy.
+type LobsterOptions struct {
+	// IsLastCopy, when non-nil, protects the last cached copy of a sample
+	// in the node group from reuse-count eviction ("unless no other node
+	// in the group holds a copy", Section 4.4).
+	IsLastCopy func(dataset.SampleID) bool
+	// DisableReuseCount and DisableReuseDistance switch off the
+	// corresponding sub-policy (for ablations).
+	DisableReuseCount    bool
+	DisableReuseDistance bool
+}
+
+// NewLobster returns the paper's eviction policy: the Belady-style
+// farthest-next-use victim selection coordinated with prefetching, plus the
+// two proactive sub-policies of Section 4.4 (reuse count, reuse distance).
+func NewLobster(oracle Oracle, opts LobsterOptions) Policy {
+	return &plannedPolicy{
+		name:              "lobster",
+		oracle:            oracle,
+		vers:              make(map[dataset.SampleID]uint32),
+		reuseCountRule:    !opts.DisableReuseCount,
+		reuseDistanceRule: !opts.DisableReuseDistance,
+		isLastCopy:        opts.IsLastCopy,
+		expiredSet:        make(map[dataset.SampleID]bool),
+	}
+}
+
+func (p *plannedPolicy) Name() string { return p.name }
+
+func (p *plannedPolicy) push(id dataset.SampleID, now Iter) {
+	next := p.oracle.NextUse(id, now)
+	key := next
+	if next == NoAccess {
+		key = farFuture
+	}
+	v := p.vers[id] + 1
+	p.vers[id] = v
+	heap.Push(&p.h, heapEntry{id: id, key: key, ver: v})
+}
+
+func (p *plannedPolicy) OnPut(id dataset.SampleID, now Iter) {
+	p.push(id, now)
+	p.applyRules(id, now)
+}
+
+func (p *plannedPolicy) OnGet(id dataset.SampleID, now Iter) {
+	// The access at `now` just happened; the relevant key is the use
+	// after it.
+	p.push(id, now)
+	p.applyRules(id, now)
+}
+
+// applyRules queues proactive evictions per the Lobster sub-policies.
+// Checks run when a sample is touched — the only moments its future
+// changes — so the cost is O(1) per access.
+func (p *plannedPolicy) applyRules(id dataset.SampleID, now Iter) {
+	if !p.reuseCountRule && !p.reuseDistanceRule {
+		return
+	}
+	if p.expiredSet[id] {
+		return
+	}
+	// Reuse count rule: no accesses left on this node => evict, unless
+	// this is the group's last copy.
+	if p.reuseCountRule && p.oracle.UsesRemaining(id, now) == 0 {
+		if p.isLastCopy == nil || !p.isLastCopy(id) {
+			p.expiredSet[id] = true
+			p.expired = append(p.expired, id)
+		}
+		return
+	}
+	// Reuse distance rule: next use beyond the end of the next epoch
+	// (distance > 2I - h, h = position within the current epoch) => the
+	// sample is safe to drop to make room for prefetches.
+	if p.reuseDistanceRule {
+		next := p.oracle.NextUse(id, now)
+		if next == NoAccess {
+			return // handled by the count rule when enabled
+		}
+		iters := Iter(p.oracle.IterationsPerEpoch())
+		h := now % iters
+		if next-now > 2*iters-h {
+			p.expiredSet[id] = true
+			p.expired = append(p.expired, id)
+		}
+	}
+}
+
+func (p *plannedPolicy) OnRemove(id dataset.SampleID) {
+	delete(p.vers, id)
+	delete(p.expiredSet, id)
+	// Heap entries become stale and are skipped lazily.
+}
+
+func (p *plannedPolicy) Victim(now Iter, incoming dataset.SampleID) (dataset.SampleID, bool) {
+	top, ok := p.peek()
+	if !ok {
+		return NoSample, false
+	}
+	if incoming != NoSample {
+		inKey := p.oracle.NextUse(incoming, now)
+		if inKey == NoAccess {
+			inKey = farFuture
+		}
+		// Never evict something needed sooner than (or when) the incoming
+		// sample is: rejecting the insert wastes less cache.
+		if top.key <= inKey {
+			return NoSample, false
+		}
+	}
+	return top.id, true
+}
+
+// peek returns the live max entry without removing it, discarding stale
+// heap entries on the way.
+func (p *plannedPolicy) peek() (heapEntry, bool) {
+	for p.h.Len() > 0 {
+		top := p.h[0]
+		if v, ok := p.vers[top.id]; ok && v == top.ver {
+			return top, true
+		}
+		heap.Pop(&p.h) // stale
+	}
+	return heapEntry{}, false
+}
+
+func (p *plannedPolicy) DrainExpired(_ Iter, emit func(dataset.SampleID)) {
+	for _, id := range p.expired {
+		if p.expiredSet[id] {
+			emit(id) // cache calls OnRemove, clearing expiredSet
+		}
+	}
+	p.expired = p.expired[:0]
+}
+
+// nopfsPolicy models the NoPFS eviction: clairvoyant prefetching upstream,
+// but "a simpler cache eviction policy" — it drops samples that are fully
+// consumed (reuse count zero, without last-copy protection) and otherwise
+// falls back to LRU order. It cannot "immediately evict data samples with
+// long reuse distances" (Section 6), which is exactly the gap Lobster's
+// reuse-distance rule closes.
+type nopfsPolicy struct {
+	lru        *lruPolicy
+	oracle     Oracle
+	expired    []dataset.SampleID
+	expiredSet map[dataset.SampleID]bool
+}
+
+// NewNoPFS returns the NoPFS-style eviction policy.
+func NewNoPFS(oracle Oracle) Policy {
+	return &nopfsPolicy{
+		lru:        NewLRU().(*lruPolicy),
+		oracle:     oracle,
+		expiredSet: make(map[dataset.SampleID]bool),
+	}
+}
+
+func (p *nopfsPolicy) Name() string { return "nopfs" }
+
+func (p *nopfsPolicy) OnPut(id dataset.SampleID, now Iter) {
+	p.lru.OnPut(id, now)
+	p.check(id, now)
+}
+
+func (p *nopfsPolicy) OnGet(id dataset.SampleID, now Iter) {
+	p.lru.OnGet(id, now)
+	p.check(id, now)
+}
+
+func (p *nopfsPolicy) check(id dataset.SampleID, now Iter) {
+	if !p.expiredSet[id] && p.oracle.UsesRemaining(id, now) == 0 {
+		p.expiredSet[id] = true
+		p.expired = append(p.expired, id)
+	}
+}
+
+func (p *nopfsPolicy) OnRemove(id dataset.SampleID) {
+	p.lru.OnRemove(id)
+	delete(p.expiredSet, id)
+}
+
+func (p *nopfsPolicy) Victim(now Iter, incoming dataset.SampleID) (dataset.SampleID, bool) {
+	return p.lru.Victim(now, incoming)
+}
+
+func (p *nopfsPolicy) DrainExpired(_ Iter, emit func(dataset.SampleID)) {
+	for _, id := range p.expired {
+		if p.expiredSet[id] {
+			emit(id)
+		}
+	}
+	p.expired = p.expired[:0]
+}

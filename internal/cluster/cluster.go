@@ -1,0 +1,136 @@
+// Package cluster describes the training platform: node/GPU topology, CPU
+// thread budgets, cache sizes, and the DNN models whose training-stage
+// durations anchor the pipeline simulation.
+//
+// The reference platform is the paper's testbed (Section 5.1): ThetaGPU,
+// 24 DGX A100 nodes with 8 GPUs each, 1 TB DDR4 of which 40 GB serves as
+// the node-local sample cache, and a Lustre PFS.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/tier"
+)
+
+// Topology is the shape of one training run's resources.
+type Topology struct {
+	Nodes       int
+	GPUsPerNode int
+	// CPUThreads is the per-node CPU thread budget shared by the data
+	// loading and preprocessing stages (the resource Lobster's thread
+	// manager arbitrates).
+	CPUThreads int
+	// CacheBytes is the node-local sample cache capacity (40 GB on the
+	// paper's testbed; scaled proportionally in reduced-scale runs).
+	CacheBytes int64
+	// NUMADomains is the number of CPU sockets per node (2 on the DGX
+	// A100's dual AMD Rome). Thread placement across them is what the
+	// paper's "Lobster is NUMA-aware" claim is about (Section 5.2).
+	NUMADomains int
+	// Hierarchy is the storage hierarchy reachable from each node.
+	Hierarchy tier.Hierarchy
+}
+
+// Validate reports whether the topology is usable.
+func (t Topology) Validate() error {
+	if t.Nodes < 1 {
+		return fmt.Errorf("cluster: Nodes %d < 1", t.Nodes)
+	}
+	if t.GPUsPerNode < 1 {
+		return fmt.Errorf("cluster: GPUsPerNode %d < 1", t.GPUsPerNode)
+	}
+	if t.CPUThreads < 2 {
+		return fmt.Errorf("cluster: CPUThreads %d < 2 (need at least 1 loading + 1 preprocessing)", t.CPUThreads)
+	}
+	if t.CacheBytes <= 0 {
+		return fmt.Errorf("cluster: CacheBytes %d <= 0", t.CacheBytes)
+	}
+	if t.NUMADomains < 1 {
+		return fmt.Errorf("cluster: NUMADomains %d < 1", t.NUMADomains)
+	}
+	return t.Hierarchy.Validate()
+}
+
+// WorldSize returns the total GPU count.
+func (t Topology) WorldSize() int { return t.Nodes * t.GPUsPerNode }
+
+// ThetaGPULike returns the paper's platform shape with the given node
+// count and cache size. GPUsPerNode is 8 and the per-node pipeline thread
+// budget is 24 (three CPU threads per GPU available to the loading +
+// preprocessing stages, matching the order of what DALI/PyTorch configure
+// per process on DGX boxes).
+func ThetaGPULike(nodes int, cacheBytes int64) Topology {
+	return Topology{
+		Nodes:       nodes,
+		GPUsPerNode: 8,
+		CPUThreads:  24,
+		CacheBytes:  cacheBytes,
+		NUMADomains: 2,
+		Hierarchy:   tier.ThetaGPULike(),
+	}
+}
+
+// DNNModel carries what the pipeline simulation needs to know about a
+// network: how long one training iteration takes on an A100 (the paper
+// treats T_train as constant per model, Section 4.3) and the convergence
+// anchors used by the Fig. 9 accuracy reproduction.
+type DNNModel struct {
+	Name string
+	// IterTime is seconds per training iteration (forward+backward+
+	// optimizer) at the reference per-GPU batch size.
+	IterTime float64
+	// BatchSize is the per-GPU mini-batch size the iteration time is
+	// calibrated for (the paper's epoch arithmetic implies 32; see
+	// EXPERIMENTS.md).
+	BatchSize int
+	// TargetAccuracy and ConvergeEpochs anchor the accuracy-curve model:
+	// top-1 accuracy approached, and the epoch count at which the paper's
+	// training reached it (Fig. 9: 76.0% at ~40 epochs for ResNet50).
+	TargetAccuracy float64
+	ConvergeEpochs int
+}
+
+// Models returns the six benchmark DNNs of Section 5.1. Iteration times
+// are relative calibrations for A100 at batch 32: the large models
+// (ResNet50, VGG11) give the pipeline more room to hide I/O; the small
+// ones (ShuffleNet, SqueezeNet, ResNet32) make data loading dominant —
+// which is why the paper's Fig. 11 finds the eviction policy helps small
+// models more.
+func Models() []DNNModel {
+	return []DNNModel{
+		{Name: "resnet50", IterTime: 0.050, BatchSize: 32, TargetAccuracy: 0.760, ConvergeEpochs: 40},
+		{Name: "resnet32", IterTime: 0.012, BatchSize: 32, TargetAccuracy: 0.700, ConvergeEpochs: 35},
+		{Name: "shufflenet", IterTime: 0.015, BatchSize: 32, TargetAccuracy: 0.694, ConvergeEpochs: 38},
+		{Name: "alexnet", IterTime: 0.018, BatchSize: 32, TargetAccuracy: 0.572, ConvergeEpochs: 30},
+		{Name: "squeezenet", IterTime: 0.014, BatchSize: 32, TargetAccuracy: 0.575, ConvergeEpochs: 32},
+		{Name: "vgg11", IterTime: 0.070, BatchSize: 32, TargetAccuracy: 0.690, ConvergeEpochs: 35},
+	}
+}
+
+// ModelByName finds a benchmark model.
+func ModelByName(name string) (DNNModel, error) {
+	for _, m := range Models() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return DNNModel{}, fmt.Errorf("cluster: unknown model %q", name)
+}
+
+// AllreduceTime estimates the gradient-averaging cost per iteration for a
+// given world size: a logarithmic ring/tree term on top of a fixed launch
+// cost. Small relative to IterTime — the paper's bottleneck analysis
+// attributes straggling to data loading, not communication — but nonzero
+// so that multi-node runs pay a synchronization price.
+func AllreduceTime(worldSize int) float64 {
+	if worldSize <= 1 {
+		return 0
+	}
+	base := 0.0015 // launch + intra-node reduction
+	steps := 0
+	for w := 1; w < worldSize; w *= 2 {
+		steps++
+	}
+	return base + 0.0004*float64(steps)
+}

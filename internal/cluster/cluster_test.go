@@ -1,0 +1,76 @@
+package cluster
+
+import "testing"
+
+func TestTopologyValidate(t *testing.T) {
+	good := ThetaGPULike(8, 40<<30)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.WorldSize() != 64 {
+		t.Fatalf("WorldSize = %d, want 64", good.WorldSize())
+	}
+	bad := []Topology{
+		{Nodes: 0, GPUsPerNode: 1, CPUThreads: 4, CacheBytes: 1},
+		{Nodes: 1, GPUsPerNode: 0, CPUThreads: 4, CacheBytes: 1},
+		{Nodes: 1, GPUsPerNode: 1, CPUThreads: 1, CacheBytes: 1},
+		{Nodes: 1, GPUsPerNode: 1, CPUThreads: 4, CacheBytes: 0},
+	}
+	for _, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("topology %+v accepted", b)
+		}
+	}
+	// Hierarchy validation must propagate.
+	h := ThetaGPULike(1, 1<<30)
+	h.Hierarchy.PFSGlobalMBps = 0
+	if err := h.Validate(); err == nil {
+		t.Error("invalid hierarchy accepted")
+	}
+}
+
+func TestModelsCatalog(t *testing.T) {
+	models := Models()
+	if len(models) != 6 {
+		t.Fatalf("models = %d, want 6 (Section 5.1)", len(models))
+	}
+	names := map[string]bool{}
+	for _, m := range models {
+		if m.IterTime <= 0 || m.BatchSize <= 0 || m.TargetAccuracy <= 0 || m.ConvergeEpochs <= 0 {
+			t.Errorf("model %q has non-positive fields: %+v", m.Name, m)
+		}
+		if names[m.Name] {
+			t.Errorf("duplicate model %q", m.Name)
+		}
+		names[m.Name] = true
+	}
+	// VGG11 and ResNet50 must be the slow (large) models; the paper's
+	// ablation depends on small models training faster.
+	r50, _ := ModelByName("resnet50")
+	shuffle, _ := ModelByName("shufflenet")
+	if r50.IterTime <= shuffle.IterTime {
+		t.Error("resnet50 must be slower per iteration than shufflenet")
+	}
+}
+
+func TestModelByNameUnknown(t *testing.T) {
+	if _, err := ModelByName("transformer"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestAllreduceTime(t *testing.T) {
+	if AllreduceTime(1) != 0 {
+		t.Fatal("single GPU should have zero allreduce")
+	}
+	t8 := AllreduceTime(8)
+	t64 := AllreduceTime(64)
+	if t8 <= 0 || t64 <= t8 {
+		t.Fatalf("allreduce not growing: t8=%g t64=%g", t8, t64)
+	}
+	// Must remain small relative to any model's iteration time.
+	r50, _ := ModelByName("resnet50")
+	if t64 > r50.IterTime/4 {
+		t.Fatalf("allreduce %g too large vs iter time %g", t64, r50.IterTime)
+	}
+}

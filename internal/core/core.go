@@ -1,0 +1,251 @@
+// Package core is the public facade of the Lobster reproduction: one place
+// to configure a training workload, pick a loading strategy, and run it —
+// either through the virtual-time simulator (fast, deterministic, any
+// scale; what the experiments use) or through the online goroutine runtime
+// (real concurrency, real bytes, scaled wall time).
+//
+// Typical use:
+//
+//	cfg, err := core.NewConfig(core.Workload{
+//		Dataset:  "imagenet-1k",
+//		Scale:    "small",
+//		Model:    "resnet50",
+//		Nodes:    1,
+//		Epochs:   10,
+//		Strategy: "lobster",
+//	})
+//	res, err := core.Simulate(cfg)
+//	fmt.Println(res.Metrics)
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/loader"
+	"repro/internal/pipeline"
+	"repro/internal/plan"
+	"repro/internal/runtime"
+	"repro/internal/trainsim"
+)
+
+// Workload is the user-facing description of a run.
+type Workload struct {
+	// Dataset is "imagenet-1k" or "imagenet-22k".
+	Dataset string
+	// Scale is "tiny", "small", "medium" or "full" (see dataset.Scale).
+	Scale string
+	// Model is one of the six Section 5.1 networks (e.g. "resnet50").
+	Model string
+	// Nodes is the node count (8 GPUs each).
+	Nodes int
+	// Epochs to train.
+	Epochs int
+	// Strategy is "pytorch", "dali", "nopfs", "lobster", "lobster_th" or
+	// "lobster_evict".
+	Strategy string
+	// Seed for the deterministic schedule (default 42).
+	Seed uint64
+	// CacheRatio overrides the node cache : dataset size ratio
+	// (default: the paper's ratio for the chosen dataset).
+	CacheRatio float64
+}
+
+// Config is a fully-resolved run configuration.
+type Config struct {
+	Pipeline pipeline.Config
+	Scale    dataset.Scale
+}
+
+// Strategies lists the available strategy names.
+func Strategies() []string {
+	return []string{"pytorch", "dali", "nopfs", "lobster", "lobster_th", "lobster_evict"}
+}
+
+// StrategyByName resolves a strategy spec for a node shape.
+func StrategyByName(name string, gpusPerNode, cpuThreads int) (loader.Spec, error) {
+	switch name {
+	case "pytorch":
+		return loader.PyTorch(gpusPerNode, cpuThreads), nil
+	case "dali":
+		return loader.DALI(cpuThreads), nil
+	case "nopfs":
+		return loader.NoPFS(gpusPerNode, cpuThreads), nil
+	case "lobster":
+		return loader.Lobster(), nil
+	case "lobster_th":
+		return loader.LobsterTh(), nil
+	case "lobster_evict":
+		return loader.LobsterEvict(gpusPerNode, cpuThreads), nil
+	default:
+		return loader.Spec{}, fmt.Errorf("core: unknown strategy %q (want one of %v)", name, Strategies())
+	}
+}
+
+// NewConfig resolves a Workload into a runnable Config.
+func NewConfig(w Workload) (*Config, error) {
+	if w.Seed == 0 {
+		w.Seed = 42
+	}
+	if w.Nodes == 0 {
+		w.Nodes = 1
+	}
+	if w.Epochs == 0 {
+		w.Epochs = 10
+	}
+	if w.Scale == "" {
+		w.Scale = "small"
+	}
+	scale, err := dataset.ParseScale(w.Scale)
+	if err != nil {
+		return nil, err
+	}
+
+	var spec dataset.Spec
+	ratio := w.CacheRatio
+	switch w.Dataset {
+	case "", "imagenet-1k":
+		spec = dataset.ImageNet1K(scale, w.Seed)
+		if ratio == 0 {
+			ratio = 40.0 / 135.0
+		}
+	case "imagenet-22k":
+		spec = dataset.ImageNet22K(scale, w.Seed)
+		if ratio == 0 {
+			ratio = 40.0 / 1331.0
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown dataset %q (want imagenet-1k or imagenet-22k)", w.Dataset)
+	}
+	model, err := cluster.ModelByName(defaulted(w.Model, "resnet50"))
+	if err != nil {
+		return nil, err
+	}
+	// The dataset must cover at least a few iterations per epoch.
+	minSamples := 8 * w.Nodes * 8 * model.BatchSize
+	if spec.NumSamples < minSamples {
+		spec.NumSamples = minSamples
+	}
+	ds, err := dataset.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	top := cluster.ThetaGPULike(w.Nodes, int64(float64(ds.TotalBytes())*ratio))
+	strat, err := StrategyByName(defaulted(w.Strategy, "lobster"), top.GPUsPerNode, top.CPUThreads)
+	if err != nil {
+		return nil, err
+	}
+	return &Config{
+		Scale: scale,
+		Pipeline: pipeline.Config{
+			Topology: top,
+			Model:    model,
+			Dataset:  ds,
+			Epochs:   w.Epochs,
+			Seed:     w.Seed,
+			Strategy: strat,
+		},
+	}, nil
+}
+
+func defaulted(v, def string) string {
+	if v == "" {
+		return def
+	}
+	return v
+}
+
+// Simulate runs the configuration through the virtual-time simulator.
+func Simulate(cfg *Config) (*pipeline.Result, error) {
+	return pipeline.Run(cfg.Pipeline)
+}
+
+// Train runs the configuration as a full training campaign, attaching the
+// accuracy curve (Fig. 9 semantics).
+func Train(cfg *Config) (*trainsim.Campaign, error) {
+	return trainsim.Run(cfg.Pipeline)
+}
+
+// RunOnline executes the configuration on the concurrent goroutine
+// runtime with the given time scale (0 = default).
+func RunOnline(cfg *Config, timeScale float64) (*runtime.Stats, error) {
+	return runtime.Run(runtime.Options{
+		Topology:  cfg.Pipeline.Topology,
+		Dataset:   cfg.Pipeline.Dataset,
+		Model:     cfg.Pipeline.Model,
+		Epochs:    cfg.Pipeline.Epochs,
+		Seed:      cfg.Pipeline.Seed,
+		Strategy:  cfg.Pipeline.Strategy,
+		TimeScale: timeScale,
+	})
+}
+
+// RunOnlineWithPlan executes the online runtime in plan-following mode:
+// thread assignments come from the pre-computed plan instead of the live
+// controller — the exact offline-plan / online-enforcement split of
+// Section 4.5.
+func RunOnlineWithPlan(cfg *Config, pf *plan.Plan, timeScale float64) (*runtime.Stats, error) {
+	return runtime.Run(runtime.Options{
+		Topology:   cfg.Pipeline.Topology,
+		Dataset:    cfg.Pipeline.Dataset,
+		Model:      cfg.Pipeline.Model,
+		Epochs:     cfg.Pipeline.Epochs,
+		Seed:       cfg.Pipeline.Seed,
+		Strategy:   cfg.Pipeline.Strategy,
+		TimeScale:  timeScale,
+		ThreadPlan: pf,
+	})
+}
+
+// Plan is the offline planner's output for the first iterations of a run:
+// the thread-management plan the online runtime enforces (Section 4.5's
+// "pre-compute an efficient thread management plan"). The serializable
+// half lives in internal/plan; PerIteration keeps the full trace records
+// (timings) for display.
+type Plan struct {
+	IterationsPerEpoch int
+	PerIteration       []pipeline.IterRecord
+	// File is the serializable plan (internal/plan format) the online
+	// runtime can interpret directly.
+	File *plan.Plan
+}
+
+// BuildPlan runs the planner (the simulator, as in the paper) for the
+// given number of iterations and returns the per-iteration thread
+// decisions and timings.
+func BuildPlan(cfg *Config, iterations int) (*Plan, error) {
+	pc := cfg.Pipeline
+	pc.CollectTrace = true
+	pc.MaxTraceIters = iterations
+	res, err := pipeline.Run(pc)
+	if err != nil {
+		return nil, err
+	}
+	recs := res.Trace
+	if len(recs) > iterations {
+		recs = recs[:iterations]
+	}
+	pf := &plan.Plan{
+		Version:            plan.Version,
+		Strategy:           cfg.Pipeline.Strategy.Name,
+		Dataset:            cfg.Pipeline.Dataset.Name(),
+		Model:              cfg.Pipeline.Model.Name,
+		Nodes:              cfg.Pipeline.Topology.Nodes,
+		GPUsPerNode:        cfg.Pipeline.Topology.GPUsPerNode,
+		IterationsPerEpoch: res.IterationsPerEpoch,
+		Seed:               cfg.Pipeline.Seed,
+	}
+	for _, rec := range recs {
+		pf.Iterations = append(pf.Iterations, plan.Iteration{
+			Epoch:          rec.Epoch,
+			Iter:           rec.Iter,
+			Threads:        rec.Threads,
+			PredictedBatch: rec.BatchTime,
+		})
+	}
+	if err := pf.Validate(); err != nil {
+		return nil, fmt.Errorf("core: planner produced invalid plan: %w", err)
+	}
+	return &Plan{IterationsPerEpoch: res.IterationsPerEpoch, PerIteration: recs, File: pf}, nil
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestStrategyByName(t *testing.T) {
+	for _, name := range Strategies() {
+		spec, err := StrategyByName(name, 8, 24)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if spec.Name != name {
+			t.Fatalf("spec name %q for %q", spec.Name, name)
+		}
+		if err := spec.Validate(8, 24); err != nil {
+			t.Fatalf("%s: invalid spec: %v", name, err)
+		}
+	}
+	if _, err := StrategyByName("magic", 8, 24); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestNewConfigDefaults(t *testing.T) {
+	cfg, err := NewConfig(Workload{Scale: "tiny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Pipeline.Dataset == nil || cfg.Pipeline.Epochs != 10 ||
+		cfg.Pipeline.Topology.Nodes != 1 || cfg.Pipeline.Strategy.Name != "lobster" {
+		t.Fatalf("defaults wrong: %+v", cfg.Pipeline.Strategy)
+	}
+	if cfg.Pipeline.Model.Name != "resnet50" {
+		t.Fatalf("default model %q", cfg.Pipeline.Model.Name)
+	}
+}
+
+func TestNewConfigErrors(t *testing.T) {
+	bad := []Workload{
+		{Scale: "galactic"},
+		{Scale: "tiny", Dataset: "cifar"},
+		{Scale: "tiny", Model: "transformer"},
+		{Scale: "tiny", Strategy: "magic"},
+	}
+	for _, w := range bad {
+		if _, err := NewConfig(w); err == nil {
+			t.Errorf("workload %+v accepted", w)
+		}
+	}
+}
+
+func TestSimulateSmoke(t *testing.T) {
+	cfg, err := NewConfig(Workload{Scale: "tiny", Epochs: 2, Strategy: "lobster"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.TotalTime <= 0 || res.Metrics.Iterations == 0 {
+		t.Fatalf("degenerate simulation: %+v", res.Metrics)
+	}
+}
+
+func TestTrainAttachesAccuracy(t *testing.T) {
+	cfg, err := NewConfig(Workload{Scale: "tiny", Epochs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Curve) != 3 || c.FinalAccuracy() <= 0 {
+		t.Fatalf("bad campaign: %d points", len(c.Curve))
+	}
+}
+
+func TestBuildPlan(t *testing.T) {
+	cfg, err := NewConfig(Workload{Scale: "tiny", Epochs: 2, Strategy: "lobster"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := BuildPlan(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.PerIteration) != 5 {
+		t.Fatalf("plan has %d iterations, want 5", len(plan.PerIteration))
+	}
+	for _, rec := range plan.PerIteration {
+		if len(rec.Threads) != 1 {
+			t.Fatalf("plan lacks thread decisions: %+v", rec.Threads)
+		}
+		th := rec.Threads[0]
+		if th.Preproc < 1 || len(th.Loading) != 8 {
+			t.Fatalf("bad thread record: %+v", th)
+		}
+		total := th.Preproc
+		for _, l := range th.Loading {
+			total += l
+		}
+		if total > cfg.Pipeline.Topology.CPUThreads {
+			t.Fatalf("plan exceeds thread budget: %d > %d", total, cfg.Pipeline.Topology.CPUThreads)
+		}
+	}
+}
+
+func TestRunOnlineSmoke(t *testing.T) {
+	cfg, err := NewConfig(Workload{Scale: "tiny", Epochs: 1, Strategy: "nopfs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the run: online time is real. One epoch at tiny scale with a
+	// fast time scale.
+	cfg.Pipeline.Epochs = 1
+	stats, err := RunOnline(cfg, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SamplesVerified == 0 || stats.SamplesVerified != stats.SamplesLoaded {
+		t.Fatalf("verification incomplete: %d/%d", stats.SamplesVerified, stats.SamplesLoaded)
+	}
+}
+
+func TestRunOnlineWithPlan(t *testing.T) {
+	cfg, err := NewConfig(Workload{Scale: "tiny", Epochs: 1, Strategy: "lobster"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := BuildPlan(cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := RunOnlineWithPlan(cfg, built.File, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SamplesVerified == 0 || stats.SamplesVerified != stats.SamplesLoaded {
+		t.Fatalf("plan-following run incomplete: %d/%d", stats.SamplesVerified, stats.SamplesLoaded)
+	}
+	// The final threads must come from the plan's wrap window, not the
+	// live controller: check they match some planned assignment.
+	last := built.File.ThreadsAt(stats.Iterations - 1)
+	if stats.FinalPreprocThreads[0] != last[0].Preproc {
+		t.Fatalf("final preproc %d, plan says %d", stats.FinalPreprocThreads[0], last[0].Preproc)
+	}
+}
+
+func TestNewConfigImageNet22K(t *testing.T) {
+	cfg, err := NewConfig(Workload{Scale: "tiny", Dataset: "imagenet-22k", Epochs: 1, CacheRatio: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Pipeline.Dataset.Name() != "imagenet-22k" {
+		t.Fatalf("dataset %q", cfg.Pipeline.Dataset.Name())
+	}
+	wantCache := int64(float64(cfg.Pipeline.Dataset.TotalBytes()) * 0.1)
+	if diff := cfg.Pipeline.Topology.CacheBytes - wantCache; diff < -1 || diff > 1 {
+		t.Fatalf("cache override not applied: %d vs %d", cfg.Pipeline.Topology.CacheBytes, wantCache)
+	}
+}

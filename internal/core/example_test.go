@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+// Example runs the smallest possible simulated comparison: Lobster vs the
+// PyTorch DataLoader baseline on one node.
+func Example() {
+	var times = map[string]float64{}
+	for _, strategy := range []string{"pytorch", "lobster"} {
+		cfg, err := core.NewConfig(core.Workload{
+			Scale:    "tiny",
+			Epochs:   4,
+			Strategy: strategy,
+			Seed:     7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := core.Simulate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		times[strategy] = res.Metrics.TotalTime
+	}
+	fmt.Printf("lobster faster: %v\n", times["lobster"] < times["pytorch"])
+	// Output:
+	// lobster faster: true
+}
+
+// ExampleBuildPlan shows the offline planner producing a serializable
+// thread plan (Section 4.5 of the paper).
+func ExampleBuildPlan() {
+	cfg, err := core.NewConfig(core.Workload{Scale: "tiny", Epochs: 2, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := core.BuildPlan(cfg, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("planned %d iterations for %d node(s), %d GPUs each\n",
+		len(plan.File.Iterations), plan.File.Nodes, plan.File.GPUsPerNode)
+	// Output:
+	// planned 4 iterations for 1 node(s), 8 GPUs each
+}
+
+// ExampleStrategyByName resolves the paper's comparison systems.
+func ExampleStrategyByName() {
+	for _, name := range core.Strategies() {
+		spec, err := core.StrategyByName(name, 8, 24)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(spec.Name)
+	}
+	// Output:
+	// pytorch
+	// dali
+	// nopfs
+	// lobster
+	// lobster_th
+	// lobster_evict
+}

@@ -1,0 +1,101 @@
+package dataset
+
+import "fmt"
+
+// Scale selects how large the synthetic datasets are relative to the
+// paper's real ones. The experiments' logical structure (iterations per
+// epoch, cache-to-dataset ratio) is preserved at every scale; only absolute
+// sample counts shrink, so reduced scales run quickly on one core.
+type Scale int
+
+const (
+	// ScaleTiny is for unit tests: thousands of samples.
+	ScaleTiny Scale = iota
+	// ScaleSmall is the default bench scale: tens of thousands of samples.
+	ScaleSmall
+	// ScaleMedium trades a few seconds per experiment for tighter
+	// statistics.
+	ScaleMedium
+	// ScaleFull uses the paper's true sample counts (1.28 M / 14.2 M).
+	// Virtual-time simulation handles it, but expect minutes per run.
+	ScaleFull
+)
+
+// String returns the flag-friendly name of the scale.
+func (s Scale) String() string {
+	switch s {
+	case ScaleTiny:
+		return "tiny"
+	case ScaleSmall:
+		return "small"
+	case ScaleMedium:
+		return "medium"
+	case ScaleFull:
+		return "full"
+	default:
+		return fmt.Sprintf("Scale(%d)", int(s))
+	}
+}
+
+// ParseScale converts a flag value into a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "tiny":
+		return ScaleTiny, nil
+	case "small":
+		return ScaleSmall, nil
+	case "medium":
+		return ScaleMedium, nil
+	case "full":
+		return ScaleFull, nil
+	default:
+		return 0, fmt.Errorf("dataset: unknown scale %q (want tiny|small|medium|full)", s)
+	}
+}
+
+// divisor returns the sample-count reduction factor for the scale.
+func (s Scale) divisor() int {
+	switch s {
+	case ScaleTiny:
+		return 512
+	case ScaleSmall:
+		return 64
+	case ScaleMedium:
+		return 16
+	default:
+		return 1
+	}
+}
+
+// ImageNet1K returns a Spec matching ImageNet-1K at the given scale:
+// 1.28 M training images, 135 GB total (mean ≈ 105 KB), 1000 classes.
+func ImageNet1K(scale Scale, seed uint64) Spec {
+	n := 1281167 / scale.divisor()
+	return Spec{
+		Name:       "imagenet-1k",
+		NumSamples: n,
+		MeanSize:   105 * 1024,
+		SigmaLog:   0.45,
+		MinSize:    4 * 1024,
+		MaxSize:    1024 * 1024,
+		Classes:    1000,
+		Seed:       seed,
+	}
+}
+
+// ImageNet22K returns a Spec matching ImageNet-22K at the given scale:
+// 14 197 103 training images, 1.3 TB total, sizes mostly 10–50 KB,
+// 21 841 classes.
+func ImageNet22K(scale Scale, seed uint64) Spec {
+	n := 14197103 / scale.divisor()
+	return Spec{
+		Name:       "imagenet-22k",
+		NumSamples: n,
+		MeanSize:   92 * 1024, // 1.3 TB / 14.2 M
+		SigmaLog:   0.8,       // heavier spread: body 10-50 KB, long tail
+		MinSize:    10 * 1024,
+		MaxSize:    2048 * 1024,
+		Classes:    21841,
+		Seed:       seed,
+	}
+}

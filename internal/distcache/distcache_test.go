@@ -1,0 +1,214 @@
+package distcache
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/cache"
+	"repro/internal/dataset"
+	"repro/internal/sampler"
+	"repro/internal/tier"
+)
+
+func newGroup(t *testing.T, nodes int, capacity int64) *Group {
+	t.Helper()
+	caches := make([]*cache.Cache, nodes)
+	for i := range caches {
+		c, err := cache.New(capacity, cache.NewLRU())
+		if err != nil {
+			t.Fatal(err)
+		}
+		caches[i] = c
+	}
+	g, err := NewGroup(caches, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGroupValidation(t *testing.T) {
+	if _, err := NewGroup(nil, 10); err == nil {
+		t.Error("empty group accepted")
+	}
+	if _, err := NewGroup([]*cache.Cache{nil}, 10); err == nil {
+		t.Error("nil cache accepted")
+	}
+	c, _ := cache.New(10, cache.NewLRU())
+	if _, err := NewGroup([]*cache.Cache{c}, 0); err == nil {
+		t.Error("zero samples accepted")
+	}
+}
+
+func TestLocateThreeTiers(t *testing.T) {
+	g := newGroup(t, 2, 100)
+	if got := g.Locate(0, 1); got != tier.PFS {
+		t.Fatalf("uncached sample located at %v, want pfs", got)
+	}
+	g.Put(1, 1, 10, 0)
+	if got := g.Locate(0, 1); got != tier.Remote {
+		t.Fatalf("peer-cached sample located at %v, want remote", got)
+	}
+	g.Put(0, 1, 10, 0)
+	if got := g.Locate(0, 1); got != tier.Local {
+		t.Fatalf("locally cached sample located at %v, want local", got)
+	}
+}
+
+func TestGetRecordsStatsOnOwnNode(t *testing.T) {
+	g := newGroup(t, 2, 100)
+	g.Put(1, 1, 10, 0)
+	if got := g.Get(0, 1, 1); got != tier.Remote {
+		t.Fatalf("Get = %v, want remote", got)
+	}
+	// Node 0 counted a miss, node 1 must be untouched.
+	if s := g.Cache(0).Stats(); s.Misses != 1 || s.Hits != 0 {
+		t.Fatalf("node 0 stats = %+v", s)
+	}
+	if s := g.Cache(1).Stats(); s.Misses != 0 || s.Hits != 0 {
+		t.Fatalf("node 1 stats = %+v (remote lookup must not count)", s)
+	}
+}
+
+func TestReplicaCounting(t *testing.T) {
+	g := newGroup(t, 3, 100)
+	g.Put(0, 7, 10, 0)
+	g.Put(1, 7, 10, 0)
+	if got := g.ReplicaCount(7); got != 2 {
+		t.Fatalf("replicas = %d, want 2", got)
+	}
+	g.Remove(0, 7)
+	if got := g.ReplicaCount(7); got != 1 {
+		t.Fatalf("after remove, replicas = %d, want 1", got)
+	}
+	if g.Remove(0, 7) {
+		t.Fatal("double remove succeeded")
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicatePutDoesNotDoubleCount(t *testing.T) {
+	g := newGroup(t, 1, 100)
+	g.Put(0, 3, 10, 0)
+	g.Put(0, 3, 10, 1)
+	if got := g.ReplicaCount(3); got != 1 {
+		t.Fatalf("replicas = %d after duplicate put, want 1", got)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictionUpdatesReplicas(t *testing.T) {
+	g := newGroup(t, 2, 20)
+	g.Put(0, 1, 10, 0)
+	g.Put(0, 2, 10, 1)
+	g.Put(0, 3, 10, 2) // evicts 1 (LRU)
+	if got := g.ReplicaCount(1); got != 0 {
+		t.Fatalf("evicted sample still counted: %d", got)
+	}
+	if got := g.Locate(1, 1); got != tier.PFS {
+		t.Fatalf("evicted sample located at %v, want pfs", got)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectedPutNotCounted(t *testing.T) {
+	caches := []*cache.Cache{}
+	c, _ := cache.New(20, cache.NewNeverEvict())
+	caches = append(caches, c)
+	g, _ := NewGroup(caches, 100)
+	g.Put(0, 1, 10, 0)
+	g.Put(0, 2, 10, 0)
+	if ok := g.Put(0, 3, 10, 0); ok {
+		t.Fatal("never-evict admitted over capacity")
+	}
+	if got := g.ReplicaCount(3); got != 0 {
+		t.Fatalf("rejected sample counted: %d", got)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsLastCopy(t *testing.T) {
+	g := newGroup(t, 2, 100)
+	isLast0 := g.IsLastCopy(0)
+	g.Put(0, 5, 10, 0)
+	if !isLast0(5) {
+		t.Fatal("sole copy on node 0 not reported as last")
+	}
+	g.Put(1, 5, 10, 0)
+	if isLast0(5) {
+		t.Fatal("replicated sample reported as last copy")
+	}
+	g.Remove(0, 5)
+	if isLast0(5) {
+		t.Fatal("sample not on node 0 reported as its last copy")
+	}
+}
+
+func TestMaintainWithLobsterPolicyUpdatesReplicas(t *testing.T) {
+	ds, err := dataset.Generate(dataset.Spec{
+		Name: "g", NumSamples: 200, MeanSize: 10, Classes: 1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sampler.New(ds, sampler.Config{WorldSize: 2, BatchSize: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const epochs = 2
+	plans := make([]*access.Plan, 2)
+	caches := make([]*cache.Cache, 2)
+	var g *Group
+	for n := 0; n < 2; n++ {
+		p, err := access.Build(s, n, 1, epochs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans[n] = p
+	}
+	for n := 0; n < 2; n++ {
+		n := n
+		c, err := cache.New(ds.TotalBytes(), cache.NewLobster(plans[n], cache.LobsterOptions{
+			IsLastCopy: func(id dataset.SampleID) bool { return g.IsLastCopy(n)(id) },
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		caches[n] = c
+	}
+	g, err = NewGroup(caches, ds.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay both nodes' streams; Maintain after each iteration.
+	var batch []dataset.SampleID
+	for epoch := 0; epoch < epochs; epoch++ {
+		for it := 0; it < s.IterationsPerEpoch(); it++ {
+			now := cache.Iter(epoch*s.IterationsPerEpoch() + it)
+			for n := 0; n < 2; n++ {
+				batch = s.NodeBatch(batch[:0], epoch, it, n, 1)
+				for _, id := range batch {
+					if g.Get(n, id, now) != tier.Local {
+						g.Put(n, id, ds.Size(id), now)
+					}
+				}
+				g.Maintain(n, now)
+			}
+		}
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	agg := g.AggregateStats()
+	if agg.Hits+agg.Misses == 0 {
+		t.Fatal("no lookups recorded")
+	}
+}

@@ -1,0 +1,141 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (and the measured figures of the motivation section). Each
+// experiment is a self-contained runner that builds its workload, executes
+// the simulation, and renders the same rows/series the paper reports,
+// alongside machine-readable headline values used by tests and
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// Params control an experiment run.
+type Params struct {
+	// Scale selects dataset sizes (see dataset.Scale). Defaults to
+	// ScaleSmall.
+	Scale dataset.Scale
+	// Epochs overrides the per-scale default epoch count (0 = default).
+	Epochs int
+	// Seed is the base seed for schedules and noise.
+	Seed uint64
+}
+
+func (p Params) withDefaults() Params {
+	if p.Seed == 0 {
+		p.Seed = 42
+	}
+	return p
+}
+
+// epochs returns the effective epoch count: explicit override, or the
+// scale default. The paper trains 50 epochs; reduced scales use fewer so
+// every experiment finishes in seconds while keeping enough epochs past
+// cache warm-up for steady-state behaviour.
+func (p Params) epochs() int {
+	if p.Epochs > 0 {
+		return p.Epochs
+	}
+	switch p.Scale {
+	case dataset.ScaleTiny:
+		return 4
+	case dataset.ScaleSmall:
+		return 10
+	case dataset.ScaleMedium:
+		return 20
+	default:
+		return 50
+	}
+}
+
+// Report is an experiment's rendered output.
+type Report struct {
+	ID    string
+	Title string
+	// Lines is the human-readable reproduction (rows/series/bars).
+	Lines []string
+	// Values holds headline numbers keyed by stable names, used by tests
+	// and the EXPERIMENTS.md generator.
+	Values map[string]float64
+}
+
+// Printf appends a formatted line to the report.
+func (r *Report) Printf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// Set records a headline value.
+func (r *Report) Set(key string, v float64) {
+	if r.Values == nil {
+		r.Values = map[string]float64{}
+	}
+	r.Values[key] = v
+}
+
+// Text renders the full report.
+func (r *Report) Text() string {
+	out := fmt.Sprintf("== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		out += l + "\n"
+	}
+	return out
+}
+
+// SortedValues returns the headline values in key order.
+func (r *Report) SortedValues() []string {
+	keys := make([]string, 0, len(r.Values))
+	for k := range r.Values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = fmt.Sprintf("%s=%.4g", k, r.Values[k])
+	}
+	return out
+}
+
+// Experiment is one reproducible table/figure.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper summarises the published result this experiment reproduces.
+	Paper string
+	Run   func(Params) (*Report, error)
+}
+
+// All returns every experiment in figure order.
+func All() []Experiment {
+	return []Experiment{
+		Fig03Breakdown(),
+		Fig04ReuseDistance(),
+		Fig06PreprocThreads(),
+		Fig07aSingleNode1K(),
+		Fig07bSingleNode22K(),
+		Fig07cMultiNode22K(),
+		Fig07dScalability(),
+		Fig08aImbalanceSingle(),
+		Fig08bImbalanceMulti(),
+		Fig08cBatchTime(),
+		Fig09Accuracy(),
+		TabHitRatio(),
+		Fig10GPUUtil(),
+		Fig11Ablation(),
+		ExtCacheSweep(),
+		ExtPolicyZoo(),
+		ExtTimeToAccuracy(),
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q", id)
+}

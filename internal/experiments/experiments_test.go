@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func tinyParams() Params {
+	return Params{Scale: dataset.ScaleTiny, Seed: 42}
+}
+
+func runExp(t *testing.T, id string) *Report {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run(tinyParams())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(rep.Lines) == 0 {
+		t.Fatalf("%s: empty report", id)
+	}
+	return rep
+}
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 17 {
+		t.Fatalf("registry has %d experiments, want 17 (14 paper + 3 extensions)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("experiment %+v incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestReportHelpers(t *testing.T) {
+	r := &Report{ID: "x", Title: "y"}
+	r.Printf("a=%d", 1)
+	r.Set("k", 2.5)
+	if len(r.Lines) != 1 || r.Lines[0] != "a=1" {
+		t.Fatalf("lines = %v", r.Lines)
+	}
+	if !strings.Contains(r.Text(), "== x: y ==") {
+		t.Fatalf("text = %q", r.Text())
+	}
+	vals := r.SortedValues()
+	if len(vals) != 1 || vals[0] != "k=2.5" {
+		t.Fatalf("values = %v", vals)
+	}
+}
+
+func TestFig03Breakdown(t *testing.T) {
+	rep := runExp(t, "fig03")
+	if rep.Values["imbalanced_frac"] <= 0 {
+		t.Error("no imbalance observed under DALI, contradicting Observation 1")
+	}
+	if rep.Values["load_bottleneck_frac"] <= 0 {
+		t.Error("loading never the bottleneck, contradicting Observation 2")
+	}
+}
+
+func TestFig04ReuseDistance(t *testing.T) {
+	rep := runExp(t, "fig04")
+	if got := rep.Values["frac_long"]; got < 0.6 {
+		t.Errorf("long-reuse fraction %.2f, want most samples long (paper ~0.8)", got)
+	}
+	if rep.Values["mean_reuse_epochs"] < 1 {
+		t.Error("mean reuse distance below one epoch is impossible for epoch sampling")
+	}
+}
+
+func TestFig06PreprocThreads(t *testing.T) {
+	rep := runExp(t, "fig06")
+	if got := rep.Values["peak_threads"]; got != 6 {
+		t.Errorf("peak threads = %g, want 6 (Fig. 6)", got)
+	}
+	if rep.Values["degradation_at_16"] <= 0 {
+		t.Error("no degradation beyond the peak")
+	}
+}
+
+func TestFig07aOrdering(t *testing.T) {
+	rep := runExp(t, "fig07a")
+	lob := rep.Values["speedup_lobster"]
+	nop := rep.Values["speedup_nopfs"]
+	if lob <= nop || nop <= 1 {
+		t.Errorf("speedup ordering broken: lobster %.2f, nopfs %.2f", lob, nop)
+	}
+	if lob < 1.2 {
+		t.Errorf("Lobster speedup %.2f too small (paper 1.6x)", lob)
+	}
+	if rep.Values["hit_lobster"] <= rep.Values["hit_nopfs"] {
+		t.Error("Lobster hit ratio not above NoPFS")
+	}
+}
+
+func TestFig07bLargerDataset(t *testing.T) {
+	rep := runExp(t, "fig07b")
+	if rep.Values["speedup_lobster"] <= 1.2 {
+		t.Errorf("22K speedup %.2f too small", rep.Values["speedup_lobster"])
+	}
+}
+
+func TestFig07cMultiNode(t *testing.T) {
+	rep := runExp(t, "fig07c")
+	if rep.Values["speedup_lobster"] <= 1.2 {
+		t.Errorf("multi-node speedup %.2f too small (paper 2.0x)", rep.Values["speedup_lobster"])
+	}
+	if rep.Values["speedup_nopfs"] <= 1 {
+		t.Error("NoPFS not faster than PyTorch at multi-node")
+	}
+}
+
+func TestFig07dScalability(t *testing.T) {
+	rep := runExp(t, "fig07d")
+	if rep.Values["avg_speedup"] < 1.2 {
+		t.Errorf("average scalability speedup %.2f too small (paper 1.53x)", rep.Values["avg_speedup"])
+	}
+	for _, k := range []string{"speedup_1nodes", "speedup_2nodes", "speedup_4nodes", "speedup_8nodes"} {
+		if rep.Values[k] <= 1 {
+			t.Errorf("%s = %.2f, want > 1 at every scale", k, rep.Values[k])
+		}
+	}
+}
+
+func TestFig08Imbalance(t *testing.T) {
+	for _, id := range []string{"fig08a", "fig08b"} {
+		rep := runExp(t, id)
+		if rep.Values["imbalance_lobster"] >= rep.Values["imbalance_pytorch"] {
+			t.Errorf("%s: Lobster imbalance %.2f not below PyTorch %.2f", id,
+				rep.Values["imbalance_lobster"], rep.Values["imbalance_pytorch"])
+		}
+		if rep.Values["imbalance_lobster"] >= rep.Values["imbalance_dali"] {
+			t.Errorf("%s: Lobster imbalance not below DALI", id)
+		}
+	}
+}
+
+func TestFig08cBatchTimes(t *testing.T) {
+	rep := runExp(t, "fig08c")
+	if rep.Values["mean_lobster"] >= rep.Values["mean_pytorch"] {
+		t.Error("Lobster mean batch time not below PyTorch")
+	}
+	if rep.Values["mean_lobster"] >= rep.Values["mean_dali"] {
+		t.Error("Lobster mean batch time not below DALI")
+	}
+}
+
+func TestFig09Accuracy(t *testing.T) {
+	rep := runExp(t, "fig09")
+	if rep.Values["curves_identical"] != 1 {
+		t.Error("accuracy curves differ between loaders, contradicting Fig. 9")
+	}
+	if rep.Values["walltime_speedup"] <= 1 {
+		t.Error("Lobster not faster in wall time")
+	}
+}
+
+func TestTabHitRatioOrdering(t *testing.T) {
+	rep := runExp(t, "tab-hitratio")
+	order := []string{"hit_pytorch", "hit_dali", "hit_nopfs", "hit_lobster"}
+	for i := 1; i < len(order); i++ {
+		if rep.Values[order[i]] <= rep.Values[order[i-1]] {
+			t.Errorf("hit ratio ordering broken at %s (%.3f) vs %s (%.3f)",
+				order[i], rep.Values[order[i]], order[i-1], rep.Values[order[i-1]])
+		}
+	}
+	if rep.Values["improvement_vs_nopfs_pp"] <= 0 {
+		t.Error("no improvement over NoPFS")
+	}
+}
+
+func TestFig10UtilOrdering(t *testing.T) {
+	rep := runExp(t, "fig10")
+	if rep.Values["avg_util_lobster"] <= rep.Values["avg_util_nopfs"] {
+		t.Error("Lobster average utilization not above NoPFS")
+	}
+	if rep.Values["avg_util_nopfs"] <= rep.Values["avg_util_pytorch"] {
+		t.Error("NoPFS average utilization not above PyTorch")
+	}
+}
+
+func TestFig11AblationClaims(t *testing.T) {
+	rep := runExp(t, "fig11")
+	th := rep.Values["avg_speedup_lobster_th"]
+	evict := rep.Values["avg_speedup_lobster_evict"]
+	full := rep.Values["avg_speedup_lobster"]
+	if th <= evict {
+		t.Errorf("thread management (%.2fx) must contribute more than eviction (%.2fx)", th, evict)
+	}
+	if full <= th {
+		t.Errorf("full Lobster (%.2fx) must beat thread management alone (%.2fx)", full, th)
+	}
+	if evict <= 1 {
+		t.Errorf("eviction alone (%.2fx) must still beat DALI", evict)
+	}
+	// Eviction helps small models more than large ones (paper's second
+	// Fig. 11 observation): compare its speedup on shufflenet vs vgg11.
+	small := rep.Values["speedup_shufflenet_lobster_evict"]
+	large := rep.Values["speedup_vgg11_lobster_evict"]
+	if small <= large {
+		t.Errorf("eviction speedup on shufflenet (%.2fx) not above vgg11 (%.2fx)", small, large)
+	}
+}
+
+func TestExtCacheSweep(t *testing.T) {
+	rep := runExp(t, "ext-cachesweep")
+	// Hit ratio must grow with the cache; speedup must stay above 1
+	// everywhere.
+	if rep.Values["lobhit_at_80"] <= rep.Values["lobhit_at_5"] {
+		t.Error("hit ratio not increasing with cache size")
+	}
+	for _, k := range []string{"speedup_at_5", "speedup_at_30", "speedup_at_80"} {
+		if rep.Values[k] <= 1 {
+			t.Errorf("%s = %.2f, want > 1", k, rep.Values[k])
+		}
+	}
+}
+
+func TestExtPolicyZoo(t *testing.T) {
+	rep := runExp(t, "ext-policyzoo")
+	if rep.Values["hit_lobster"] < rep.Values["hit_lru"] {
+		t.Error("lobster policy below LRU")
+	}
+	if rep.Values["hit_belady"]+1e-9 < rep.Values["hit_lobster"] {
+		t.Error("lobster above the clairvoyant bound, impossible")
+	}
+	if rep.Values["hit_arc"] < rep.Values["hit_lru"]-0.02 {
+		t.Error("ARC clearly below LRU")
+	}
+}
+
+func TestExtTimeToAccuracy(t *testing.T) {
+	rep := runExp(t, "ext-tta")
+	if rep.Values["speedup_lobster"] <= rep.Values["speedup_nopfs"] {
+		t.Error("Lobster time-to-accuracy not better than NoPFS")
+	}
+	if rep.Values["speedup_lobster"] <= 1.1 {
+		t.Errorf("Lobster time-to-accuracy speedup %.2f too small", rep.Values["speedup_lobster"])
+	}
+	if rep.Values["tta_lobster"] >= rep.Values["tta_pytorch"] {
+		t.Error("Lobster not faster to target accuracy")
+	}
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/loader"
+	"repro/internal/pipeline"
+)
+
+// CacheRatio1K is the paper's node cache : dataset ratio for ImageNet-1K
+// (40 GB / 135 GB).
+const CacheRatio1K = 40.0 / 135.0
+
+// CacheRatio22K is the ratio for ImageNet-22K (40 GB / 1.3 TB); the
+// aggregate 8-node cache covers ~24.6% of the dataset.
+const CacheRatio22K = 40.0 / 1331.0
+
+// minItersPerEpoch keeps reduced-scale runs meaningful: an experiment
+// whose epoch collapses to a couple of iterations has no steady state to
+// measure, so dataset sizes are raised to provide at least this many
+// iterations per epoch for the experiment's world size.
+const minItersPerEpoch = 12
+
+// imagenet1K generates the scaled ImageNet-1K stand-in, sized for at
+// least minItersPerEpoch iterations on `world` GPUs.
+func imagenet1K(p Params, world int) (*dataset.Dataset, error) {
+	spec := dataset.ImageNet1K(p.Scale, p.Seed)
+	ensureIters(&spec, world)
+	return dataset.Generate(spec)
+}
+
+// imagenet22K generates the scaled ImageNet-22K stand-in.
+func imagenet22K(p Params, world int) (*dataset.Dataset, error) {
+	spec := dataset.ImageNet22K(p.Scale, p.Seed)
+	ensureIters(&spec, world)
+	return dataset.Generate(spec)
+}
+
+func ensureIters(spec *dataset.Spec, world int) {
+	min := minItersPerEpoch * world * resnet50().BatchSize
+	if spec.NumSamples < min {
+		spec.NumSamples = min
+	}
+}
+
+// topology builds a ThetaGPU-like cluster whose per-node cache keeps the
+// paper's cache:dataset ratio at any scale.
+func topology(nodes int, ds *dataset.Dataset, cacheRatio float64) cluster.Topology {
+	cache := int64(float64(ds.TotalBytes()) * cacheRatio)
+	if cache < 1 {
+		cache = 1
+	}
+	return cluster.ThetaGPULike(nodes, cache)
+}
+
+// strategies returns the paper's four comparison systems for a topology,
+// PyTorch first (the speedup baseline of Fig. 7).
+func strategies(top cluster.Topology) []loader.Spec {
+	return []loader.Spec{
+		loader.PyTorch(top.GPUsPerNode, top.CPUThreads),
+		loader.DALI(top.CPUThreads),
+		loader.NoPFS(top.GPUsPerNode, top.CPUThreads),
+		loader.Lobster(),
+	}
+}
+
+// baseConfig assembles a pipeline config for one run.
+func baseConfig(p Params, top cluster.Topology, ds *dataset.Dataset, model cluster.DNNModel, spec loader.Spec) pipeline.Config {
+	return pipeline.Config{
+		Topology: top,
+		Model:    model,
+		Dataset:  ds,
+		Epochs:   p.epochs(),
+		Seed:     p.Seed,
+		Strategy: spec,
+	}
+}
+
+// resnet50 returns the workhorse model used by most experiments.
+func resnet50() cluster.DNNModel {
+	m, err := cluster.ModelByName("resnet50")
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return m
+}

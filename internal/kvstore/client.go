@@ -1,0 +1,232 @@
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"sync"
+)
+
+// Client is a pooled connection to one shard. Safe for concurrent use:
+// requests are one round trip each, multiplexed over a small connection
+// pool.
+type Client struct {
+	addr string
+	pool chan *clientConn
+	mu   sync.Mutex
+	all  []*clientConn
+}
+
+type clientConn struct {
+	c net.Conn
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+// NewClient connects to a shard with the given pool size.
+func NewClient(addr string, poolSize int) (*Client, error) {
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	cl := &Client{addr: addr, pool: make(chan *clientConn, poolSize)}
+	for i := 0; i < poolSize; i++ {
+		cc, err := cl.dial()
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.pool <- cc
+	}
+	return cl, nil
+}
+
+func (cl *Client) dial() (*clientConn, error) {
+	c, err := net.Dial("tcp", cl.addr)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: dial %s: %w", cl.addr, err)
+	}
+	cc := &clientConn{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}
+	cl.mu.Lock()
+	cl.all = append(cl.all, cc)
+	cl.mu.Unlock()
+	return cc, nil
+}
+
+// Close closes all pooled connections.
+func (cl *Client) Close() {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	for _, cc := range cl.all {
+		cc.c.Close()
+	}
+	cl.all = nil
+}
+
+// roundTrip runs one request. A broken connection is replaced once.
+func (cl *Client) roundTrip(op byte, key string, val []byte) (byte, []byte, error) {
+	cc := <-cl.pool
+	status, out, err := cc.do(op, key, val)
+	if err != nil {
+		cc.c.Close()
+		if cc2, derr := cl.dial(); derr == nil {
+			status, out, err = cc2.do(op, key, val)
+			cc = cc2
+		}
+	}
+	cl.pool <- cc
+	return status, out, err
+}
+
+func (cc *clientConn) do(op byte, key string, val []byte) (byte, []byte, error) {
+	cc.w.WriteByte(op)
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], uint32(len(key)))
+	cc.w.Write(buf[:])
+	cc.w.WriteString(key)
+	binary.BigEndian.PutUint32(buf[:], uint32(len(val)))
+	cc.w.Write(buf[:])
+	cc.w.Write(val)
+	if err := cc.w.Flush(); err != nil {
+		return 0, nil, err
+	}
+	status, err := cc.r.ReadByte()
+	if err != nil {
+		return 0, nil, err
+	}
+	n, err := readLen(cc.r, maxValLen)
+	if err != nil {
+		return 0, nil, err
+	}
+	out := make([]byte, n)
+	if _, err := io.ReadFull(cc.r, out); err != nil {
+		return 0, nil, err
+	}
+	return status, out, nil
+}
+
+// Get fetches a value; found=false when the key is absent.
+func (cl *Client) Get(key string) (val []byte, found bool, err error) {
+	status, out, err := cl.roundTrip(opGet, key, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	switch status {
+	case statusOK:
+		return out, true, nil
+	case statusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("kvstore: server error on Get(%q)", key)
+	}
+}
+
+// Put stores a value.
+func (cl *Client) Put(key string, val []byte) error {
+	status, _, err := cl.roundTrip(opPut, key, val)
+	if err != nil {
+		return err
+	}
+	if status != statusOK {
+		return fmt.Errorf("kvstore: server error on Put(%q)", key)
+	}
+	return nil
+}
+
+// Delete removes a key (no-op when absent).
+func (cl *Client) Delete(key string) error {
+	status, _, err := cl.roundTrip(opDelete, key, nil)
+	if err != nil {
+		return err
+	}
+	if status != statusOK {
+		return fmt.Errorf("kvstore: server error on Delete(%q)", key)
+	}
+	return nil
+}
+
+// Stats fetches the shard's counters.
+func (cl *Client) Stats() (Stats, error) {
+	status, out, err := cl.roundTrip(opStats, "", nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	if status != statusOK || len(out) != 40 {
+		return Stats{}, fmt.Errorf("kvstore: bad stats response")
+	}
+	return Stats{
+		Items:     int(binary.BigEndian.Uint64(out[0:])),
+		UsedBytes: int64(binary.BigEndian.Uint64(out[8:])),
+		Hits:      binary.BigEndian.Uint64(out[16:]),
+		Misses:    binary.BigEndian.Uint64(out[24:]),
+		Evictions: binary.BigEndian.Uint64(out[32:]),
+	}, nil
+}
+
+// Cluster shards keys across several servers by FNV-1a hash — the
+// KV-store alternative to the node-to-node distribution manager.
+type Cluster struct {
+	clients []*Client
+}
+
+// NewCluster connects to every shard address.
+func NewCluster(addrs []string, poolSize int) (*Cluster, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("kvstore: no shard addresses")
+	}
+	c := &Cluster{}
+	for _, addr := range addrs {
+		cl, err := NewClient(addr, poolSize)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.clients = append(c.clients, cl)
+	}
+	return c, nil
+}
+
+// shard picks the client for a key.
+func (c *Cluster) shard(key string) *Client {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return c.clients[int(h.Sum32())%len(c.clients)]
+}
+
+// Get fetches a key from its shard.
+func (c *Cluster) Get(key string) ([]byte, bool, error) { return c.shard(key).Get(key) }
+
+// Put stores a key on its shard.
+func (c *Cluster) Put(key string, val []byte) error { return c.shard(key).Put(key, val) }
+
+// Delete removes a key from its shard.
+func (c *Cluster) Delete(key string) error { return c.shard(key).Delete(key) }
+
+// Shards returns the number of shards.
+func (c *Cluster) Shards() int { return len(c.clients) }
+
+// Stats aggregates all shards' counters.
+func (c *Cluster) Stats() (Stats, error) {
+	var total Stats
+	for _, cl := range c.clients {
+		st, err := cl.Stats()
+		if err != nil {
+			return Stats{}, err
+		}
+		total.Items += st.Items
+		total.UsedBytes += st.UsedBytes
+		total.Hits += st.Hits
+		total.Misses += st.Misses
+		total.Evictions += st.Evictions
+	}
+	return total, nil
+}
+
+// Close closes every shard client.
+func (c *Cluster) Close() {
+	for _, cl := range c.clients {
+		cl.Close()
+	}
+}

@@ -1,0 +1,75 @@
+package kvstore
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// FuzzReadRequest throws arbitrary bytes at the server-side frame parser:
+// it must never panic, and must either produce a well-formed request or an
+// error — no partial state.
+func FuzzReadRequest(f *testing.F) {
+	// Seed corpus: a valid PUT, a valid GET, truncations, and oversized
+	// length fields.
+	valid := func(op byte, key string, val []byte) []byte {
+		var buf bytes.Buffer
+		buf.WriteByte(op)
+		buf.Write([]byte{0, 0, 0, byte(len(key))})
+		buf.WriteString(key)
+		buf.Write([]byte{0, 0, 0, byte(len(val))})
+		buf.Write(val)
+		return buf.Bytes()
+	}
+	f.Add(valid(opPut, "k", []byte("v")))
+	f.Add(valid(opGet, "key", nil))
+	f.Add([]byte{opGet})
+	f.Add([]byte{opPut, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bufio.NewReader(bytes.NewReader(data))
+		op, key, val, err := readRequest(r)
+		if err != nil {
+			return
+		}
+		if len(key) > maxKeyLen || len(val) > int(maxValLen) {
+			t.Fatalf("parser accepted oversized frame: key %d, val %d", len(key), len(val))
+		}
+		_ = op
+	})
+}
+
+// FuzzServerRoundTrip drives the real TCP server with fuzzed keys and
+// values through the typed client: data integrity must hold for whatever
+// fits the protocol limits.
+func FuzzServerRoundTrip(f *testing.F) {
+	s, err := NewServer("127.0.0.1:0", 1<<20)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { s.Close() })
+	c, err := NewClient(s.Addr(), 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(c.Close)
+
+	f.Add("key", []byte("value"))
+	f.Add("", []byte{})
+	f.Add("unicode-κλειδί", []byte{0, 1, 2, 255})
+	f.Fuzz(func(t *testing.T, key string, val []byte) {
+		if len(key) > maxKeyLen || len(val) > 1<<16 {
+			return
+		}
+		if err := c.Put(key, val); err != nil {
+			t.Fatal(err)
+		}
+		got, found, err := c.Get(key)
+		if err != nil || !found {
+			t.Fatalf("Get(%q) = %v %v", key, found, err)
+		}
+		if !bytes.Equal(got, val) {
+			t.Fatalf("round trip corrupted %q: %d vs %d bytes", key, len(got), len(val))
+		}
+	})
+}

@@ -1,0 +1,324 @@
+// Package kvstore implements a sharded, TCP-based in-memory key-value
+// store — the "alternatives to distributed caching like for example
+// KV-stores" the paper names as a drop-in substitute for its peer-cache
+// distribution manager (Section 2). The online runtime can mount a
+// kvstore.Cluster as its shared cache layer instead of node-to-node
+// fetches.
+//
+// The wire protocol is deliberately simple and self-contained:
+//
+//	request : op(1) keyLen(u32) key valLen(u32) val
+//	response: status(1) valLen(u32) val
+//
+// with big-endian lengths, one request per round trip, and persistent
+// connections. Servers bound their memory with an LRU over value bytes.
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Protocol ops.
+const (
+	opGet byte = iota + 1
+	opPut
+	opDelete
+	opStats
+)
+
+// Response statuses.
+const (
+	statusOK byte = iota + 1
+	statusNotFound
+	statusError
+)
+
+// maxKeyLen and maxValLen bound request sizes (defense against corrupt or
+// hostile peers).
+const (
+	maxKeyLen = 1 << 10
+	maxValLen = 64 << 20
+)
+
+// Server is one KV shard.
+type Server struct {
+	ln       net.Listener
+	capacity int64
+
+	mu    sync.Mutex
+	items map[string]*entry
+	head  *entry // most recently used
+	tail  *entry // least recently used
+	used  int64
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+type entry struct {
+	key        string
+	val        []byte
+	prev, next *entry
+}
+
+// NewServer starts a shard listening on addr ("127.0.0.1:0" for an
+// ephemeral port) with the given byte capacity.
+func NewServer(addr string, capacity int64) (*Server, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("kvstore: capacity %d <= 0", capacity)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: listen: %w", err)
+	}
+	s := &Server{
+		ln:       ln,
+		capacity: capacity,
+		items:    make(map[string]*entry),
+		closed:   make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the shard's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and waits for connection handlers to exit.
+func (s *Server) Close() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+	}
+	close(s.closed)
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Stats is a shard's counter snapshot.
+type Stats struct {
+	Items     int
+	UsedBytes int64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// Stats returns a snapshot.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Items:     len(s.items),
+		UsedBytes: s.used,
+		Hits:      s.hits,
+		Misses:    s.misses,
+		Evictions: s.evictions,
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			// Transient accept failure: keep serving.
+			continue
+		}
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		op, key, val, err := readRequest(r)
+		if err != nil {
+			return // EOF or protocol error: drop the connection
+		}
+		switch op {
+		case opGet:
+			if v, ok := s.get(key); ok {
+				writeResponse(w, statusOK, v)
+			} else {
+				writeResponse(w, statusNotFound, nil)
+			}
+		case opPut:
+			s.put(key, val)
+			writeResponse(w, statusOK, nil)
+		case opDelete:
+			s.delete(key)
+			writeResponse(w, statusOK, nil)
+		case opStats:
+			st := s.Stats()
+			buf := make([]byte, 8*5)
+			binary.BigEndian.PutUint64(buf[0:], uint64(st.Items))
+			binary.BigEndian.PutUint64(buf[8:], uint64(st.UsedBytes))
+			binary.BigEndian.PutUint64(buf[16:], st.Hits)
+			binary.BigEndian.PutUint64(buf[24:], st.Misses)
+			binary.BigEndian.PutUint64(buf[32:], st.Evictions)
+			writeResponse(w, statusOK, buf)
+		default:
+			writeResponse(w, statusError, nil)
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// get looks a key up and promotes it.
+func (s *Server) get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.items[key]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	s.moveToFront(e)
+	return e.val, true
+}
+
+// put inserts or replaces a value, evicting LRU entries to fit.
+func (s *Server) put(key string, val []byte) {
+	size := int64(len(val))
+	if size > s.capacity {
+		return // silently refuse values larger than the shard
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.items[key]; ok {
+		s.used += size - int64(len(e.val))
+		e.val = val
+		s.moveToFront(e)
+	} else {
+		e := &entry{key: key, val: val}
+		s.items[key] = e
+		s.pushFront(e)
+		s.used += size
+	}
+	for s.used > s.capacity && s.tail != nil {
+		s.evict(s.tail)
+	}
+}
+
+func (s *Server) delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.items[key]; ok {
+		s.remove(e)
+		delete(s.items, key)
+		s.used -= int64(len(e.val))
+	}
+}
+
+func (s *Server) evict(e *entry) {
+	s.remove(e)
+	delete(s.items, e.key)
+	s.used -= int64(len(e.val))
+	s.evictions++
+}
+
+// Intrusive doubly-linked LRU list.
+func (s *Server) pushFront(e *entry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *Server) remove(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *Server) moveToFront(e *entry) {
+	if s.head == e {
+		return
+	}
+	s.remove(e)
+	s.pushFront(e)
+}
+
+// readRequest parses one request frame.
+func readRequest(r *bufio.Reader) (op byte, key string, val []byte, err error) {
+	op, err = r.ReadByte()
+	if err != nil {
+		return 0, "", nil, err
+	}
+	keyLen, err := readLen(r, maxKeyLen)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	keyBuf := make([]byte, keyLen)
+	if _, err := io.ReadFull(r, keyBuf); err != nil {
+		return 0, "", nil, err
+	}
+	valLen, err := readLen(r, maxValLen)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	val = make([]byte, valLen)
+	if _, err := io.ReadFull(r, val); err != nil {
+		return 0, "", nil, err
+	}
+	return op, string(keyBuf), val, nil
+}
+
+func readLen(r io.Reader, max uint32) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	n := binary.BigEndian.Uint32(buf[:])
+	if n > max {
+		return 0, errors.New("kvstore: frame too large")
+	}
+	return n, nil
+}
+
+func writeResponse(w *bufio.Writer, status byte, val []byte) {
+	w.WriteByte(status)
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], uint32(len(val)))
+	w.Write(buf[:])
+	w.Write(val)
+}

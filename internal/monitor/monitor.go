@@ -1,0 +1,110 @@
+// Package monitor exposes a running training job's statistics over HTTP —
+// the minimal observability surface a production data-loading runtime
+// needs: a JSON metrics endpoint for scrapers, a human-readable text
+// dashboard, and a health probe.
+//
+// The server is generic: anything that can produce a snapshot value can be
+// monitored. The online runtime publishes a runtime.Progress every
+// iteration (see runtime.Options.OnProgress).
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Server serves the most recently published snapshot.
+type Server struct {
+	ln      net.Listener
+	httpSrv *http.Server
+
+	mu       sync.RWMutex
+	snapshot any
+	updated  time.Time
+	updates  atomic.Uint64
+}
+
+// Serve starts the monitor on addr ("127.0.0.1:0" for an ephemeral port).
+func Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: %w", err)
+	}
+	s := &Server{ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics.json", s.handleJSON)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/", s.handleText)
+	s.httpSrv = &http.Server{Handler: mux}
+	go s.httpSrv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Update publishes a new snapshot. Safe for concurrent use.
+func (s *Server) Update(snapshot any) {
+	s.mu.Lock()
+	s.snapshot = snapshot
+	s.updated = time.Now()
+	s.mu.Unlock()
+	s.updates.Add(1)
+}
+
+// Updates returns the number of snapshots published.
+func (s *Server) Updates() uint64 { return s.updates.Load() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.httpSrv.Close() }
+
+func (s *Server) handleJSON(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	snap, updated := s.snapshot, s.updated
+	s.mu.RUnlock()
+	w.Header().Set("Content-Type", "application/json")
+	out := map[string]any{
+		"updated_unix_ms": updated.UnixMilli(),
+		"updates":         s.updates.Load(),
+		"snapshot":        snap,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	stale := s.snapshot == nil
+	s.mu.RUnlock()
+	if stale {
+		http.Error(w, "no snapshot yet", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleText(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	snap, updated := s.snapshot, s.updated
+	s.mu.RUnlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "lobster monitor — %d updates, last at %s\n\n",
+		s.updates.Load(), updated.Format(time.RFC3339Nano))
+	if snap == nil {
+		fmt.Fprintln(w, "(no snapshot published yet)")
+		return
+	}
+	// Render the snapshot as indented JSON; a text template would need to
+	// know the concrete type.
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(snap) //nolint:errcheck // best-effort dashboard
+}

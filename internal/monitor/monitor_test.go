@@ -1,0 +1,90 @@
+package monitor
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerLifecycle(t *testing.T) {
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Before any snapshot: unhealthy, but the endpoints respond.
+	code, _ := get(t, "http://"+s.Addr()+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz before snapshot = %d", code)
+	}
+	_, text := get(t, "http://"+s.Addr()+"/")
+	if !strings.Contains(text, "no snapshot") {
+		t.Fatalf("dashboard before snapshot:\n%s", text)
+	}
+
+	s.Update(map[string]any{"iteration": 3, "hit_ratio": 0.5})
+	if s.Updates() != 1 {
+		t.Fatalf("updates = %d", s.Updates())
+	}
+	code, body := get(t, "http://"+s.Addr()+"/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+	var out struct {
+		Updates  uint64         `json:"updates"`
+		Snapshot map[string]any `json:"snapshot"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if out.Updates != 1 || out.Snapshot["iteration"].(float64) != 3 {
+		t.Fatalf("snapshot wrong: %+v", out)
+	}
+	code, _ = get(t, "http://"+s.Addr()+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz after snapshot = %d", code)
+	}
+	_, text = get(t, "http://"+s.Addr()+"/")
+	if !strings.Contains(text, "hit_ratio") {
+		t.Fatalf("dashboard missing fields:\n%s", text)
+	}
+}
+
+func TestServerConcurrentUpdates(t *testing.T) {
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			s.Update(map[string]int{"i": i})
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		get(t, "http://"+s.Addr()+"/metrics.json")
+	}
+	<-done
+	if s.Updates() != 200 {
+		t.Fatalf("updates = %d", s.Updates())
+	}
+}

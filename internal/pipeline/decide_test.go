@@ -1,0 +1,29 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/loader"
+)
+
+func TestDecideEveryReducesAdaptivity(t *testing.T) {
+	every1, err := Run(testConfig(t, loader.Lobster(), 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t, loader.Lobster(), 4)
+	cfg.DecideEvery = 32
+	every32, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Infrequent decisions must not be faster than per-iteration ones
+	// (beyond noise), and both must complete correctly.
+	if every32.Metrics.TotalTime < every1.Metrics.TotalTime*0.97 {
+		t.Fatalf("stale decisions faster than fresh ones: %.2f vs %.2f",
+			every32.Metrics.TotalTime, every1.Metrics.TotalTime)
+	}
+	if every32.Metrics.Iterations != every1.Metrics.Iterations {
+		t.Fatal("iteration counts differ")
+	}
+}

@@ -1,0 +1,137 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	dessim "repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// eventPoolTimes approximates processor sharing with a discrete-event
+// round-robin server: the pool serves active queues in fixed quanta,
+// rotating fairly. As the quantum shrinks it converges to the analytic
+// water-filling solution used by sharedPoolTimes — an independent check
+// of the shared-pool model from internal/sim's event engine.
+func eventPoolTimes(works []float64, quantum float64) []float64 {
+	eng := dessim.NewEngine()
+	remaining := append([]float64(nil), works...)
+	done := make([]float64, len(works))
+	var serve func()
+	serve = func() {
+		// Pick the next active queue round-robin by smallest remaining
+		// index order each quantum cycle; simpler: serve every active
+		// queue one quantum per cycle.
+		active := 0
+		for _, r := range remaining {
+			if r > 1e-12 {
+				active++
+			}
+		}
+		if active == 0 {
+			return
+		}
+		// One cycle serves each active queue for quantum pool-seconds of
+		// its own work; the cycle's wall duration is active*min(quantum,
+		// max remaining) — modeled by sequential quanta.
+		cycle := 0.0
+		for i := range remaining {
+			if remaining[i] <= 1e-12 {
+				continue
+			}
+			q := quantum
+			if remaining[i] < q {
+				q = remaining[i]
+			}
+			remaining[i] -= q
+			cycle += q
+			if remaining[i] <= 1e-12 {
+				at := float64(eng.Now()) + cycle
+				i := i
+				eng.At(dessim.Time(at), func() { done[i] = at })
+			}
+		}
+		eng.After(dessim.Time(cycle), serve)
+	}
+	eng.At(0, serve)
+	eng.Run()
+	return done
+}
+
+func TestSharedPoolMatchesEventSimulation(t *testing.T) {
+	cases := [][]float64{
+		{1, 1, 1, 1},
+		{1, 4},
+		{0.5, 0.5, 3},
+		{2},
+		{0, 1, 2},
+	}
+	for _, works := range cases {
+		analytic := make([]float64, len(works))
+		sharedPoolTimes(works, analytic)
+		event := eventPoolTimes(works, 1e-4)
+		for i := range works {
+			if math.Abs(analytic[i]-event[i]) > 1e-2*(analytic[i]+1e-9)+1e-3 {
+				t.Errorf("works %v queue %d: analytic %.4f vs event %.4f",
+					works, i, analytic[i], event[i])
+			}
+		}
+	}
+}
+
+func TestSharedPoolPropertyVsEvents(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := r.Intn(5) + 1
+		works := make([]float64, n)
+		for i := range works {
+			works[i] = r.Float64() * 2
+		}
+		analytic := make([]float64, n)
+		sharedPoolTimes(works, analytic)
+		event := eventPoolTimes(works, 5e-4)
+		for i := range works {
+			if math.Abs(analytic[i]-event[i]) > 0.02*(analytic[i]+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSharedPoolConservation: total served pool-seconds equal total work,
+// and the last completion equals the sum (a single pool serves one
+// pool-second per second).
+func TestSharedPoolConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := r.Intn(8) + 1
+		works := make([]float64, n)
+		sum := 0.0
+		for i := range works {
+			works[i] = r.Float64() * 3
+			sum += works[i]
+		}
+		out := make([]float64, n)
+		sharedPoolTimes(works, out)
+		last := 0.0
+		for i, v := range out {
+			if v > last {
+				last = v
+			}
+			// No queue finishes before its own work could complete even
+			// alone, nor after the total.
+			if v+1e-9 < works[i] || v > sum+1e-9 {
+				return false
+			}
+		}
+		return math.Abs(last-sum) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,21 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/loader"
+)
+
+// BenchmarkSimulationStep measures simulator throughput: iterations of an
+// 8-GPU node simulated per second (the planner's cost).
+func BenchmarkSimulationStep(b *testing.B) {
+	cfg := testConfig(b, loader.Lobster(), 1)
+	cfg.Epochs = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

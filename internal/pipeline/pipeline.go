@@ -1,0 +1,815 @@
+// Package pipeline simulates the distributed DNN training pipeline of
+// Figure 1 in virtual time: overlapped data loading, preprocessing and
+// training across N nodes × M GPUs, with a distributed sample cache, PFS
+// contention, per-iteration thread management, and clairvoyant
+// prefetching.
+//
+// The simulation advances one global iteration at a time with the same
+// quantities the paper's performance model uses: per-GPU mini-batch
+// placements (Equation 1's B_HL/B_HR/B_M), tier read times T_l/T_r/T_PFS,
+// preprocessing throughput, a constant per-model T_train, and the
+// data-parallel allreduce barrier that turns any one GPU's data stall into
+// everyone's idle time (Observation 1). The paper's own planner is
+// simulator-based (Section 4.5); this package is that simulator.
+package pipeline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/access"
+	"repro/internal/cache"
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/distcache"
+	"repro/internal/loader"
+	"repro/internal/metrics"
+	"repro/internal/numa"
+	"repro/internal/perfmodel"
+	"repro/internal/plan"
+	"repro/internal/preproc"
+	"repro/internal/sampler"
+	"repro/internal/stats"
+	"repro/internal/threadmgr"
+	"repro/internal/tier"
+)
+
+// Config describes one simulated training run.
+type Config struct {
+	Topology cluster.Topology
+	Model    cluster.DNNModel
+	Dataset  *dataset.Dataset
+	Epochs   int
+	Seed     uint64
+	Strategy loader.Spec
+
+	// Tau is Algorithm 1's convergence threshold in seconds
+	// (default: 5% of the model's iteration time).
+	Tau float64
+	// ImbalanceFrac is the fraction of the training-stage duration by
+	// which per-GPU data delays must differ for the iteration to count as
+	// imbalanced (default 1.0: a straggler held the node for at least one
+	// extra training-stage's worth of time — calibrated so the DALI
+	// motivation study reproduces the paper's "65.3% of iterations").
+	ImbalanceFrac float64
+	// TrainJitter is the sigma of the log-normal multiplicative noise on
+	// the training stage (default 0.02; 0 disables explicitly via -1).
+	TrainJitter float64
+	// PFSNoise is the sigma of the log-normal burstiness multiplier on
+	// per-GPU PFS read times (default 0.20; -1 disables). Lustre serves
+	// small random reads with highly variable latency depending on OST
+	// load — the source of the "bursty pattern" of Observation 2.
+	PFSNoise float64
+	// PFSNoiseRho is the AR(1) autocorrelation of the burstiness across
+	// iterations (default 0.6): OST congestion persists, which is what
+	// makes per-iteration re-planning worthwhile.
+	PFSNoiseRho float64
+	// PipelineDepth is how many iterations the loading pipeline may run
+	// ahead of training (default 2, the usual double-buffering).
+	PipelineDepth int
+	// DecideEvery is how often (in iterations) dynamic strategies re-run
+	// the thread manager; between decisions the last allocation is kept.
+	// Section 4.1: "The frequency of running this algorithm can be
+	// adjusted to reach a trade-off where we avoid excessive overheads
+	// ... while maintaining the capability to adapt quickly". Default 1.
+	DecideEvery int
+	// PlanWindowEpochs, when > 0, bounds the planner's memory: the cache
+	// policies see a sliding access.Windowed oracle with this many epochs
+	// of detail instead of the full-run plan. Use for full-scale runs
+	// (the Lobster rules only look two epochs ahead; 3 is the minimum).
+	PlanWindowEpochs int
+
+	// CollectTrace records per-iteration breakdowns (Fig. 3); capped at
+	// MaxTraceIters records (default 4096).
+	CollectTrace  bool
+	MaxTraceIters int
+
+	// Preproc is the ground-truth preprocessing throughput model
+	// (default preproc.DefaultModel()).
+	Preproc *preproc.ThroughputModel
+}
+
+// GPUIter is the per-GPU breakdown of one iteration (the bars of Fig. 3).
+type GPUIter struct {
+	Load    float64 // data loading duration
+	Preproc float64 // preprocessing duration
+	Train   float64 // training compute duration
+	Stall   float64 // GPU idle waiting for its own data
+	Idle    float64 // GPU idle waiting for stragglers at the allreduce
+}
+
+// NodeThreads is one node's thread decision for one iteration (the
+// serializable plan entry; see internal/plan).
+type NodeThreads = plan.NodeThreads
+
+// IterRecord is one iteration of the trace.
+type IterRecord struct {
+	Epoch     int
+	Iter      int
+	BatchTime float64
+	PerGPU    []GPUIter
+	// Threads records each node's thread decision (filled for every
+	// strategy; static strategies repeat their fixed split).
+	Threads []NodeThreads
+}
+
+// Result bundles the run metrics with the optional trace.
+type Result struct {
+	Metrics *metrics.Run
+	Trace   []IterRecord
+	// Schedule gives access to the run's iteration arithmetic.
+	IterationsPerEpoch int
+	// EpochEndTimes[e] is the virtual time at which epoch e's last
+	// allreduce completed (the X coordinates of Fig. 9's curves).
+	EpochEndTimes []float64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Tau == 0 {
+		out.Tau = out.Model.IterTime * 0.05
+	}
+	if out.ImbalanceFrac == 0 {
+		out.ImbalanceFrac = 1.0
+	}
+	if out.TrainJitter == 0 {
+		out.TrainJitter = 0.02
+	} else if out.TrainJitter < 0 {
+		out.TrainJitter = 0
+	}
+	if out.PFSNoise == 0 {
+		out.PFSNoise = 0.20
+	} else if out.PFSNoise < 0 {
+		out.PFSNoise = 0
+	}
+	if out.PFSNoiseRho == 0 {
+		out.PFSNoiseRho = 0.6
+	} else if out.PFSNoiseRho < 0 {
+		out.PFSNoiseRho = 0
+	}
+	if out.PipelineDepth == 0 {
+		out.PipelineDepth = 2
+	}
+	if out.MaxTraceIters == 0 {
+		out.MaxTraceIters = 4096
+	}
+	if out.DecideEvery < 1 {
+		out.DecideEvery = 1
+	}
+	if out.Preproc == nil {
+		m := preproc.DefaultModel()
+		out.Preproc = &m
+	}
+	return out
+}
+
+// Run executes the simulation and returns its metrics (and trace when
+// requested).
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Dataset == nil {
+		return nil, fmt.Errorf("pipeline: nil dataset")
+	}
+	if cfg.Epochs < 1 {
+		return nil, fmt.Errorf("pipeline: epochs %d < 1", cfg.Epochs)
+	}
+	if err := cfg.Strategy.Validate(cfg.Topology.GPUsPerNode, cfg.Topology.CPUThreads); err != nil {
+		return nil, err
+	}
+	if err := cfg.Preproc.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := newSim(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.run()
+}
+
+// sim holds all mutable state of one run.
+type sim struct {
+	cfg      Config
+	sched    *sampler.Schedule
+	plans    []*access.Plan
+	windowed []*access.Windowed // non-nil when PlanWindowEpochs > 0
+	group    *distcache.Group
+	mgr      *threadmgr.Manager // dynamic mode only
+	truth    *preproc.ThroughputModel
+	hier     tier.Hierarchy
+	rng      *stats.RNG
+
+	nodes, gpus int
+	world       int
+	iters       int // per epoch
+	totalIters  int
+
+	// Recurrence state. Loading and preprocessing are distinct stage
+	// servers (I/O threads vs preprocessing pool), so they pipeline: GPU
+	// g's loading of iteration h+1 overlaps the preprocessing of h
+	// (Figure 1: "All these stages in the pipeline are overlapping").
+	loadFree      []float64 // per global GPU: when its loading stage frees up
+	preFree       []float64 // per global GPU: when its preprocessing stage frees up
+	allreduceHist []float64 // ring of allreduce completion times for depth gating
+	allreduceDone float64
+
+	// Prefetch cursors, one per node.
+	cursors []prefetchCursor
+
+	// Per-GPU PFS burstiness state: log-space AR(1) process and the
+	// factor realized for the current iteration.
+	pfsNoiseX []float64
+	pfsFactor []float64
+
+	// Scratch (reused across iterations).
+	placements  [][]perfmodel.BatchPlacement // [node][gpu]
+	loadTimes   [][]float64
+	preTimes    [][]float64
+	loadThreads [][]int              // per-GPU loading threads of the last decision
+	preThreads  []int                // per-node preprocessing threads of the last decision
+	iterCount   int                  // current global iteration (for DecideEvery)
+	lastDecide  []threadmgr.Decision // cached decision per node
+	demands     []threadmgr.GPUDemand
+	batchBuf    []dataset.SampleID
+	works       []float64
+
+	// Outputs.
+	runOut  *metrics.Run
+	trace   []IterRecord
+	perIter []GPUIter // scratch for trace rows
+}
+
+type prefetchCursor struct {
+	iter  int // next global iteration to scan
+	off   int // offset within that iteration's node batch
+	batch []dataset.SampleID
+}
+
+func newSim(cfg Config) (*sim, error) {
+	top := cfg.Topology
+	sched, err := sampler.New(cfg.Dataset, sampler.Config{
+		WorldSize: top.WorldSize(),
+		BatchSize: cfg.Model.BatchSize,
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &sim{
+		cfg:   cfg,
+		sched: sched,
+		truth: cfg.Preproc,
+		hier:  top.Hierarchy,
+		rng:   stats.NewRNG(stats.DeriveSeed(cfg.Seed, 0x717e)),
+		nodes: top.Nodes,
+		gpus:  top.GPUsPerNode,
+		world: top.WorldSize(),
+		iters: sched.IterationsPerEpoch(),
+	}
+	s.totalIters = cfg.Epochs * s.iters
+
+	// Future-access oracles and per-node caches: a full plan by default,
+	// or a memory-bounded sliding window when PlanWindowEpochs is set.
+	oracles := make([]cache.Oracle, s.nodes)
+	if cfg.PlanWindowEpochs > 0 {
+		s.windowed = make([]*access.Windowed, s.nodes)
+		for n := 0; n < s.nodes; n++ {
+			w, err := access.BuildWindowed(sched, n, s.gpus, cfg.Epochs, cfg.PlanWindowEpochs)
+			if err != nil {
+				return nil, err
+			}
+			s.windowed[n] = w
+			oracles[n] = w
+		}
+	} else {
+		s.plans = make([]*access.Plan, s.nodes)
+		for n := 0; n < s.nodes; n++ {
+			plan, err := access.Build(sched, n, s.gpus, cfg.Epochs, 0)
+			if err != nil {
+				return nil, err
+			}
+			s.plans[n] = plan
+			oracles[n] = plan
+		}
+	}
+	caches := make([]*cache.Cache, s.nodes)
+	for n := 0; n < s.nodes; n++ {
+		n := n
+		policy := cfg.Strategy.BuildPolicy(oracles[n], func(id dataset.SampleID) bool {
+			return s.group.IsLastCopy(n)(id)
+		})
+		c, err := cache.New(top.CacheBytes, policy)
+		if err != nil {
+			return nil, err
+		}
+		caches[n] = c
+	}
+	s.group, err = distcache.NewGroup(caches, cfg.Dataset.Len())
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.Strategy.Mode == loader.ThreadsDynamic {
+		portfolio, err := perfmodel.FitPortfolio(
+			[]int64{16 << 10, 32 << 10, 64 << 10, 105 << 10, 256 << 10, 512 << 10},
+			top.CPUThreads, 6,
+			func(size int64, threads int) float64 { return s.truth.Time(size, threads) },
+		)
+		if err != nil {
+			return nil, err
+		}
+		s.mgr, err = threadmgr.New(threadmgr.Config{
+			Hierarchy:    s.hier,
+			Portfolio:    portfolio,
+			TotalThreads: top.CPUThreads,
+			Tau:          cfg.Tau,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	s.loadFree = make([]float64, s.world)
+	s.preFree = make([]float64, s.world)
+	s.pfsNoiseX = make([]float64, s.world)
+	s.pfsFactor = make([]float64, s.world)
+	for g := range s.pfsFactor {
+		s.pfsFactor[g] = 1
+	}
+	// Ring of length depth: the slot read at iteration h was written at
+	// h-depth, gating the pipeline to at most depth iterations ahead.
+	s.allreduceHist = make([]float64, cfg.PipelineDepth)
+	s.cursors = make([]prefetchCursor, s.nodes)
+	s.placements = make([][]perfmodel.BatchPlacement, s.nodes)
+	s.loadTimes = make([][]float64, s.nodes)
+	s.preTimes = make([][]float64, s.nodes)
+	s.loadThreads = make([][]int, s.nodes)
+	s.preThreads = make([]int, s.nodes)
+	s.lastDecide = make([]threadmgr.Decision, s.nodes)
+	for n := range s.placements {
+		s.placements[n] = make([]perfmodel.BatchPlacement, s.gpus)
+		s.loadTimes[n] = make([]float64, s.gpus)
+		s.preTimes[n] = make([]float64, s.gpus)
+		s.loadThreads[n] = make([]int, s.gpus)
+	}
+	s.demands = make([]threadmgr.GPUDemand, s.gpus)
+	s.works = make([]float64, s.gpus)
+	s.perIter = make([]GPUIter, s.world)
+
+	s.runOut = &metrics.Run{
+		Strategy:   cfg.Strategy.Name,
+		Model:      cfg.Model.Name,
+		Dataset:    cfg.Dataset.Name(),
+		Nodes:      s.nodes,
+		GPUs:       s.gpus,
+		Epochs:     cfg.Epochs,
+		BatchTimes: stats.NewSummary(),
+	}
+	return s, nil
+}
+
+func (s *sim) run() (*Result, error) {
+	epochEnds := make([]float64, 0, s.cfg.Epochs)
+	for h := 0; h < s.totalIters; h++ {
+		s.step(h)
+		if (h+1)%s.iters == 0 {
+			epochEnds = append(epochEnds, s.allreduceDone)
+			if s.windowed != nil {
+				for _, w := range s.windowed {
+					w.Advance((h + 1) / s.iters)
+				}
+			}
+		}
+	}
+	s.runOut.TotalTime = s.allreduceDone
+	s.runOut.Iterations = s.totalIters
+	agg := s.group.AggregateStats()
+	s.runOut.CacheHits = agg.Hits
+	s.runOut.CacheMisses = agg.Misses
+	return &Result{
+		Metrics:            s.runOut,
+		Trace:              s.trace,
+		IterationsPerEpoch: s.iters,
+		EpochEndTimes:      epochEnds,
+	}, nil
+}
+
+// step simulates global iteration h.
+func (s *sim) step(h int) {
+	s.iterCount = h
+	epoch, it := h/s.iters, h%s.iters
+	now := cache.Iter(h)
+
+	// Phase A: demand accesses. Each GPU's mini-batch is resolved against
+	// the distributed cache, recording hits and fetching misses (which
+	// are then cached locally, subject to policy admission).
+	activePFS := 0
+	for n := 0; n < s.nodes; n++ {
+		nodeHasPFS := false
+		for j := 0; j < s.gpus; j++ {
+			rank := n*s.gpus + j
+			s.batchBuf = s.sched.Batch(s.batchBuf[:0], epoch, it, rank)
+			pl := perfmodel.BatchPlacement{}
+			for _, id := range s.batchBuf {
+				size := s.cfg.Dataset.Size(id)
+				switch s.group.Get(n, id, now) {
+				case tier.Local:
+					pl.LocalBytes += size
+					pl.LocalOps++
+				case tier.Remote:
+					pl.RemoteBytes += size
+					pl.RemoteOps++
+					s.runOut.RemoteHits++
+					s.group.Put(n, id, size, now)
+				default:
+					pl.PFSBytes += size
+					pl.PFSOps++
+					s.runOut.PFSFetches++
+					nodeHasPFS = true
+					s.group.Put(n, id, size, now)
+				}
+			}
+			s.placements[n][j] = pl
+		}
+		if nodeHasPFS {
+			activePFS++
+		}
+	}
+	if activePFS == 0 {
+		activePFS = 1
+	}
+
+	// Phase B: advance the PFS burstiness state. Thread decisions see
+	// only the PREVIOUS iteration's realized factors (observable
+	// feedback); actual load times use the new ones.
+	prevFactor := s.pfsFactor
+	if sigma := s.cfg.PFSNoise; sigma > 0 {
+		rho := s.cfg.PFSNoiseRho
+		innov := sigma * math.Sqrt(1-rho*rho)
+		newFactor := make([]float64, s.world)
+		for g := 0; g < s.world; g++ {
+			s.pfsNoiseX[g] = rho*s.pfsNoiseX[g] + innov*s.rng.NormFloat64()
+			newFactor[g] = math.Exp(s.pfsNoiseX[g] - sigma*sigma/2)
+		}
+		s.pfsFactor = newFactor
+	}
+
+	// Phases C-D: thread decisions, load times, preprocessing times,
+	// NUMA placement effects.
+	for n := 0; n < s.nodes; n++ {
+		s.nodeTimes(n, activePFS, prevFactor)
+		s.applyNUMA(n)
+	}
+
+	// Phase E: the pipeline recurrence and the allreduce barrier.
+	prevDone := s.allreduceDone
+	gate := s.allreduceHist[h%len(s.allreduceHist)] // allreduce of h-depth
+	maxDone := 0.0
+	var minStall, maxStall = math.Inf(1), math.Inf(-1)
+	collectTrace := s.cfg.CollectTrace && len(s.trace) < s.cfg.MaxTraceIters
+	for n := 0; n < s.nodes; n++ {
+		for j := 0; j < s.gpus; j++ {
+			g := n*s.gpus + j
+			loadStart := s.loadFree[g]
+			if gate > loadStart {
+				loadStart = gate
+			}
+			loadDone := loadStart + s.loadTimes[n][j]
+			s.loadFree[g] = loadDone
+			preStart := s.preFree[g]
+			if loadDone > preStart {
+				preStart = loadDone
+			}
+			ready := preStart + s.preTimes[n][j]
+			s.preFree[g] = ready
+			trainStart := prevDone
+			if ready > trainStart {
+				trainStart = ready
+			}
+			stall := trainStart - prevDone
+			dur := s.cfg.Model.IterTime * s.jitter()
+			done := trainStart + dur
+			if done > maxDone {
+				maxDone = done
+			}
+			if stall < minStall {
+				minStall = stall
+			}
+			if stall > maxStall {
+				maxStall = stall
+			}
+			s.runOut.TrainTimeTotal += dur
+			s.runOut.StallTotal += stall
+			if collectTrace {
+				s.perIter[g] = GPUIter{
+					Load:    s.loadTimes[n][j],
+					Preproc: s.preTimes[n][j],
+					Train:   dur,
+					Stall:   stall,
+				}
+			}
+		}
+	}
+	s.allreduceDone = maxDone + cluster.AllreduceTime(s.world)
+	s.allreduceHist[h%len(s.allreduceHist)] = s.allreduceDone
+	batchTime := s.allreduceDone - prevDone
+	s.runOut.BatchTimes.Add(batchTime)
+	if maxStall-minStall > s.cfg.ImbalanceFrac*s.cfg.Model.IterTime {
+		s.runOut.ImbalancedIterations++
+	}
+	if collectTrace {
+		rec := IterRecord{Epoch: epoch, Iter: it, BatchTime: batchTime, PerGPU: make([]GPUIter, s.world)}
+		copy(rec.PerGPU, s.perIter)
+		rec.Threads = make([]NodeThreads, s.nodes)
+		for n := 0; n < s.nodes; n++ {
+			rec.Threads[n] = NodeThreads{
+				Preproc: s.preThreads[n],
+				Loading: append([]int(nil), s.loadThreads[n]...),
+			}
+		}
+		for g := range rec.PerGPU {
+			// Idle: waiting at the barrier for stragglers.
+			rec.PerGPU[g].Idle = batchTime - rec.PerGPU[g].Stall - rec.PerGPU[g].Train
+			if rec.PerGPU[g].Idle < 0 {
+				rec.PerGPU[g].Idle = 0
+			}
+		}
+		s.trace = append(s.trace, rec)
+	}
+
+	// Phase F: proactive eviction then prefetching into the spare
+	// loading capacity of the iteration.
+	for n := 0; n < s.nodes; n++ {
+		s.group.Maintain(n, now)
+	}
+	if s.cfg.Strategy.PrefetchDepth > 0 {
+		for n := 0; n < s.nodes; n++ {
+			s.prefetch(n, h, batchTime, activePFS)
+		}
+	}
+}
+
+// nodeTimes fills loadTimes[n] and preTimes[n] for iteration h.
+// prevFactor carries the previous iteration's realized PFS slowdowns,
+// which dynamic strategies feed back into their predictions.
+func (s *sim) nodeTimes(n, activePFS int, prevFactor []float64) {
+	spec := s.cfg.Strategy
+	switch spec.Mode {
+	case loader.ThreadsStatic:
+		p := spec.PreprocThreads
+		s.preThreads[n] = p
+		for j := 0; j < s.gpus; j++ {
+			pl := s.placements[n][j]
+			alloc := perfmodel.SplitThreads(s.hier, pl, spec.LoadingPerGPU, activePFS)
+			s.loadTimes[n][j] = s.noisyLoadTime(n*s.gpus+j, pl, alloc, activePFS)
+			s.preTimes[n][j] = s.preShare(pl, p)
+			s.loadThreads[n][j] = spec.LoadingPerGPU
+		}
+	case loader.ThreadsSharedPool:
+		p := spec.PreprocThreads
+		s.preThreads[n] = p
+		for j := 0; j < s.gpus; j++ {
+			pl := s.placements[n][j]
+			alloc := perfmodel.SplitThreads(s.hier, pl, spec.SharedLoading, activePFS)
+			s.works[j] = s.noisyLoadTime(n*s.gpus+j, pl, alloc, activePFS)
+		}
+		sharedPoolTimes(s.works, s.loadTimes[n])
+		share := spec.SharedLoading / s.gpus
+		if share < 1 {
+			share = 1
+		}
+		for j := 0; j < s.gpus; j++ {
+			s.preTimes[n][j] = s.preShare(s.placements[n][j], p)
+			// For prefetch budgeting the pool is accounted node-wide, but
+			// NUMA placement sees the pool spread over the GPU queues.
+			s.loadThreads[n][j] = share
+		}
+	case loader.ThreadsDynamic:
+		for j := 0; j < s.gpus; j++ {
+			pl := s.placements[n][j]
+			s.demands[j] = threadmgr.GPUDemand{
+				Placement:    pl,
+				QueueLen:     pl.TotalOps(),
+				PreprocBytes: pl.TotalBytes(),
+				PreprocCount: pl.TotalOps(),
+				PFSSlowdown:  prevFactor[n*s.gpus+j],
+			}
+		}
+		var dec threadmgr.Decision
+		if s.iterCount%s.cfg.DecideEvery == 0 || s.lastDecide[n].Loading == nil {
+			dec = s.mgr.Decide(s.demands, s.cfg.Model.IterTime, activePFS)
+			s.lastDecide[n] = dec
+		} else {
+			dec = s.lastDecide[n]
+		}
+		s.preThreads[n] = dec.PreprocThreads
+		for j := 0; j < s.gpus; j++ {
+			pl := s.placements[n][j]
+			alloc := perfmodel.SplitThreads(s.hier, pl, dec.Loading[j], activePFS)
+			s.loadTimes[n][j] = s.noisyLoadTime(n*s.gpus+j, pl, alloc, activePFS)
+			s.preTimes[n][j] = s.preShare(pl, dec.PreprocThreads)
+			s.loadThreads[n][j] = dec.Loading[j]
+		}
+	}
+}
+
+// preShare models the node preprocessing pool shared fairly by the M
+// GPUs: each GPU's batch is processed at 1/M of the pool's throughput.
+func (s *sim) preShare(pl perfmodel.BatchPlacement, p int) float64 {
+	if pl.TotalOps() == 0 {
+		return 0
+	}
+	return s.truth.Time(pl.TotalBytes()*int64(s.gpus), p)
+}
+
+// applyNUMA inflates node n's preprocessing times by the cross-socket
+// traffic its thread placement causes: loaded bytes decoded on the other
+// socket stream over the inter-socket link (Section 5.2's NUMA effect).
+// NUMA-aware strategies co-locate and pay (almost) nothing.
+func (s *sim) applyNUMA(n int) {
+	domains := s.cfg.Topology.NUMADomains
+	if domains <= 1 {
+		return
+	}
+	perDomain := s.cfg.Topology.CPUThreads / domains
+	if perDomain < 1 {
+		perDomain = 1
+	}
+	placement, err := numa.Assign(domains, perDomain, s.loadThreads[n], s.preThreads[n], s.cfg.Strategy.NUMAAware)
+	if err != nil {
+		return
+	}
+	bytes := make([]int64, s.gpus)
+	for j := 0; j < s.gpus; j++ {
+		bytes[j] = s.placements[n][j].TotalBytes()
+	}
+	factor := numa.Penalty(numa.CrossTrafficFraction(placement, bytes))
+	if factor >= 1 {
+		return
+	}
+	for j := 0; j < s.gpus; j++ {
+		s.preTimes[n][j] /= factor
+	}
+}
+
+// noisyLoadTime evaluates Equation 1 with the GPU's current burstiness
+// factor applied to the PFS term, mapping the "no threads at all" infinity
+// onto a large finite stall so the simulation continues (and the strategy
+// pays dearly).
+func (s *sim) noisyLoadTime(g int, pl perfmodel.BatchPlacement, alloc perfmodel.ThreadAlloc, activePFS int) float64 {
+	local, remote, pfs := perfmodel.LoadTimeParts(s.hier, pl, alloc, activePFS)
+	if math.IsInf(local, 1) {
+		return 3600 // an hour of virtual stall; only reachable via misconfiguration
+	}
+	return local + remote + pfs*s.pfsFactor[g]
+}
+
+// sharedPoolTimes computes per-GPU completion times when each GPU's work
+// (expressed as "seconds alone with the whole pool") is served by a single
+// pool shared fairly among the currently-active queues (processor-sharing
+// / water-filling). A queue that needs w pool-seconds while k queues are
+// active drains at rate 1/k.
+func sharedPoolTimes(works []float64, out []float64) {
+	n := len(works)
+	type wq struct {
+		w float64
+		i int
+	}
+	qs := make([]wq, n)
+	for i, w := range works {
+		qs[i] = wq{w, i}
+	}
+	// Insertion sort by work: n is the GPU count (8), tiny.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && qs[j].w < qs[j-1].w; j-- {
+			qs[j], qs[j-1] = qs[j-1], qs[j]
+		}
+	}
+	t, prev := 0.0, 0.0
+	active := n
+	for _, q := range qs {
+		t += (q.w - prev) * float64(active)
+		prev = q.w
+		out[q.i] = t
+		active--
+	}
+}
+
+// jitter returns the multiplicative training-time noise (mean 1).
+func (s *sim) jitter() float64 {
+	sigma := s.cfg.TrainJitter
+	if sigma == 0 {
+		return 1
+	}
+	return math.Exp(sigma*s.rng.NormFloat64() - sigma*sigma/2)
+}
+
+// prefetch fills node n's spare loading capacity of iteration h with
+// future samples. Candidates are scanned in access order (nearest future
+// use first — Lobster's "prioritizing the prefetches with the nearest
+// reuse distance"); the cursor is monotone so the whole run's scan cost is
+// linear in the schedule length.
+func (s *sim) prefetch(n, h int, batchTime float64, activePFS int) {
+	// Budget in thread-seconds. Strategies with fixed thread assignments
+	// prefetch only with their dedicated background helpers (the paper's
+	// second challenge: "rigid resource allocations ... lead to idle
+	// resources"); Lobster's dynamic thread management additionally
+	// converts every idle loading thread-second into prefetch work.
+	budget := float64(s.cfg.Strategy.PrefetchThreads) * batchTime
+	if s.cfg.Strategy.Mode == loader.ThreadsDynamic {
+		// Idle-to-prefetch conversion efficiency: redirected threads pay
+		// wake-up and coordination costs and share memory bandwidth with
+		// the preprocessing pool, so an idle thread-second yields a bit
+		// less than a second of useful prefetch I/O.
+		const conversionEff = 0.3
+		for j := 0; j < s.gpus; j++ {
+			if spare := batchTime - s.loadTimes[n][j]; spare > 0 {
+				budget += spare * float64(s.loadThreads[n][j]) * conversionEff
+			}
+		}
+	}
+	if budget <= 0 {
+		return
+	}
+	// Per-candidate cost in thread-seconds: one op's latency plus the
+	// transfer at the rate a single thread sees when the whole loading
+	// pool is active — prefetch threads share the tier with each other
+	// and with demand reads, so the solo-thread rate is not available.
+	poolSize := 0
+	if s.cfg.Strategy.Mode == loader.ThreadsSharedPool {
+		poolSize = s.cfg.Strategy.SharedLoading
+	} else {
+		for j := 0; j < s.gpus; j++ {
+			poolSize += s.loadThreads[n][j]
+		}
+	}
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	now := cache.Iter(h)
+	cur := &s.cursors[n]
+	if cur.iter <= h {
+		cur.iter, cur.off, cur.batch = h+1, 0, nil
+	}
+	limit := h + s.cfg.Strategy.PrefetchDepth
+	if limit > s.totalIters-1 {
+		limit = s.totalIters - 1
+	}
+	for budget > 0 && cur.iter <= limit {
+		if cur.batch == nil {
+			epoch, it := cur.iter/s.iters, cur.iter%s.iters
+			cur.batch = s.sched.NodeBatch(nil, epoch, it, n, s.gpus)
+			cur.off = 0
+		}
+		if cur.off >= len(cur.batch) {
+			cur.iter++
+			cur.off = 0
+			cur.batch = nil
+			continue
+		}
+		// The node batch is GPU-major; walk it interleaved (sample k of
+		// every GPU before sample k+1 of any) so a partial budget covers
+		// all GPUs evenly instead of fully prefetching low ranks and
+		// starving high ranks into permanent stragglers.
+		batchSize := len(cur.batch) / s.gpus
+		j, k := cur.off%s.gpus, cur.off/s.gpus
+		id := cur.batch[j*batchSize+k]
+		where := s.group.Locate(n, id)
+		if where == tier.Local {
+			cur.off++
+			continue
+		}
+		size := s.cfg.Dataset.Size(id)
+		cost := s.prefetchCost(where, size, poolSize, activePFS)
+		if cost > budget {
+			// Leave the cursor on this candidate; the next iteration's
+			// budget resumes here.
+			break
+		}
+		cur.off++
+		if !s.group.Put(n, id, size, now) {
+			// The policy refused: every remaining candidate is needed
+			// even later, so it would refuse them too.
+			return
+		}
+		budget -= cost
+		s.runOut.PrefetchedBytes += size
+	}
+}
+
+// prefetchCost is the thread-seconds cost of prefetching one sample of
+// `size` bytes from `where`, with `pool` loading threads concurrently
+// active on the node.
+func (s *sim) prefetchCost(where tier.Kind, size int64, pool, activePFS int) float64 {
+	curve := s.hier.CurveOf(where)
+	if where == tier.PFS {
+		curve = s.hier.PFSNodeCurve(activePFS)
+	}
+	perThread := curve.PerThread(pool)
+	if perThread <= 0 {
+		return math.Inf(1)
+	}
+	return curve.OpLatency + float64(size)/(perThread*1e6)
+}

@@ -1,0 +1,105 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/loader"
+)
+
+// TestMoreCacheNeverHurtsMuch: growing the node cache must not slow
+// Lobster down (a small tolerance absorbs noise reshuffling — the PFS
+// burstiness draws depend on miss patterns, which change with the cache).
+func TestMoreCacheNeverHurtsMuch(t *testing.T) {
+	ds, err := dataset.Generate(dataset.Spec{
+		Name: "mono", NumSamples: 6000, MeanSize: 105 << 10, SigmaLog: 0.45,
+		MinSize: 4 << 10, Classes: 10, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, _ := cluster.ModelByName("resnet50")
+	prev := 0.0
+	for _, frac := range []int{10, 25, 50, 90} {
+		top := cluster.ThetaGPULike(1, ds.TotalBytes()*int64(frac)/100)
+		res, err := Run(Config{
+			Topology: top, Model: model, Dataset: ds, Epochs: 4, Seed: 3,
+			Strategy: loader.Lobster(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tt := res.Metrics.TotalTime
+		if prev > 0 && tt > prev*1.10 {
+			t.Fatalf("cache %d%%: time %.2f worse than smaller cache's %.2f", frac, tt, prev)
+		}
+		prev = tt
+	}
+}
+
+// TestMoreEpochsScaleLinearly: doubling epochs must roughly double total
+// time once past warm-up (the steady state is stationary).
+func TestMoreEpochsScaleLinearly(t *testing.T) {
+	ds, err := dataset.Generate(dataset.Spec{
+		Name: "lin", NumSamples: 6000, MeanSize: 105 << 10, SigmaLog: 0.45,
+		MinSize: 4 << 10, Classes: 10, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, _ := cluster.ModelByName("resnet50")
+	top := cluster.ThetaGPULike(1, ds.TotalBytes()*30/100)
+	run := func(epochs int) float64 {
+		res, err := Run(Config{
+			Topology: top, Model: model, Dataset: ds, Epochs: epochs, Seed: 5,
+			Strategy: loader.NoPFS(top.GPUsPerNode, top.CPUThreads),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Metrics.TotalTime
+	}
+	t4, t8 := run(4), run(8)
+	ratio := t8 / t4
+	// Warm-up epochs are slower, so the ratio sits a bit under 2.
+	if ratio < 1.5 || ratio > 2.2 {
+		t.Fatalf("8-epoch time %.2f vs 4-epoch %.2f (ratio %.2f), want ~2", t8, t4, ratio)
+	}
+}
+
+// TestSeedChangesScheduleNotShape: different seeds must give different
+// totals (different shuffles and noise) but the Lobster-vs-PyTorch
+// ordering must hold for every seed.
+func TestSeedChangesScheduleNotShape(t *testing.T) {
+	ds, err := dataset.Generate(dataset.Spec{
+		Name: "seed", NumSamples: 6000, MeanSize: 105 << 10, SigmaLog: 0.45,
+		MinSize: 4 << 10, Classes: 10, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, _ := cluster.ModelByName("resnet50")
+	top := cluster.ThetaGPULike(1, ds.TotalBytes()*30/100)
+	var prevLob float64
+	for _, seed := range []uint64{1, 2, 3} {
+		base, err := Run(Config{Topology: top, Model: model, Dataset: ds, Epochs: 4, Seed: seed,
+			Strategy: loader.PyTorch(top.GPUsPerNode, top.CPUThreads)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lob, err := Run(Config{Topology: top, Model: model, Dataset: ds, Epochs: 4, Seed: seed,
+			Strategy: loader.Lobster()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lob.Metrics.TotalTime >= base.Metrics.TotalTime {
+			t.Fatalf("seed %d: Lobster (%.2f) not faster than PyTorch (%.2f)",
+				seed, lob.Metrics.TotalTime, base.Metrics.TotalTime)
+		}
+		if prevLob != 0 && lob.Metrics.TotalTime == prevLob {
+			t.Fatalf("seed change did not change the run at all")
+		}
+		prevLob = lob.Metrics.TotalTime
+	}
+}

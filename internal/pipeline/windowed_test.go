@@ -1,0 +1,48 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/loader"
+)
+
+// TestWindowedPlannerCloseToFull: running Lobster with the memory-bounded
+// 3-epoch planning window must land within a few percent of the full-plan
+// run — beyond the window the policies only need "far", not "when".
+func TestWindowedPlannerCloseToFull(t *testing.T) {
+	full, err := Run(testConfig(t, loader.Lobster(), 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t, loader.Lobster(), 6)
+	cfg.PlanWindowEpochs = 3
+	windowed, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullHit := full.Metrics.HitRatio()
+	winHit := windowed.Metrics.HitRatio()
+	if math.Abs(fullHit-winHit) > 0.05 {
+		t.Fatalf("windowed hit ratio %.3f vs full %.3f: window changed behaviour", winHit, fullHit)
+	}
+	ratio := windowed.Metrics.TotalTime / full.Metrics.TotalTime
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("windowed time %.2f vs full %.2f (ratio %.3f)",
+			windowed.Metrics.TotalTime, full.Metrics.TotalTime, ratio)
+	}
+}
+
+func TestWindowedPlannerAllStrategies(t *testing.T) {
+	for _, spec := range []loader.Spec{loader.NoPFS(8, 24), loader.Lobster()} {
+		cfg := testConfig(t, spec, 4)
+		cfg.PlanWindowEpochs = 3
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if res.Metrics.HitRatio() <= 0 {
+			t.Fatalf("%s: no hits under windowed planning", spec.Name)
+		}
+	}
+}

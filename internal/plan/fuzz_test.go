@@ -1,0 +1,38 @@
+package plan
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary JSON-ish input at the plan decoder: it must
+// never panic, and anything it accepts must satisfy Validate (Decode
+// validates internally, so acceptance implies well-formedness).
+func FuzzDecode(f *testing.F) {
+	var buf bytes.Buffer
+	if err := samplePlan(4).Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("{}")
+	f.Add(`{"version":1,"nodes":-1}`)
+	f.Add(`[1,2,3]`)
+	f.Add(strings.Repeat("[", 100))
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Decode(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Decode accepted an invalid plan: %v", err)
+		}
+		// ThreadsAt must be total for any h on an accepted plan.
+		for _, h := range []int{0, 1, 7, 100000} {
+			th := p.ThreadsAt(h)
+			if len(th) != p.Nodes {
+				t.Fatalf("ThreadsAt(%d) returned %d nodes", h, len(th))
+			}
+		}
+	})
+}

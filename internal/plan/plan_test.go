@@ -1,0 +1,138 @@
+package plan
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func samplePlan(iters int) *Plan {
+	p := &Plan{
+		Version:            Version,
+		Strategy:           "lobster",
+		Dataset:            "imagenet-1k",
+		Model:              "resnet50",
+		Nodes:              2,
+		GPUsPerNode:        3,
+		IterationsPerEpoch: 4,
+		Seed:               42,
+	}
+	for h := 0; h < iters; h++ {
+		it := Iteration{
+			Epoch:          h / 4,
+			Iter:           h % 4,
+			PredictedBatch: 0.05,
+		}
+		for n := 0; n < 2; n++ {
+			it.Threads = append(it.Threads, NodeThreads{
+				Preproc: 4 + h%2,
+				Loading: []int{1 + h%3, 2, 1},
+			})
+		}
+		p.Iterations = append(p.Iterations, it)
+	}
+	return p
+}
+
+func TestValidateGood(t *testing.T) {
+	if err := samplePlan(8).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mutate := []func(*Plan){
+		func(p *Plan) { p.Version = 99 },
+		func(p *Plan) { p.Nodes = 0 },
+		func(p *Plan) { p.IterationsPerEpoch = 0 },
+		func(p *Plan) { p.Iterations = nil },
+		func(p *Plan) { p.Iterations[0].Threads = p.Iterations[0].Threads[:1] },
+		func(p *Plan) { p.Iterations[0].Threads[0].Preproc = 0 },
+		func(p *Plan) { p.Iterations[0].Threads[0].Loading = []int{1} },
+		func(p *Plan) { p.Iterations[0].Threads[0].Loading[2] = 0 },
+	}
+	for i, m := range mutate {
+		p := samplePlan(8)
+		m(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestNodeThreadsTotal(t *testing.T) {
+	th := NodeThreads{Preproc: 4, Loading: []int{1, 2, 3}}
+	if got := th.Total(); got != 10 {
+		t.Fatalf("Total = %d, want 10", got)
+	}
+}
+
+func TestThreadsAtWithinPlan(t *testing.T) {
+	p := samplePlan(8)
+	for h := 0; h < 8; h++ {
+		got := p.ThreadsAt(h)
+		want := p.Iterations[h].Threads
+		if &got[0] != &want[0] {
+			t.Fatalf("ThreadsAt(%d) did not return the planned entry", h)
+		}
+	}
+}
+
+func TestThreadsAtWrapsLastEpoch(t *testing.T) {
+	p := samplePlan(8) // 2 epochs of 4
+	// Beyond the plan: wraps within the final planned epoch [4, 8).
+	for h := 8; h < 20; h++ {
+		got := p.ThreadsAt(h)
+		want := p.Iterations[4+(h-4)%4].Threads
+		if &got[0] != &want[0] {
+			t.Fatalf("ThreadsAt(%d) wrapped wrong", h)
+		}
+	}
+}
+
+func TestThreadsAtShortPlan(t *testing.T) {
+	p := samplePlan(2) // shorter than one epoch
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for h := 2; h < 6; h++ {
+		got := p.ThreadsAt(h)
+		want := p.Iterations[h%2].Threads
+		if &got[0] != &want[0] {
+			t.Fatalf("short-plan wrap wrong at %d", h)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := samplePlan(8)
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"strategy": "lobster"`) {
+		t.Fatalf("JSON missing fields:\n%s", buf.String())
+	}
+	q, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Strategy != p.Strategy || q.Seed != p.Seed || len(q.Iterations) != 8 {
+		t.Fatalf("round trip lost data: %+v", q)
+	}
+	if q.Iterations[3].Threads[1].Loading[0] != p.Iterations[3].Threads[1].Loading[0] {
+		t.Fatal("nested thread counts lost")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(strings.NewReader("{")); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+	if _, err := Decode(strings.NewReader(`{"version":1,"unknown_field":3}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := Decode(strings.NewReader(`{"version":1}`)); err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+}

@@ -1,0 +1,113 @@
+package preproc
+
+import "fmt"
+
+// ThroughputModel is the roofline model of preprocessing throughput as a
+// function of thread count (Observation 3 / Figure 6):
+//
+//   - below saturation, throughput scales nearly linearly:
+//     PerThreadMBps * n (with a small parallelization loss);
+//   - the memory system caps aggregate throughput at MemBWMBps
+//     ("intensive memory bandwidth consumption is the major performance
+//     bottleneck when the number of threads is large");
+//   - beyond the saturation point, each extra thread costs
+//     DegradePerThread fraction of throughput (cache thrash, bandwidth
+//     contention) — "flattens and even slightly becomes worse".
+type ThroughputModel struct {
+	PerThreadMBps    float64 // single-thread decode+augment rate
+	MemBWMBps        float64 // roofline ceiling
+	ParallelLoss     float64 // per-extra-thread efficiency loss below the roof (0..1)
+	DegradePerThread float64 // fractional decline per thread beyond saturation
+}
+
+// Validate reports whether the model is usable.
+func (m ThroughputModel) Validate() error {
+	if m.PerThreadMBps <= 0 {
+		return fmt.Errorf("preproc: PerThreadMBps %g <= 0", m.PerThreadMBps)
+	}
+	if m.MemBWMBps < m.PerThreadMBps {
+		return fmt.Errorf("preproc: MemBWMBps %g below single-thread rate %g", m.MemBWMBps, m.PerThreadMBps)
+	}
+	if m.ParallelLoss < 0 || m.ParallelLoss >= 1 {
+		return fmt.Errorf("preproc: ParallelLoss %g outside [0,1)", m.ParallelLoss)
+	}
+	if m.DegradePerThread < 0 || m.DegradePerThread >= 1 {
+		return fmt.Errorf("preproc: DegradePerThread %g outside [0,1)", m.DegradePerThread)
+	}
+	return nil
+}
+
+// Throughput returns aggregate MB/s with n preprocessing threads.
+func (m ThroughputModel) Throughput(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	t := float64(n)
+	linear := m.PerThreadMBps * t * (1 - m.ParallelLoss*(t-1))
+	if linear < m.PerThreadMBps {
+		linear = m.PerThreadMBps // never below one thread's worth
+	}
+	if linear <= m.MemBWMBps {
+		return linear
+	}
+	// Saturated: at the roof, degraded by oversubscription.
+	over := t - m.saturation()
+	if over < 0 {
+		over = 0
+	}
+	return m.MemBWMBps * (1 - m.DegradePerThread*over)
+}
+
+// saturation returns the (fractional) thread count at which the linear
+// region meets the roof.
+func (m ThroughputModel) saturation() float64 {
+	// Solve PerThread * t * (1 - loss*(t-1)) = MemBW approximately by
+	// scanning unit steps, which is how the planner uses it anyway.
+	for t := 1.0; t < 1024; t++ {
+		linear := m.PerThreadMBps * t * (1 - m.ParallelLoss*(t-1))
+		if linear >= m.MemBWMBps {
+			return t
+		}
+	}
+	return 1024
+}
+
+// PeakThreads returns the smallest thread count achieving maximum
+// throughput — the paper's "minimum number of threads needed to reach the
+// peak preprocessing throughput and not exceed it" (Observation 3's
+// implication).
+func (m ThroughputModel) PeakThreads(maxThreads int) int {
+	best, bestN := 0.0, 1
+	for n := 1; n <= maxThreads; n++ {
+		tp := m.Throughput(n)
+		if tp > best+1e-9 {
+			best, bestN = tp, n
+		}
+	}
+	return bestN
+}
+
+// Time returns the seconds to preprocess `bytes` with n threads.
+func (m ThroughputModel) Time(bytes int64, n int) float64 {
+	tp := m.Throughput(n)
+	if tp <= 0 {
+		return 0
+	}
+	return float64(bytes) / (tp * 1e6)
+}
+
+// DefaultModel returns a calibration matching the paper's Figure 6 shape:
+// throughput peaks at 6 threads and declines slightly beyond. The absolute
+// rate is sized against the ThetaGPU-like tier curves so that, with the
+// peak thread count, preprocessing a mini-batch is faster than training it
+// (preprocessing "did not become a bottleneck by itself", Observation 2) —
+// but takes enough time that stealing too many of its threads would make
+// it one.
+func DefaultModel() ThroughputModel {
+	return ThroughputModel{
+		PerThreadMBps:    165,
+		MemBWMBps:        900,
+		ParallelLoss:     0.015,
+		DegradePerThread: 0.01,
+	}
+}

@@ -1,0 +1,145 @@
+package preproc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dataset"
+)
+
+// Job is one preprocessing work item: a raw payload to decode and augment.
+type Job struct {
+	ID      dataset.SampleID
+	Payload []byte
+	Seed    uint64
+	// Done receives the result exactly once.
+	Done chan<- Result
+}
+
+// Result is the outcome of a Job.
+type Result struct {
+	Tensor *Tensor
+	Err    error
+}
+
+// Pool is a resizable preprocessing worker pool. Lobster's thread manager
+// grows and shrinks it at runtime ("take away one thread from the
+// preprocessing stage and make it available for data loading",
+// Section 4.1); Resize is safe to call concurrently with Submit.
+type Pool struct {
+	jobs chan Job
+
+	mu      sync.Mutex
+	target  int           // desired worker count
+	workers int           // current worker count
+	stops   chan struct{} // one token per worker asked to exit
+	closed  bool
+
+	processed atomic.Uint64
+	wg        sync.WaitGroup
+}
+
+// NewPool starts a pool with the given number of workers.
+func NewPool(workers, queueDepth int) (*Pool, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("preproc: workers %d < 1", workers)
+	}
+	if queueDepth < 1 {
+		return nil, fmt.Errorf("preproc: queueDepth %d < 1", queueDepth)
+	}
+	p := &Pool{
+		jobs:  make(chan Job, queueDepth),
+		stops: make(chan struct{}, 1024),
+	}
+	p.mu.Lock()
+	p.target = workers
+	for i := 0; i < workers; i++ {
+		p.spawn()
+	}
+	p.mu.Unlock()
+	return p, nil
+}
+
+func (p *Pool) spawn() {
+	p.workers++
+	p.wg.Add(1)
+	go p.worker()
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.stops:
+			return
+		case job, ok := <-p.jobs:
+			if !ok {
+				return
+			}
+			p.run(job)
+		}
+	}
+}
+
+func (p *Pool) run(job Job) {
+	t, err := Decode(job.Payload, job.ID)
+	if err == nil {
+		Augment(t, job.Seed)
+	}
+	p.processed.Add(1)
+	job.Done <- Result{Tensor: t, Err: err}
+}
+
+// Submit enqueues a job, blocking if the queue is full. Submitting to a
+// closed pool panics (it is a caller sequencing bug).
+func (p *Pool) Submit(job Job) {
+	p.jobs <- job
+}
+
+// Resize sets the desired worker count. Shrinking takes effect as workers
+// finish their current job.
+func (p *Pool) Resize(n int) error {
+	if n < 1 {
+		return fmt.Errorf("preproc: Resize to %d < 1", n)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("preproc: Resize after Close")
+	}
+	for p.target < n {
+		p.target++
+		p.spawn()
+	}
+	for p.target > n {
+		p.target--
+		p.workers--
+		p.stops <- struct{}{}
+	}
+	return nil
+}
+
+// Workers returns the current desired worker count.
+func (p *Pool) Workers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.target
+}
+
+// Processed returns the number of jobs completed.
+func (p *Pool) Processed() uint64 { return p.processed.Load() }
+
+// Close drains the pool: no further Submits are allowed; it blocks until
+// all workers exit.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,141 @@
+package preproc
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+func TestPoolValidation(t *testing.T) {
+	if _, err := NewPool(0, 1); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if _, err := NewPool(1, 0); err == nil {
+		t.Error("zero queue accepted")
+	}
+}
+
+func TestPoolProcessesJobs(t *testing.T) {
+	p, err := NewPool(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	const n = 20
+	done := make(chan Result, n)
+	for i := 0; i < n; i++ {
+		buf := make([]byte, 2048)
+		dataset.FillPayload(buf, 1, dataset.SampleID(i))
+		p.Submit(Job{ID: dataset.SampleID(i), Payload: buf, Seed: uint64(i), Done: done})
+	}
+	seen := map[dataset.SampleID]bool{}
+	for i := 0; i < n; i++ {
+		r := <-done
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if seen[r.Tensor.ID] {
+			t.Fatalf("sample %d processed twice", r.Tensor.ID)
+		}
+		seen[r.Tensor.ID] = true
+	}
+	if p.Processed() != n {
+		t.Fatalf("Processed = %d, want %d", p.Processed(), n)
+	}
+}
+
+func TestPoolReportsDecodeErrors(t *testing.T) {
+	p, _ := NewPool(1, 1)
+	defer p.Close()
+	done := make(chan Result, 1)
+	buf := make([]byte, 2048)
+	dataset.FillPayload(buf, 1, 5)
+	p.Submit(Job{ID: 6, Payload: buf, Done: done}) // wrong id
+	r := <-done
+	if r.Err == nil {
+		t.Fatal("decode error not reported")
+	}
+}
+
+func TestPoolResize(t *testing.T) {
+	p, _ := NewPool(1, 64)
+	defer p.Close()
+	if err := p.Resize(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Workers(); got != 4 {
+		t.Fatalf("Workers = %d, want 4", got)
+	}
+	if err := p.Resize(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Workers(); got != 2 {
+		t.Fatalf("Workers = %d, want 2", got)
+	}
+	if err := p.Resize(0); err == nil {
+		t.Fatal("Resize(0) accepted")
+	}
+	// The pool must still process work after shrinking.
+	done := make(chan Result, 8)
+	for i := 0; i < 8; i++ {
+		buf := make([]byte, 1024)
+		dataset.FillPayload(buf, 1, dataset.SampleID(i))
+		p.Submit(Job{ID: dataset.SampleID(i), Payload: buf, Done: done})
+	}
+	timeout := time.After(5 * time.Second)
+	for i := 0; i < 8; i++ {
+		select {
+		case r := <-done:
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+		case <-timeout:
+			t.Fatal("pool stalled after resize")
+		}
+	}
+}
+
+func TestPoolConcurrentSubmitAndResize(t *testing.T) {
+	p, _ := NewPool(2, 16)
+	defer p.Close()
+	var wg sync.WaitGroup
+	done := make(chan Result, 256)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			buf := make([]byte, 512)
+			dataset.FillPayload(buf, 1, dataset.SampleID(i))
+			p.Submit(Job{ID: dataset.SampleID(i), Payload: buf, Seed: uint64(i), Done: done})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		sizes := []int{1, 3, 2, 5, 1, 4}
+		for _, s := range sizes {
+			if err := p.Resize(s); err != nil {
+				t.Errorf("Resize: %v", err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	for i := 0; i < 200; i++ {
+		r := <-done
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	p, _ := NewPool(1, 1)
+	p.Close()
+	p.Close() // must not panic
+	if err := p.Resize(2); err == nil {
+		t.Fatal("Resize after Close accepted")
+	}
+}

@@ -1,0 +1,162 @@
+package preproc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func testPayload(t *testing.T, size int, id dataset.SampleID) []byte {
+	t.Helper()
+	buf := make([]byte, size)
+	dataset.FillPayload(buf, 42, id)
+	return buf
+}
+
+func TestDecodeValid(t *testing.T) {
+	p := testPayload(t, 4096, 7)
+	tensor, err := Decode(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.ID != 7 {
+		t.Fatalf("tensor id = %d, want 7", tensor.ID)
+	}
+	if len(tensor.Data) != 4096-dataset.PayloadHeaderSize {
+		t.Fatalf("tensor has %d elements", len(tensor.Data))
+	}
+	if tensor.Checksum == 0 {
+		t.Fatal("checksum not computed")
+	}
+	for i, v := range tensor.Data {
+		if v < -1.5 || v > 1.5 || math.IsNaN(float64(v)) {
+			t.Fatalf("element %d = %g outside normalized range", i, v)
+		}
+	}
+}
+
+func TestDecodeRejectsWrongID(t *testing.T) {
+	p := testPayload(t, 1024, 3)
+	if _, err := Decode(p, 4); err == nil {
+		t.Fatal("wrong id accepted")
+	}
+}
+
+func TestDecodeRejectsShortPayload(t *testing.T) {
+	if _, err := Decode(make([]byte, 4), 0); err == nil {
+		t.Fatal("short payload accepted")
+	}
+}
+
+func TestDecodeRejectsTruncated(t *testing.T) {
+	p := testPayload(t, 1024, 3)
+	if _, err := Decode(p[:512], 3); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestDecodeDeterministic(t *testing.T) {
+	p := testPayload(t, 2048, 9)
+	a, _ := Decode(p, 9)
+	b, _ := Decode(p, 9)
+	if a.Checksum != b.Checksum {
+		t.Fatal("decode not deterministic")
+	}
+}
+
+func TestAugmentFlipAndJitter(t *testing.T) {
+	p := testPayload(t, 1024, 1)
+	base, _ := Decode(p, 1)
+	flipped, _ := Decode(p, 1)
+	Augment(flipped, 1) // odd seed => flip, jitter = -0.05
+	n := len(base.Data)
+	for i := 0; i < n; i++ {
+		want := base.Data[n-1-i] - 0.05
+		if math.Abs(float64(flipped.Data[i]-want)) > 1e-6 {
+			t.Fatalf("flip+jitter wrong at %d: got %g want %g", i, flipped.Data[i], want)
+		}
+	}
+	unflipped, _ := Decode(p, 1)
+	Augment(unflipped, 2) // even seed => no flip, jitter = (1%100)/1000-0.05 = -0.049
+	for i := 0; i < n; i++ {
+		want := base.Data[i] - 0.049
+		if math.Abs(float64(unflipped.Data[i]-want)) > 1e-6 {
+			t.Fatalf("jitter wrong at %d", i)
+		}
+	}
+}
+
+func TestAugmentEmptyTensor(t *testing.T) {
+	Augment(&Tensor{}, 3) // must not panic
+}
+
+func TestAssemble(t *testing.T) {
+	a := &Tensor{Data: make([]float32, 10)}
+	b := &Tensor{Data: make([]float32, 20)}
+	batch := Assemble([]*Tensor{a, b})
+	if batch.Bytes != 30 || len(batch.Tensors) != 2 {
+		t.Fatalf("batch = %+v", batch)
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	if err := DefaultModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []ThroughputModel{
+		{PerThreadMBps: 0, MemBWMBps: 1},
+		{PerThreadMBps: 10, MemBWMBps: 5},
+		{PerThreadMBps: 10, MemBWMBps: 100, ParallelLoss: 1},
+		{PerThreadMBps: 10, MemBWMBps: 100, DegradePerThread: -0.1},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %+v accepted", m)
+		}
+	}
+}
+
+func TestModelObservation3Shape(t *testing.T) {
+	m := DefaultModel()
+	// Rising region.
+	for n := 1; n < 6; n++ {
+		if m.Throughput(n+1) <= m.Throughput(n) {
+			t.Fatalf("throughput not rising at %d threads", n)
+		}
+	}
+	// Peak at 6 threads, as in Figure 6.
+	if got := m.PeakThreads(16); got != 6 {
+		t.Fatalf("PeakThreads = %d, want 6", got)
+	}
+	// Declining (or flat) beyond the peak.
+	peak := m.Throughput(6)
+	for n := 7; n <= 16; n++ {
+		if m.Throughput(n) > peak {
+			t.Fatalf("throughput at %d threads exceeds the peak", n)
+		}
+	}
+	if m.Throughput(12) >= m.Throughput(7) {
+		t.Fatal("no degradation visible in the oversubscribed region")
+	}
+	if m.Throughput(0) != 0 {
+		t.Fatal("zero threads should give zero throughput")
+	}
+}
+
+func TestModelTime(t *testing.T) {
+	m := DefaultModel()
+	bytes := int64(10e6)
+	t6 := m.Time(bytes, 6)
+	t1 := m.Time(bytes, 1)
+	if t6 >= t1 {
+		t.Fatalf("6 threads (%gs) not faster than 1 (%gs)", t6, t1)
+	}
+	want := float64(bytes) / (m.Throughput(6) * 1e6)
+	if math.Abs(t6-want) > 1e-12 {
+		t.Fatalf("Time = %g, want %g", t6, want)
+	}
+	if m.Time(bytes, 0) != 0 {
+		t.Fatal("zero-thread time should be 0 (no work submitted)")
+	}
+}

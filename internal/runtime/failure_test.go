@@ -1,0 +1,43 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/loader"
+	"repro/internal/tier"
+)
+
+func TestPFSStoreFailureInjection(t *testing.T) {
+	ds, _ := dataset.Generate(dataset.Spec{
+		Name: "f", NumSamples: 10, MeanSize: 1 << 10, Classes: 1, Seed: 3,
+	})
+	store := NewPFSStore(ds, 3, tier.ThetaGPULike().PFS, 0.0001)
+	store.SetFailureRate(1.0)
+	if _, err := store.Read(0); err != ErrTransient {
+		t.Fatalf("expected injected failure, got %v", err)
+	}
+	if store.Failures() != 1 {
+		t.Fatalf("failures = %d, want 1", store.Failures())
+	}
+	store.SetFailureRate(0)
+	if _, err := store.Read(0); err != nil {
+		t.Fatalf("read after clearing failure rate: %v", err)
+	}
+}
+
+func TestTrainingSurvivesTransientPFSFailures(t *testing.T) {
+	opts := testOptions(t, loader.NoPFS(2, 8), 1, 2)
+	opts.PFSFailureRate = 0.15 // 15% of PFS reads time out
+	stats, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(stats.Iterations) * uint64(2*opts.Model.BatchSize)
+	if stats.SamplesVerified != want {
+		t.Fatalf("verified %d/%d under failure injection", stats.SamplesVerified, want)
+	}
+	if stats.PFSRetries == 0 {
+		t.Fatal("no retries recorded despite 15% failure rate")
+	}
+}

@@ -1,0 +1,48 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/kvstore"
+	"repro/internal/loader"
+)
+
+func TestKVClusterAsSharedCacheTier(t *testing.T) {
+	// Three shards back the shared tier; two nodes miss into it.
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		s, err := kvstore.NewServer("127.0.0.1:0", 8<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		addrs = append(addrs, s.Addr())
+	}
+	cluster, err := kvstore.NewCluster(addrs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	opts := testOptions(t, loader.Lobster(), 2, 2)
+	opts.KVCache = cluster
+	stats, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(stats.Iterations) * uint64(4*opts.Model.BatchSize)
+	if stats.SamplesVerified != want {
+		t.Fatalf("verified %d, want %d", stats.SamplesVerified, want)
+	}
+	// Node B must find node A's PFS write-backs in the cluster.
+	if stats.RemoteHits == 0 {
+		t.Fatal("no KV-cluster hits across nodes")
+	}
+	st, err := cluster.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Items == 0 || st.Hits == 0 {
+		t.Fatalf("cluster unused: %+v", st)
+	}
+}

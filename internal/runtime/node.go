@@ -1,0 +1,357 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/cache"
+	"repro/internal/dataset"
+	"repro/internal/loader"
+	"repro/internal/preproc"
+)
+
+// nodeCache pairs the policy-managed membership cache with the payload
+// store, behind one mutex, and keeps the distributed directory consistent
+// with local contents.
+type nodeCache struct {
+	mu       sync.Mutex
+	node     int
+	c        *cache.Cache
+	payloads map[dataset.SampleID][]byte
+	dir      *Directory
+}
+
+func newNodeCache(node int, capacity int64, policy cache.Policy, dir *Directory) (*nodeCache, error) {
+	c, err := cache.New(capacity, policy)
+	if err != nil {
+		return nil, err
+	}
+	return &nodeCache{
+		node:     node,
+		c:        c,
+		payloads: make(map[dataset.SampleID][]byte),
+		dir:      dir,
+	}, nil
+}
+
+// get returns the cached payload and records the hit/miss.
+func (nc *nodeCache) get(id dataset.SampleID, now cache.Iter) ([]byte, bool) {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	if nc.c.Get(id, now) {
+		return nc.payloads[id], true
+	}
+	return nil, false
+}
+
+// peek returns the payload without touching stats (peer reads must not
+// perturb the owner's hit accounting, Section 5.5 measures per-node cache
+// hits).
+func (nc *nodeCache) peek(id dataset.SampleID) ([]byte, bool) {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	p, ok := nc.payloads[id]
+	return p, ok
+}
+
+// put inserts a payload (policy permitting) and syncs the directory.
+func (nc *nodeCache) put(id dataset.SampleID, payload []byte, now cache.Iter) bool {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	if nc.c.Contains(id) {
+		return true
+	}
+	evicted, ok := nc.c.Put(id, int64(len(payload)), now)
+	for _, ev := range evicted {
+		delete(nc.payloads, ev)
+		nc.dir.Remove(nc.node, ev)
+	}
+	if ok {
+		nc.payloads[id] = payload
+		nc.dir.Add(nc.node, id)
+	}
+	return ok
+}
+
+// maintain runs proactive policy evictions.
+func (nc *nodeCache) maintain(now cache.Iter) {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	for _, ev := range nc.c.Maintain(now) {
+		delete(nc.payloads, ev)
+		nc.dir.Remove(nc.node, ev)
+	}
+}
+
+func (nc *nodeCache) stats() cache.Stats {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	return nc.c.Stats()
+}
+
+// loadRequest asks a loading worker to materialize one sample for one GPU.
+type loadRequest struct {
+	id   dataset.SampleID
+	seed uint64
+	out  chan<- preproc.Result
+}
+
+// gpuQueue is the per-GPU request queue of Section 4.2 with a resizable
+// worker set — "a separate request queue for each GPU, each of which can
+// be assigned a different number of threads".
+type gpuQueue struct {
+	reqs    chan loadRequest
+	node    *nodeRuntime
+	mu      sync.Mutex
+	target  int
+	stops   chan struct{}
+	wg      *sync.WaitGroup
+	pending atomic.Int64
+}
+
+func newGPUQueue(node *nodeRuntime, workers int, wg *sync.WaitGroup) *gpuQueue {
+	q := &gpuQueue{
+		reqs:  make(chan loadRequest, 1024),
+		node:  node,
+		stops: make(chan struct{}, 256),
+		wg:    wg,
+	}
+	q.resize(workers)
+	return q
+}
+
+func (q *gpuQueue) submit(r loadRequest) {
+	q.pending.Add(1)
+	q.reqs <- r
+}
+
+func (q *gpuQueue) resize(n int) {
+	if n < 1 {
+		n = 1
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.target < n {
+		q.target++
+		q.wg.Add(1)
+		go q.worker()
+	}
+	for q.target > n {
+		q.target--
+		q.stops <- struct{}{}
+	}
+}
+
+func (q *gpuQueue) workers() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.target
+}
+
+func (q *gpuQueue) worker() {
+	defer q.wg.Done()
+	for {
+		select {
+		case <-q.stops:
+			return
+		case r, ok := <-q.reqs:
+			if !ok {
+				return
+			}
+			q.node.load(r)
+			q.pending.Add(-1)
+		}
+	}
+}
+
+// nodeRuntime is everything co-located on one node.
+type nodeRuntime struct {
+	node    int
+	rt      *Runtime
+	cache   *nodeCache
+	queues  []*gpuQueue
+	pre     *preproc.Pool
+	plan    *access.Plan
+	iterNow atomic.Int32 // current global iteration (policy timestamps)
+
+	remoteHits atomic.Uint64
+	pfsReads   atomic.Uint64
+	prefetched atomic.Uint64
+	pfsRetries atomic.Uint64
+
+	loadWG   sync.WaitGroup
+	serverWG sync.WaitGroup
+	prefWG   sync.WaitGroup
+	stopPref chan struct{}
+}
+
+// load materializes one sample: local cache, else peer cache, else PFS —
+// then hands it to preprocessing. This is the Equation 1 path, executed
+// for real.
+func (n *nodeRuntime) load(r loadRequest) {
+	now := cache.Iter(n.iterNow.Load())
+	payload, ok := n.cache.get(r.id, now)
+	if !ok {
+		payload = n.fetchMiss(r.id, now)
+	}
+	n.pre.Submit(preproc.Job{ID: r.id, Payload: payload, Seed: r.seed, Done: r.out})
+}
+
+// fetchMiss pulls a missing sample from the shared cache tier (peer
+// caches via the distribution manager, or a KV cluster when configured)
+// or the PFS, and caches it locally.
+func (n *nodeRuntime) fetchMiss(id dataset.SampleID, now cache.Iter) []byte {
+	if n.rt.kv != nil {
+		if payload, found, err := n.rt.kv.Get(kvKey(id)); err == nil && found {
+			n.remoteHits.Add(1)
+			n.cache.put(id, payload, now)
+			return payload
+		}
+	} else if peer := n.rt.dir.Holder(id, n.node); peer >= 0 {
+		if payload := n.rt.dm.Fetch(peer, id, n.rt.ds.Size(id)); payload != nil {
+			n.remoteHits.Add(1)
+			n.cache.put(id, payload, now)
+			return payload
+		}
+	}
+	payload := n.pfsReadRetry(id)
+	n.pfsReads.Add(1)
+	n.cache.put(id, payload, now)
+	if n.rt.kv != nil {
+		// Write-back so other nodes find it in the shared tier; the
+		// cluster's own LRU bounds its memory.
+		_ = n.rt.kv.Put(kvKey(id), payload)
+	}
+	return payload
+}
+
+// pfsReadRetry reads from the PFS, retrying transient failures with
+// capped exponential backoff. Training cannot proceed without the sample,
+// so the loop is unbounded — matching real loaders, which surface storage
+// outages as hangs rather than corrupt batches. Retries are counted for
+// the failure-injection diagnostics.
+func (n *nodeRuntime) pfsReadRetry(id dataset.SampleID) []byte {
+	backoff := time.Millisecond
+	for {
+		payload, err := n.rt.pfs.Read(id)
+		if err == nil {
+			return payload
+		}
+		if err != ErrTransient {
+			// Unreachable for in-range ids; surface loudly if it happens.
+			panic(fmt.Sprintf("runtime: PFS read failed: %v", err))
+		}
+		n.pfsRetries.Add(1)
+		time.Sleep(backoff)
+		if backoff < 16*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// kvKey renders a sample's cluster key.
+func kvKey(id dataset.SampleID) string {
+	return fmt.Sprintf("sample/%d", id)
+}
+
+// serveRemote answers peer-cache fetches until the inbox closes.
+func (n *nodeRuntime) serveRemote() {
+	defer n.serverWG.Done()
+	for req := range n.rt.dm.Inbox(n.node) {
+		payload, ok := n.cache.peek(req.id)
+		if !ok {
+			payload = nil
+		}
+		req.reply <- payload
+	}
+}
+
+// prefetcher walks the node's future accesses, keeping the cache filled
+// ahead of training. It runs in its own (small) worker set so it competes
+// with demand loading for storage bandwidth exactly as real background
+// prefetching does.
+func (n *nodeRuntime) prefetcher(workers, depthIters int) {
+	for w := 0; w < workers; w++ {
+		n.prefWG.Add(1)
+		go func() {
+			defer n.prefWG.Done()
+			cursor := access.Iter(0)
+			var batch []dataset.SampleID
+			for {
+				select {
+				case <-n.stopPref:
+					return
+				default:
+				}
+				now := access.Iter(n.iterNow.Load())
+				if cursor <= now {
+					cursor = now + 1
+				}
+				if cursor > now+access.Iter(depthIters) || int(cursor) >= int(n.rt.totalIters) {
+					// Caught up: yield briefly.
+					select {
+					case <-n.stopPref:
+						return
+					case <-n.rt.tick:
+					}
+					continue
+				}
+				epoch := int(cursor) / n.rt.itersPerEpoch
+				it := int(cursor) % n.rt.itersPerEpoch
+				batch = n.rt.sched.NodeBatch(batch[:0], epoch, it, n.node, n.rt.gpus)
+				for _, id := range batch {
+					select {
+					case <-n.stopPref:
+						return
+					default:
+					}
+					nowC := cache.Iter(n.iterNow.Load())
+					if _, ok := n.cache.peek(id); ok {
+						continue
+					}
+					payload := n.fetchPrefetch(id, nowC)
+					if payload == nil {
+						break // cache refused: later candidates are needed later
+					}
+					n.prefetched.Add(1)
+				}
+				cursor++
+			}
+		}()
+	}
+}
+
+// fetchPrefetch fetches a sample for the cache only; returns nil if the
+// cache policy refused the insert.
+func (n *nodeRuntime) fetchPrefetch(id dataset.SampleID, now cache.Iter) []byte {
+	size := n.rt.ds.Size(id)
+	var payload []byte
+	if n.rt.kv != nil {
+		if p, found, err := n.rt.kv.Get(kvKey(id)); err == nil && found {
+			payload = p
+		}
+	} else if peer := n.rt.dir.Holder(id, n.node); peer >= 0 {
+		payload = n.rt.dm.Fetch(peer, id, size)
+	}
+	if payload == nil {
+		payload = n.pfsReadRetry(id)
+		n.pfsReads.Add(1)
+		if n.rt.kv != nil {
+			_ = n.rt.kv.Put(kvKey(id), payload)
+		}
+	}
+	if !n.cache.put(id, payload, now) {
+		return nil
+	}
+	return payload
+}
+
+// buildNodePolicy instantiates the strategy's cache policy for this node.
+func buildNodePolicy(spec loader.Spec, plan *access.Plan, node int, dir *Directory) cache.Policy {
+	return spec.BuildPolicy(plan, func(id dataset.SampleID) bool {
+		return dir.IsLastCopy(node, id)
+	})
+}

@@ -1,0 +1,673 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/allreduce"
+	"repro/internal/cache"
+	"repro/internal/cluster"
+	"repro/internal/datafile"
+	"repro/internal/dataset"
+	"repro/internal/kvstore"
+	"repro/internal/loader"
+	"repro/internal/perfmodel"
+	"repro/internal/plan"
+	"repro/internal/preproc"
+	"repro/internal/sampler"
+	"repro/internal/threadmgr"
+)
+
+// Options configure an online training run.
+type Options struct {
+	Topology cluster.Topology
+	Dataset  *dataset.Dataset
+	Model    cluster.DNNModel
+	Epochs   int
+	Seed     uint64
+	Strategy loader.Spec
+	// TimeScale multiplies all modeled durations (storage latencies,
+	// training compute). 0.01 runs 100x faster than modeled time —
+	// examples finish in tens of milliseconds while still exercising real
+	// contention. Default 0.01.
+	TimeScale float64
+	// PrefetchWorkers bounds the background prefetching concurrency
+	// (default 2 for strategies with PrefetchDepth > 0).
+	PrefetchWorkers int
+	// Verify enables end-to-end payload verification of every decoded
+	// tensor (default true).
+	Verify *bool
+	// ThreadPlan, when non-nil, switches thread management into
+	// plan-following mode: each iteration's pool sizes come from the
+	// pre-computed offline plan (Section 4.5) instead of the live
+	// controller. The plan's topology must match.
+	ThreadPlan *plan.Plan
+	// DataFilePath, when set, backs the PFS store with a packed on-disk
+	// dataset file (written by cmd/lobster-pack or datafile.Write): every
+	// PFS read becomes a real positional file read, checksum-verified.
+	DataFilePath string
+	// PFSFailureRate injects transient PFS read failures with the given
+	// per-read probability (failure-injection testing; loaders retry with
+	// backoff). Default 0.
+	PFSFailureRate float64
+	// DecideEvery is how often (iterations) the dynamic thread controller
+	// re-runs (Section 4.1's overhead/adaptivity trade-off; default 1).
+	DecideEvery int
+	// GradientSize is the per-iteration pseudo-gradient length each GPU
+	// contributes to the ring allreduce that implements the data-parallel
+	// barrier (default 64; -1 disables the collective and leaves only
+	// the synchronization barrier). All ranks must obtain bit-identical
+	// averaged gradients; the run fails verification otherwise.
+	GradientSize int
+	// OnProgress, when non-nil, receives a Progress snapshot at the end
+	// of every iteration (from the barrier's last arriver). Keep the
+	// callback cheap; it runs on the training critical path.
+	OnProgress func(Progress)
+	// KVCache, when non-nil, replaces the node-to-node distribution
+	// manager with a shared KV-store cluster as the middle cache tier
+	// (the "alternatives to distributed caching like for example
+	// KV-stores" of Section 2). Misses go local cache -> KV cluster ->
+	// PFS, with PFS fetches written back to the cluster.
+	KVCache *kvstore.Cluster
+}
+
+// Progress is a live mid-run snapshot published through
+// Options.OnProgress (and typically forwarded to a monitor.Server).
+type Progress struct {
+	Iteration  int     `json:"iteration"`
+	TotalIters int     `json:"total_iterations"`
+	Epoch      int     `json:"epoch"`
+	CacheHits  uint64  `json:"cache_hits"`
+	CacheMiss  uint64  `json:"cache_misses"`
+	RemoteHits uint64  `json:"remote_hits"`
+	PFSReads   uint64  `json:"pfs_reads"`
+	Prefetched uint64  `json:"prefetched"`
+	HitRatio   float64 `json:"hit_ratio"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+}
+
+// Stats summarize an online run.
+type Stats struct {
+	WallTime        time.Duration
+	Iterations      int
+	SamplesLoaded   uint64
+	SamplesVerified uint64
+	CacheHits       uint64
+	CacheMisses     uint64
+	RemoteHits      uint64
+	PFSReads        uint64
+	PFSRetries      uint64
+	Prefetched      uint64
+	AllreduceRounds uint64
+	// FinalPreprocThreads/FinalLoadThreads record the last thread
+	// decision per node (diagnostics for the thread-tuning example).
+	FinalPreprocThreads []int
+	FinalLoadThreads    [][]int
+}
+
+// HitRatio returns local cache hits over lookups.
+func (s *Stats) HitRatio() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// Runtime is one online training run's shared state.
+type Runtime struct {
+	opts  Options
+	ds    *dataset.Dataset
+	sched *sampler.Schedule
+	dir   *Directory
+	dm    *DistributionManager
+	pfs   *PFSStore
+	kv    *kvstore.Cluster
+	nodes []*nodeRuntime
+	mgrs  []*threadmgr.Manager
+
+	gpus          int
+	itersPerEpoch int
+	totalIters    int
+	tick          chan struct{}
+	runDone       chan struct{}
+}
+
+// barrier is the data-parallel allreduce stand-in: all GPUs arrive, the
+// last one runs the per-iteration action (cache maintenance, thread
+// decisions), then everyone proceeds.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	size    int
+	arrived int
+	gen     int
+	onLast  func(completedIter int)
+}
+
+func newBarrier(size int, onLast func(int)) *barrier {
+	b := &barrier{size: size, onLast: onLast}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.arrived++
+	if b.arrived == b.size {
+		if b.onLast != nil {
+			b.onLast(b.gen)
+		}
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	gen := b.gen
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+}
+
+// Run executes the online training and returns its statistics.
+func Run(opts Options) (*Stats, error) {
+	return RunContext(context.Background(), opts)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled, every GPU
+// stops at its next iteration boundary, the runtime shuts down cleanly
+// (queues drained, pools closed, remote servers stopped), and the partial
+// statistics are returned alongside ctx.Err().
+func RunContext(ctx context.Context, opts Options) (*Stats, error) {
+	if opts.Dataset == nil {
+		return nil, fmt.Errorf("runtime: nil dataset")
+	}
+	if err := opts.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Epochs < 1 {
+		return nil, fmt.Errorf("runtime: epochs %d < 1", opts.Epochs)
+	}
+	if err := opts.Strategy.Validate(opts.Topology.GPUsPerNode, opts.Topology.CPUThreads); err != nil {
+		return nil, err
+	}
+	if opts.TimeScale <= 0 {
+		opts.TimeScale = 0.01
+	}
+	if opts.PrefetchWorkers <= 0 {
+		opts.PrefetchWorkers = 2
+	}
+	if opts.GradientSize == 0 {
+		opts.GradientSize = 64
+	}
+	if opts.DecideEvery < 1 {
+		opts.DecideEvery = 1
+	}
+	verify := true
+	if opts.Verify != nil {
+		verify = *opts.Verify
+	}
+	if opts.ThreadPlan != nil {
+		if err := opts.ThreadPlan.Validate(); err != nil {
+			return nil, err
+		}
+		if opts.ThreadPlan.Nodes != opts.Topology.Nodes ||
+			opts.ThreadPlan.GPUsPerNode != opts.Topology.GPUsPerNode {
+			return nil, fmt.Errorf("runtime: plan topology %dx%d does not match run topology %dx%d",
+				opts.ThreadPlan.Nodes, opts.ThreadPlan.GPUsPerNode,
+				opts.Topology.Nodes, opts.Topology.GPUsPerNode)
+		}
+	}
+
+	top := opts.Topology
+	sched, err := sampler.New(opts.Dataset, sampler.Config{
+		WorldSize: top.WorldSize(),
+		BatchSize: opts.Model.BatchSize,
+		Seed:      opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dir, err := NewDirectory(opts.Dataset.Len(), top.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		opts:          opts,
+		kv:            opts.KVCache,
+		ds:            opts.Dataset,
+		sched:         sched,
+		dir:           dir,
+		dm:            NewDistributionManager(top.Nodes, top.Hierarchy.Remote, opts.TimeScale),
+		pfs:           newPFSStoreWithFailures(opts),
+		gpus:          top.GPUsPerNode,
+		itersPerEpoch: sched.IterationsPerEpoch(),
+		tick:          make(chan struct{}, 4*top.Nodes*opts.PrefetchWorkers),
+		runDone:       make(chan struct{}),
+	}
+	rt.totalIters = opts.Epochs * rt.itersPerEpoch
+	if fileReader, err := openDataFile(opts, rt.pfs); err != nil {
+		return nil, err
+	} else if fileReader != nil {
+		defer fileReader.Close()
+	}
+
+	// Per-node runtimes.
+	dynamic := opts.Strategy.Mode == loader.ThreadsDynamic
+	var portfolio *perfmodel.PreprocPortfolio
+	if dynamic {
+		truth := preproc.DefaultModel()
+		portfolio, err = perfmodel.FitPortfolio(
+			[]int64{16 << 10, 64 << 10, 105 << 10, 512 << 10}, top.CPUThreads, 6,
+			func(size int64, threads int) float64 { return truth.Time(size, threads) })
+		if err != nil {
+			return nil, err
+		}
+	}
+	for n := 0; n < top.Nodes; n++ {
+		plan, err := access.Build(sched, n, rt.gpus, opts.Epochs, 0)
+		if err != nil {
+			return nil, err
+		}
+		node := &nodeRuntime{node: n, rt: rt, plan: plan, stopPref: make(chan struct{})}
+		nc, err := newNodeCache(n, top.CacheBytes, buildNodePolicy(opts.Strategy, plan, n, dir), dir)
+		if err != nil {
+			return nil, err
+		}
+		node.cache = nc
+
+		preWorkers, loadWorkers := initialThreads(opts.Strategy, rt.gpus, top.CPUThreads)
+		node.pre, err = preproc.NewPool(preWorkers, 1024)
+		if err != nil {
+			return nil, err
+		}
+		node.queues = make([]*gpuQueue, rt.gpus)
+		for j := 0; j < rt.gpus; j++ {
+			node.queues[j] = newGPUQueue(node, loadWorkers[j], &node.loadWG)
+		}
+		node.serverWG.Add(1)
+		go node.serveRemote()
+		if opts.Strategy.PrefetchDepth > 0 {
+			node.prefetcher(opts.PrefetchWorkers, opts.Strategy.PrefetchDepth)
+		}
+		rt.nodes = append(rt.nodes, node)
+
+		if dynamic {
+			mgr, err := threadmgr.New(threadmgr.Config{
+				Hierarchy:    top.Hierarchy,
+				Portfolio:    portfolio,
+				TotalThreads: top.CPUThreads,
+				Tau:          opts.Model.IterTime * 0.05,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rt.mgrs = append(rt.mgrs, mgr)
+		} else {
+			rt.mgrs = append(rt.mgrs, nil)
+		}
+	}
+
+	stats := &Stats{Iterations: rt.totalIters}
+	var verifyFail error
+	var verifyMu sync.Mutex
+
+	// Cooperative cancellation: stopIter < 0 means "run to completion";
+	// otherwise every GPU stops before starting iteration stopIter. The
+	// barrier's last arriver publishes the stop boundary so all GPUs
+	// agree and nobody is left waiting at the barrier.
+	var stopIter atomic.Int64
+	stopIter.Store(-1)
+	cancelled := make(chan struct{})
+	watcherDone := make(chan struct{})
+	go func() {
+		defer close(watcherDone)
+		select {
+		case <-ctx.Done():
+			close(cancelled)
+		case <-rt.runDone:
+		}
+	}()
+
+	start := time.Now()
+	bar := newBarrier(top.WorldSize(), func(completed int) {
+		select {
+		case <-cancelled:
+			if stopIter.Load() < 0 {
+				stopIter.Store(int64(completed + 1))
+			}
+		default:
+		}
+		now := cache.Iter(completed)
+		for _, node := range rt.nodes {
+			node.iterNow.Store(int32(completed + 1))
+			node.cache.maintain(now)
+		}
+		rt.decideThreads(completed + 1)
+		if opts.OnProgress != nil {
+			opts.OnProgress(rt.progress(completed, start))
+		}
+		// Wake prefetchers without blocking.
+		for i := 0; i < cap(rt.tick); i++ {
+			select {
+			case rt.tick <- struct{}{}:
+			default:
+				i = cap(rt.tick)
+			}
+		}
+	})
+
+	var ring *allreduce.Ring
+	if opts.GradientSize > 0 {
+		ring, err = allreduce.NewRing(top.WorldSize())
+		if err != nil {
+			return nil, err
+		}
+	}
+	gradFolds := make([]uint64, top.WorldSize())
+	allreduceRounds := make([]uint64, top.WorldSize())
+
+	var wg sync.WaitGroup
+	rt.decideThreads(0)
+	for rank := 0; rank < top.WorldSize(); rank++ {
+		rank := rank
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			node := rt.nodes[rank/rt.gpus]
+			q := node.queues[rank%rt.gpus]
+			out := make(chan preproc.Result, opts.Model.BatchSize)
+			var batch []dataset.SampleID
+			var grad []float64
+			if ring != nil {
+				grad = make([]float64, opts.GradientSize)
+			}
+			for h := 0; h < rt.totalIters; h++ {
+				if stopIter.Load() >= 0 && h >= int(stopIter.Load()) {
+					break
+				}
+				epoch, it := h/rt.itersPerEpoch, h%rt.itersPerEpoch
+				batch = rt.sched.Batch(batch[:0], epoch, it, rank)
+				expect := make(map[dataset.SampleID]bool, len(batch))
+				for _, id := range batch {
+					expect[id] = true
+					q.submit(loadRequest{id: id, seed: opts.Seed ^ uint64(h)<<20 ^ uint64(id), out: out})
+				}
+				var batchFold uint64
+				for range batch {
+					res := <-out
+					if res.Tensor != nil {
+						batchFold = batchFold*1099511628211 + res.Tensor.Checksum
+					}
+					if verify {
+						if err := checkResult(res, expect); err != nil {
+							verifyMu.Lock()
+							if verifyFail == nil {
+								verifyFail = err
+							}
+							verifyMu.Unlock()
+						} else {
+							verifyMu.Lock()
+							stats.SamplesVerified++
+							verifyMu.Unlock()
+						}
+					}
+				}
+				verifyMu.Lock()
+				stats.SamplesLoaded += uint64(len(batch))
+				verifyMu.Unlock()
+				// The training stage: compute, then average the
+				// pseudo-gradient with every other GPU — the collective
+				// that makes any straggler a global stall.
+				time.Sleep(time.Duration(opts.Model.IterTime * opts.TimeScale * float64(time.Second)))
+				if ring != nil {
+					for i := range grad {
+						grad[i] = float64((batchFold>>uint(i%32))&0xFFFF) / 65536
+					}
+					if err := ring.Average(rank, grad); err != nil {
+						verifyMu.Lock()
+						if verifyFail == nil {
+							verifyFail = err
+						}
+						verifyMu.Unlock()
+					} else {
+						// Fold the averaged gradient so ranks can be
+						// compared for bit-identical results at the end.
+						fold := uint64(1469598103934665603)
+						for _, v := range grad {
+							fold = fold*1099511628211 + math.Float64bits(v)
+						}
+						gradFolds[rank] = gradFolds[rank]*31 + fold
+						allreduceRounds[rank]++
+					}
+				}
+				bar.wait()
+			}
+		}()
+	}
+	wg.Wait()
+	close(rt.runDone)
+	<-watcherDone
+	stats.WallTime = time.Since(start)
+	if stop := stopIter.Load(); stop >= 0 {
+		stats.Iterations = int(stop)
+	}
+
+	// Shut down: prefetchers, queues, preproc pools, remote servers.
+	for _, node := range rt.nodes {
+		close(node.stopPref)
+	}
+	// Drain any blocked prefetcher ticks.
+	for i := 0; i < cap(rt.tick); i++ {
+		select {
+		case rt.tick <- struct{}{}:
+		default:
+		}
+	}
+	for _, node := range rt.nodes {
+		node.prefWG.Wait()
+		close(node.queues[0].reqs)
+		for j := 1; j < len(node.queues); j++ {
+			close(node.queues[j].reqs)
+		}
+		node.loadWG.Wait()
+		node.pre.Close()
+	}
+	rt.dm.Close()
+	for _, node := range rt.nodes {
+		node.serverWG.Wait()
+	}
+
+	for _, node := range rt.nodes {
+		cs := node.cache.stats()
+		stats.CacheHits += cs.Hits
+		stats.CacheMisses += cs.Misses
+		stats.RemoteHits += node.remoteHits.Load()
+		stats.PFSReads += node.pfsReads.Load()
+		stats.PFSRetries += node.pfsRetries.Load()
+		stats.Prefetched += node.prefetched.Load()
+		stats.FinalPreprocThreads = append(stats.FinalPreprocThreads, node.pre.Workers())
+		row := make([]int, len(node.queues))
+		for j, q := range node.queues {
+			row[j] = q.workers()
+		}
+		stats.FinalLoadThreads = append(stats.FinalLoadThreads, row)
+	}
+	if ring != nil {
+		stats.AllreduceRounds = allreduceRounds[0]
+		for rank := 1; rank < len(gradFolds); rank++ {
+			if gradFolds[rank] != gradFolds[0] && verifyFail == nil {
+				verifyFail = fmt.Errorf("runtime: rank %d averaged gradients diverged from rank 0", rank)
+			}
+		}
+	}
+	if verifyFail != nil {
+		return stats, verifyFail
+	}
+	if err := ctx.Err(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// newPFSStoreWithFailures builds the PFS store with optional failure
+// injection.
+func newPFSStoreWithFailures(opts Options) *PFSStore {
+	store := NewPFSStore(opts.Dataset, opts.Seed, opts.Topology.Hierarchy.PFS, opts.TimeScale)
+	if opts.PFSFailureRate > 0 {
+		store.SetFailureRate(opts.PFSFailureRate)
+	}
+	return store
+}
+
+// openDataFile attaches the on-disk dataset to the PFS store when
+// configured.
+func openDataFile(opts Options, store *PFSStore) (*datafile.Reader, error) {
+	if opts.DataFilePath == "" {
+		return nil, nil
+	}
+	r, err := datafile.Open(opts.DataFilePath, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := store.UseFile(r); err != nil {
+		r.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// progress assembles a live snapshot after `completed` finished.
+func (rt *Runtime) progress(completed int, start time.Time) Progress {
+	p := Progress{
+		Iteration:  completed + 1,
+		TotalIters: rt.totalIters,
+		Epoch:      completed / rt.itersPerEpoch,
+		ElapsedSec: time.Since(start).Seconds(),
+	}
+	for _, node := range rt.nodes {
+		cs := node.cache.stats()
+		p.CacheHits += cs.Hits
+		p.CacheMiss += cs.Misses
+		p.RemoteHits += node.remoteHits.Load()
+		p.PFSReads += node.pfsReads.Load()
+		p.Prefetched += node.prefetched.Load()
+	}
+	if total := p.CacheHits + p.CacheMiss; total > 0 {
+		p.HitRatio = float64(p.CacheHits) / float64(total)
+	}
+	return p
+}
+
+// checkResult validates a preprocessing result against the expected batch.
+func checkResult(res preproc.Result, expect map[dataset.SampleID]bool) error {
+	if res.Err != nil {
+		return res.Err
+	}
+	if !expect[res.Tensor.ID] {
+		return fmt.Errorf("runtime: unexpected sample %d in batch", res.Tensor.ID)
+	}
+	if res.Tensor.Checksum == 0 {
+		return fmt.Errorf("runtime: sample %d decoded to zero checksum", res.Tensor.ID)
+	}
+	return nil
+}
+
+// initialThreads derives the starting thread assignment from the strategy.
+func initialThreads(spec loader.Spec, gpus, total int) (pre int, load []int) {
+	load = make([]int, gpus)
+	switch spec.Mode {
+	case loader.ThreadsStatic:
+		pre = spec.PreprocThreads
+		for j := range load {
+			load[j] = spec.LoadingPerGPU
+		}
+	case loader.ThreadsSharedPool:
+		// The shared pool is approximated by spreading its workers over
+		// the per-GPU queues (the online runtime always uses multi-queue
+		// plumbing; the pool size is what varies).
+		pre = spec.PreprocThreads
+		for j := range load {
+			load[j] = spec.SharedLoading/gpus + 1
+		}
+	default: // dynamic: start proportional, controller adjusts
+		pre = total / 3
+		if pre < 1 {
+			pre = 1
+		}
+		for j := range load {
+			load[j] = (total - pre) / gpus
+			if load[j] < 1 {
+				load[j] = 1
+			}
+		}
+	}
+	return pre, load
+}
+
+// decideThreads sets iteration h's thread assignment: from the offline
+// plan when one is loaded, otherwise from the live controller (dynamic
+// strategies only).
+func (rt *Runtime) decideThreads(h int) {
+	if h >= rt.totalIters {
+		return
+	}
+	if rt.opts.ThreadPlan != nil {
+		for n, node := range rt.nodes {
+			th := rt.opts.ThreadPlan.ThreadsAt(h)[n]
+			if err := node.pre.Resize(th.Preproc); err == nil {
+				for j, q := range node.queues {
+					q.resize(th.Loading[j])
+				}
+			}
+		}
+		return
+	}
+	if h%rt.opts.DecideEvery != 0 {
+		return // keep the previous allocation (Section 4.1 frequency knob)
+	}
+	epoch, it := h/rt.itersPerEpoch, h%rt.itersPerEpoch
+	for n, node := range rt.nodes {
+		mgr := rt.mgrs[n]
+		if mgr == nil {
+			continue
+		}
+		demands := make([]threadmgr.GPUDemand, rt.gpus)
+		var batch []dataset.SampleID
+		for j := 0; j < rt.gpus; j++ {
+			batch = rt.sched.Batch(batch[:0], epoch, it, n*rt.gpus+j)
+			var pl perfmodel.BatchPlacement
+			for _, id := range batch {
+				size := rt.ds.Size(id)
+				if _, ok := node.cache.peek(id); ok {
+					pl.LocalBytes += size
+					pl.LocalOps++
+				} else if rt.dir.Holder(id, n) >= 0 {
+					pl.RemoteBytes += size
+					pl.RemoteOps++
+				} else {
+					pl.PFSBytes += size
+					pl.PFSOps++
+				}
+			}
+			demands[j] = threadmgr.GPUDemand{
+				Placement:    pl,
+				QueueLen:     pl.TotalOps() + int(node.queues[j].pending.Load()),
+				PreprocBytes: pl.TotalBytes(),
+				PreprocCount: pl.TotalOps(),
+			}
+		}
+		dec := mgr.Decide(demands, rt.opts.Model.IterTime, rt.opts.Topology.Nodes)
+		if err := node.pre.Resize(dec.PreprocThreads); err == nil {
+			for j, q := range node.queues {
+				q.resize(dec.Loading[j])
+			}
+		}
+	}
+}

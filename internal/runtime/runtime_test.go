@@ -1,0 +1,215 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/loader"
+	"repro/internal/tier"
+)
+
+func testOptions(t testing.TB, spec loader.Spec, nodes, epochs int) Options {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.Spec{
+		Name: "rt", NumSamples: 512, MeanSize: 8 << 10, SigmaLog: 0.3,
+		MinSize: 1 << 10, Classes: 4, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := cluster.Topology{
+		Nodes:       nodes,
+		GPUsPerNode: 2,
+		CPUThreads:  8,
+		CacheBytes:  ds.TotalBytes() / 3,
+		NUMADomains: 2,
+		Hierarchy:   tier.ThetaGPULike(),
+	}
+	model := cluster.DNNModel{Name: "toy", IterTime: 0.004, BatchSize: 8, TargetAccuracy: 0.7, ConvergeEpochs: 10}
+	return Options{
+		Topology:  top,
+		Dataset:   ds,
+		Model:     model,
+		Epochs:    epochs,
+		Seed:      77,
+		Strategy:  spec,
+		TimeScale: 0.02,
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	opts := testOptions(t, loader.Lobster(), 1, 1)
+	bad := opts
+	bad.Dataset = nil
+	if _, err := Run(bad); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	bad = opts
+	bad.Epochs = 0
+	if _, err := Run(bad); err == nil {
+		t.Error("zero epochs accepted")
+	}
+	bad = opts
+	bad.Topology.Nodes = 0
+	if _, err := Run(bad); err == nil {
+		t.Error("bad topology accepted")
+	}
+}
+
+func TestSingleNodeLobsterEndToEnd(t *testing.T) {
+	opts := testOptions(t, loader.Lobster(), 1, 3)
+	stats, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world := opts.Topology.WorldSize()
+	wantSamples := uint64(stats.Iterations) * uint64(world*opts.Model.BatchSize)
+	if stats.SamplesLoaded != wantSamples {
+		t.Fatalf("loaded %d samples, want %d", stats.SamplesLoaded, wantSamples)
+	}
+	if stats.SamplesVerified != wantSamples {
+		t.Fatalf("verified %d samples, want %d (every tensor must verify)", stats.SamplesVerified, wantSamples)
+	}
+	if stats.CacheHits+stats.CacheMisses != wantSamples {
+		t.Fatalf("cache lookups %d != samples %d", stats.CacheHits+stats.CacheMisses, wantSamples)
+	}
+	if stats.HitRatio() <= 0 {
+		t.Fatal("no cache hits at all after three epochs")
+	}
+	if stats.Prefetched == 0 {
+		t.Fatal("Lobster never prefetched")
+	}
+	if stats.WallTime <= 0 {
+		t.Fatal("wall time not measured")
+	}
+}
+
+func TestMultiNodeRemoteHits(t *testing.T) {
+	// Demand-only loading makes peer fetches structural rather than a
+	// race: after epoch 1, every sample is cached on the node that used
+	// it, and the shuffle reassigns most samples to a different node —
+	// whose miss must find the peer copy through the directory.
+	opts := testOptions(t, loader.PyTorch(2, 8), 3, 3)
+	stats, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RemoteHits == 0 {
+		t.Fatal("no peer-cache fetches on a 3-node run with generous caches")
+	}
+	if stats.PFSReads == 0 {
+		t.Fatal("PFS never used (first epoch must miss)")
+	}
+}
+
+func TestAllStrategiesComplete(t *testing.T) {
+	for _, spec := range []loader.Spec{
+		loader.PyTorch(2, 8),
+		loader.DALI(8),
+		loader.NoPFS(2, 8),
+		loader.Lobster(),
+		loader.LobsterTh(),
+	} {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			opts := testOptions(t, spec, 1, 2)
+			stats, err := Run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := uint64(stats.Iterations) * uint64(2*opts.Model.BatchSize)
+			if stats.SamplesVerified != want {
+				t.Fatalf("verified %d, want %d", stats.SamplesVerified, want)
+			}
+		})
+	}
+}
+
+func TestDynamicControllerAdjustsThreads(t *testing.T) {
+	opts := testOptions(t, loader.Lobster(), 1, 2)
+	stats, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.FinalPreprocThreads) != 1 || stats.FinalPreprocThreads[0] < 1 {
+		t.Fatalf("no preprocessing threads recorded: %v", stats.FinalPreprocThreads)
+	}
+	total := stats.FinalPreprocThreads[0]
+	for _, l := range stats.FinalLoadThreads[0] {
+		if l < 1 {
+			t.Fatalf("GPU with %d loading threads", l)
+		}
+		total += l
+	}
+	if total > opts.Topology.CPUThreads {
+		t.Fatalf("final thread total %d exceeds budget %d", total, opts.Topology.CPUThreads)
+	}
+}
+
+func TestThrottleSerializes(t *testing.T) {
+	th := NewThrottle(1.0)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th.Acquire(0.01) // 10 ms each
+		}()
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed < 35*time.Millisecond {
+		t.Fatalf("4 x 10ms acquisitions finished in %v; throttle not serializing", elapsed)
+	}
+}
+
+func TestDirectory(t *testing.T) {
+	d, err := NewDirectory(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDirectory(10, 65); err == nil {
+		t.Fatal("65 nodes accepted")
+	}
+	d.Add(1, 5)
+	if got := d.Holder(5, 0); got != 1 {
+		t.Fatalf("Holder = %d, want 1", got)
+	}
+	if got := d.Holder(5, 1); got != -1 {
+		t.Fatalf("Holder excluding self = %d, want -1", got)
+	}
+	if !d.IsLastCopy(1, 5) {
+		t.Fatal("sole holder not last copy")
+	}
+	d.Add(2, 5)
+	if d.IsLastCopy(1, 5) {
+		t.Fatal("replicated sample reported last copy")
+	}
+	d.Remove(1, 5)
+	if got := d.Holder(5, 0); got != 2 {
+		t.Fatalf("after remove, Holder = %d, want 2", got)
+	}
+}
+
+func TestPFSStoreServesValidPayloads(t *testing.T) {
+	ds, _ := dataset.Generate(dataset.Spec{
+		Name: "p", NumSamples: 10, MeanSize: 4 << 10, Classes: 1, Seed: 5,
+	})
+	store := NewPFSStore(ds, 5, tier.ThetaGPULike().PFS, 0.001)
+	p, err := store.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.VerifyPayload(p, 5, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Read(100); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+	if store.Ops() != 1 {
+		t.Fatalf("ops = %d, want 1", store.Ops())
+	}
+}

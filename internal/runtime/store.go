@@ -1,0 +1,256 @@
+// Package runtime is the online half of Lobster (Section 4.5): a real,
+// concurrent data-loading runtime built on goroutines. Where
+// internal/pipeline computes what would happen in virtual time, this
+// package actually does it: worker pools load payload bytes through
+// throttled storage tiers, a resizable preprocessing pool decodes and
+// augments them, per-GPU request queues feed trainer goroutines that
+// synchronize on a data-parallel barrier, and a channel-based distribution
+// manager stands in for MPI between node-local caches.
+//
+// Wall-clock durations are the modeled ones multiplied by Options.
+// TimeScale, so integration tests and examples run in milliseconds while
+// exercising the same code paths a full-speed deployment would.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/datafile"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+	"repro/internal/tier"
+)
+
+// Throttle serializes access to a shared bandwidth resource: each Acquire
+// reserves a transfer slot and sleeps until it completes. It models the
+// aggregate-throughput curves of internal/tier in real time.
+type Throttle struct {
+	mu    sync.Mutex
+	next  time.Time
+	scale float64 // time scale factor (1.0 = modeled real time)
+}
+
+// NewThrottle creates a throttle with the given time scale.
+func NewThrottle(scale float64) *Throttle {
+	return &Throttle{scale: scale}
+}
+
+// Acquire reserves `cost` modeled seconds of the resource and sleeps until
+// the reservation completes. Concurrent acquirers queue FIFO, which is
+// exactly how a saturated link behaves.
+func (t *Throttle) Acquire(cost float64) {
+	d := time.Duration(cost * t.scale * float64(time.Second))
+	t.mu.Lock()
+	now := time.Now()
+	start := t.next
+	if start.Before(now) {
+		start = now
+	}
+	end := start.Add(d)
+	t.next = end
+	t.mu.Unlock()
+	time.Sleep(time.Until(end))
+}
+
+// PFSStore serves sample payloads the way a parallel file system would:
+// deterministic contents, per-operation latency, and a shared bandwidth
+// throttle across all clients.
+type PFSStore struct {
+	ds       *dataset.Dataset
+	seed     uint64
+	curve    tier.Curve
+	throttle *Throttle
+	scale    float64
+	file     *datafile.Reader // optional: serve real bytes from disk
+
+	mu       sync.Mutex
+	nOps     int64
+	failures int64
+	failRate float64
+	rng      *stats.RNG
+}
+
+// ErrTransient is returned for injected transient read failures (RPC
+// timeouts, OST hiccups). Callers retry; see SetFailureRate.
+var ErrTransient = fmt.Errorf("runtime: transient PFS failure")
+
+// NewPFSStore builds the store for a dataset. seed must match the
+// dataset's generation seed so payload verification passes end to end.
+func NewPFSStore(ds *dataset.Dataset, seed uint64, curve tier.Curve, scale float64) *PFSStore {
+	return &PFSStore{
+		ds:       ds,
+		seed:     seed,
+		curve:    curve,
+		throttle: NewThrottle(scale),
+		scale:    scale,
+		rng:      stats.NewRNG(stats.DeriveSeed(seed, 0xfa11)),
+	}
+}
+
+// UseFile switches the store to serve payloads from a packed on-disk
+// dataset file (see internal/datafile) instead of regenerating them — the
+// PFS then performs real file I/O per sample read. The file must contain
+// this dataset (same count and seed).
+func (s *PFSStore) UseFile(r *datafile.Reader) error {
+	if r.Len() != s.ds.Len() {
+		return fmt.Errorf("runtime: data file has %d samples, dataset %d", r.Len(), s.ds.Len())
+	}
+	if r.Seed() != s.seed {
+		return fmt.Errorf("runtime: data file seed %d, dataset seed %d", r.Seed(), s.seed)
+	}
+	s.mu.Lock()
+	s.file = r
+	s.mu.Unlock()
+	return nil
+}
+
+// SetFailureRate injects transient failures: each Read independently fails
+// with the given probability (after paying its latency, as a timed-out
+// request would). Used by failure-injection tests and chaos runs.
+func (s *PFSStore) SetFailureRate(rate float64) {
+	s.mu.Lock()
+	s.failRate = rate
+	s.mu.Unlock()
+}
+
+// Failures returns the number of injected failures so far.
+func (s *PFSStore) Failures() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failures
+}
+
+// Read fetches one sample, paying latency and bandwidth.
+func (s *PFSStore) Read(id dataset.SampleID) ([]byte, error) {
+	if int(id) < 0 || int(id) >= s.ds.Len() {
+		return nil, fmt.Errorf("runtime: sample %d out of range", id)
+	}
+	size := s.ds.Size(id)
+	// Latency is per-op and independent; bandwidth is shared.
+	time.Sleep(time.Duration(s.curve.OpLatency * s.scale * float64(time.Second)))
+	s.mu.Lock()
+	if s.failRate > 0 && s.rng.Float64() < s.failRate {
+		s.failures++
+		s.mu.Unlock()
+		return nil, ErrTransient
+	}
+	s.nOps++
+	file := s.file
+	s.mu.Unlock()
+	s.throttle.Acquire(float64(size) / (s.curve.PeakMBps * 1e6))
+	if file != nil {
+		return file.Read(id)
+	}
+	return s.ds.Payload(id), nil
+}
+
+// Ops returns the number of reads served.
+func (s *PFSStore) Ops() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nOps
+}
+
+// Directory tracks which nodes hold which samples — the metadata of the
+// distributed cache. Safe for concurrent use.
+type Directory struct {
+	mu      sync.Mutex
+	holders []uint64 // bitmask of nodes per sample (supports <= 64 nodes)
+}
+
+// NewDirectory creates a directory for numSamples samples across at most
+// 64 nodes.
+func NewDirectory(numSamples, nodes int) (*Directory, error) {
+	if nodes > 64 {
+		return nil, fmt.Errorf("runtime: directory supports <= 64 nodes, got %d", nodes)
+	}
+	return &Directory{holders: make([]uint64, numSamples)}, nil
+}
+
+// Add records that node holds the sample.
+func (d *Directory) Add(node int, id dataset.SampleID) {
+	d.mu.Lock()
+	d.holders[id] |= 1 << uint(node)
+	d.mu.Unlock()
+}
+
+// Remove records that node dropped the sample.
+func (d *Directory) Remove(node int, id dataset.SampleID) {
+	d.mu.Lock()
+	d.holders[id] &^= 1 << uint(node)
+	d.mu.Unlock()
+}
+
+// Holder returns some node holding the sample other than `not`, or -1.
+func (d *Directory) Holder(id dataset.SampleID, not int) int {
+	d.mu.Lock()
+	mask := d.holders[id] &^ (1 << uint(not))
+	d.mu.Unlock()
+	if mask == 0 {
+		return -1
+	}
+	for n := 0; n < 64; n++ {
+		if mask&(1<<uint(n)) != 0 {
+			return n
+		}
+	}
+	return -1
+}
+
+// IsLastCopy reports whether node holds the only copy.
+func (d *Directory) IsLastCopy(node int, id dataset.SampleID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.holders[id] == 1<<uint(node)
+}
+
+// fetchRequest is a peer cache read over the distribution manager.
+type fetchRequest struct {
+	id    dataset.SampleID
+	reply chan []byte // nil payload = not found
+}
+
+// DistributionManager routes peer-cache reads between nodes over channels
+// — the MPI substitute. Each registered node serves its inbox from its
+// own goroutine (started by the node runtime).
+type DistributionManager struct {
+	inboxes []chan fetchRequest
+	curve   tier.Curve
+	scale   float64
+}
+
+// NewDistributionManager creates the manager for n nodes.
+func NewDistributionManager(n int, curve tier.Curve, scale float64) *DistributionManager {
+	dm := &DistributionManager{
+		inboxes: make([]chan fetchRequest, n),
+		curve:   curve,
+		scale:   scale,
+	}
+	for i := range dm.inboxes {
+		dm.inboxes[i] = make(chan fetchRequest, 256)
+	}
+	return dm
+}
+
+// Inbox returns node n's request stream (consumed by its server loop).
+func (dm *DistributionManager) Inbox(n int) <-chan fetchRequest { return dm.inboxes[n] }
+
+// Fetch asks `from` for a sample, paying interconnect latency + transfer.
+// Returns nil if the peer no longer holds it (a benign race: the directory
+// is advisory, exactly as in a real distributed cache).
+func (dm *DistributionManager) Fetch(from int, id dataset.SampleID, size int64) []byte {
+	cost := dm.curve.OpLatency + float64(size)/(dm.curve.PeakMBps*1e6)
+	time.Sleep(time.Duration(cost * dm.scale * float64(time.Second)))
+	reply := make(chan []byte, 1)
+	dm.inboxes[from] <- fetchRequest{id: id, reply: reply}
+	return <-reply
+}
+
+// Close shuts the inboxes down (after all node servers stopped reading).
+func (dm *DistributionManager) Close() {
+	for _, ch := range dm.inboxes {
+		close(ch)
+	}
+}

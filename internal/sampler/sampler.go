@@ -1,0 +1,173 @@
+// Package sampler produces the deterministic sample access schedule of a
+// data-parallel training run.
+//
+// Section 2 of the paper: "a pseudo-random number generator is used to
+// shuffle the training samples ... Since the seed of the pseudo-random
+// number generator is known in advance, the I/O access pattern necessary to
+// read the training samples can be made fully deterministic." This package
+// is that property, reified: given (seed, epoch) every rank reconstructs
+// the identical global permutation, and therefore every node can compute
+// any other node's future accesses — the foundation of clairvoyant
+// prefetching (NoPFS) and of Lobster's reuse-distance eviction.
+//
+// The distribution of samples to ranks follows the PyTorch
+// DistributedSampler convention: a single global permutation per epoch,
+// with rank r taking elements perm[r], perm[r+G], perm[r+2G], ... so that
+// batch h of rank r is perm[(h*B+k)*G + r] for k in [0, B).
+package sampler
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Schedule is the deterministic access schedule of one training run.
+// It is immutable after construction and safe for concurrent readers
+// except for the epoch-permutation cache, which is guarded internally.
+type Schedule struct {
+	ds        *dataset.Dataset
+	worldSize int // total number of GPUs (N*M)
+	batch     int // per-GPU mini-batch size |B|
+	seed      uint64
+	iters     int // iterations per epoch, I = floor(|D| / (B*G))
+
+	// Tiny permutation cache: schedules are consumed epoch by epoch, and
+	// planner + runtime may look one epoch ahead, so two slots suffice.
+	// Guarded by mu: the online runtime calls Batch from many goroutines.
+	mu    sync.Mutex
+	cache [2]permEntry
+}
+
+type permEntry struct {
+	epoch int
+	perm  []dataset.SampleID
+}
+
+// Config describes a schedule.
+type Config struct {
+	WorldSize int    // total GPUs
+	BatchSize int    // per-GPU mini-batch size
+	Seed      uint64 // base seed; epoch seeds derive from it
+}
+
+// New builds a schedule for the dataset under cfg. The last partial
+// iteration of each epoch is dropped (the paper's floor variant).
+func New(ds *dataset.Dataset, cfg Config) (*Schedule, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("sampler: nil dataset")
+	}
+	if cfg.WorldSize < 1 {
+		return nil, fmt.Errorf("sampler: WorldSize %d < 1", cfg.WorldSize)
+	}
+	if cfg.BatchSize < 1 {
+		return nil, fmt.Errorf("sampler: BatchSize %d < 1", cfg.BatchSize)
+	}
+	iters := ds.Len() / (cfg.BatchSize * cfg.WorldSize)
+	if iters < 1 {
+		return nil, fmt.Errorf("sampler: dataset of %d samples too small for %d GPUs x batch %d",
+			ds.Len(), cfg.WorldSize, cfg.BatchSize)
+	}
+	s := &Schedule{
+		ds:        ds,
+		worldSize: cfg.WorldSize,
+		batch:     cfg.BatchSize,
+		seed:      cfg.Seed,
+		iters:     iters,
+	}
+	s.cache[0].epoch = -1
+	s.cache[1].epoch = -1
+	return s, nil
+}
+
+// Dataset returns the underlying dataset.
+func (s *Schedule) Dataset() *dataset.Dataset { return s.ds }
+
+// WorldSize returns the total number of GPUs.
+func (s *Schedule) WorldSize() int { return s.worldSize }
+
+// BatchSize returns the per-GPU mini-batch size.
+func (s *Schedule) BatchSize() int { return s.batch }
+
+// IterationsPerEpoch returns I.
+func (s *Schedule) IterationsPerEpoch() int { return s.iters }
+
+// SamplesPerEpoch returns the number of samples actually consumed per
+// epoch (excluding the dropped tail).
+func (s *Schedule) SamplesPerEpoch() int { return s.iters * s.batch * s.worldSize }
+
+// EpochPerm returns the global permutation of the given epoch. The returned
+// slice is shared and must not be modified. Safe for concurrent use.
+func (s *Schedule) EpochPerm(epoch int) []dataset.SampleID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.cache {
+		if s.cache[i].epoch == epoch {
+			return s.cache[i].perm
+		}
+	}
+	perm := s.buildPerm(epoch)
+	// Evict the older slot (the one whose epoch is farther from this one).
+	slot := 0
+	if abs(s.cache[0].epoch-epoch) < abs(s.cache[1].epoch-epoch) {
+		slot = 1
+	}
+	s.cache[slot] = permEntry{epoch: epoch, perm: perm}
+	return perm
+}
+
+func (s *Schedule) buildPerm(epoch int) []dataset.SampleID {
+	r := stats.NewRNG(stats.DeriveSeed(s.seed, uint64(epoch)+0x10001))
+	perm := make([]dataset.SampleID, s.ds.Len())
+	for i := range perm {
+		perm[i] = dataset.SampleID(i)
+	}
+	r.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	return perm
+}
+
+// Batch appends the mini-batch of (epoch, iteration, rank) to dst and
+// returns it. iteration must be in [0, I); rank in [0, WorldSize).
+func (s *Schedule) Batch(dst []dataset.SampleID, epoch, iteration, rank int) []dataset.SampleID {
+	if iteration < 0 || iteration >= s.iters {
+		panic(fmt.Sprintf("sampler: iteration %d out of [0, %d)", iteration, s.iters))
+	}
+	if rank < 0 || rank >= s.worldSize {
+		panic(fmt.Sprintf("sampler: rank %d out of [0, %d)", rank, s.worldSize))
+	}
+	perm := s.EpochPerm(epoch)
+	for k := 0; k < s.batch; k++ {
+		dst = append(dst, perm[(iteration*s.batch+k)*s.worldSize+rank])
+	}
+	return dst
+}
+
+// NodeBatch appends the union of the mini-batches of all GPUs of a node
+// (ranks [node*gpusPerNode, (node+1)*gpusPerNode)) for one iteration.
+// Order is GPU-major: all of GPU 0's batch, then GPU 1's, etc.
+func (s *Schedule) NodeBatch(dst []dataset.SampleID, epoch, iteration, node, gpusPerNode int) []dataset.SampleID {
+	for j := 0; j < gpusPerNode; j++ {
+		dst = s.Batch(dst, epoch, iteration, node*gpusPerNode+j)
+	}
+	return dst
+}
+
+// BatchBytes returns the total byte size of the mini-batch of
+// (epoch, iteration, rank).
+func (s *Schedule) BatchBytes(epoch, iteration, rank int) int64 {
+	perm := s.EpochPerm(epoch)
+	var total int64
+	for k := 0; k < s.batch; k++ {
+		total += s.ds.Size(perm[(iteration*s.batch+k)*s.worldSize+rank])
+	}
+	return total
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,176 @@
+// Package sim provides a small discrete-event simulation engine with a
+// virtual clock, an event heap, and capacity-limited resources.
+//
+// The Lobster planner is, per the paper, "based on a simulator" (Section
+// 4.5). This package is the engine underneath that planner: experiments run
+// in virtual time, so a 50-epoch, 64-GPU training campaign replays in
+// seconds on one core while preserving the ordering and contention effects
+// the paper measures.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in seconds.
+type Time float64
+
+// Infinity is a virtual time later than any event.
+const Infinity Time = Time(math.MaxFloat64)
+
+// Event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-break: FIFO among simultaneous events
+	fn   func()
+	heap int // index in the heap, for removal
+	dead bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heap = i
+	h[j].heap = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.heap = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine owns the virtual clock and the pending event set. It is not safe
+// for concurrent use: simulations are single-goroutine by design (their
+// determinism is a feature, mirroring the deterministic access order the
+// paper exploits).
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	ran    uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// EventsRun returns the number of events executed so far.
+func (e *Engine) EventsRun() uint64 { return e.ran }
+
+// Pending returns the number of scheduled, not-yet-run events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct {
+	ev *event
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would silently reorder causality.
+func (e *Engine) At(t Time, fn func()) Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return Handle{ev: ev}
+}
+
+// After schedules fn to run d seconds from now. Negative delays panic.
+func (e *Engine) After(d Time, fn func()) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-run or
+// already-cancelled event is a no-op and returns false.
+func (e *Engine) Cancel(h Handle) bool {
+	if h.ev == nil || h.ev.dead {
+		return false
+	}
+	h.ev.dead = true
+	return true
+}
+
+// Step runs the earliest pending event, advancing the clock to its time.
+// It returns false if no events remain.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.ran++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty and returns the final time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with time <= deadline, then sets the clock to
+// the deadline (if it has not passed it already) and returns it.
+func (e *Engine) RunUntil(deadline Time) Time {
+	for {
+		next, ok := e.peek()
+		if !ok || next > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+func (e *Engine) peek() (Time, bool) {
+	for len(e.events) > 0 {
+		if e.events[0].dead {
+			heap.Pop(&e.events)
+			continue
+		}
+		return e.events[0].at, true
+	}
+	return 0, false
+}

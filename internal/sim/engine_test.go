@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(3, func() { order = append(order, 3) })
+	e.At(1, func() { order = append(order, 1) })
+	e.At(2, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("final time = %v, want 3", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	e.At(1, func() {
+		times = append(times, e.Now())
+		e.After(2, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("times = %v, want [1 3]", times)
+	}
+}
+
+func TestEnginePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(1, func() {})
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	h := e.At(1, func() { ran = true })
+	if !e.Cancel(h) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if e.Cancel(h) {
+		t.Fatal("second Cancel returned true")
+	}
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if e.EventsRun() != 0 {
+		t.Fatalf("EventsRun = %d, want 0", e.EventsRun())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var ran []Time
+	for _, at := range []Time{1, 2, 3, 4} {
+		at := at
+		e.At(at, func() { ran = append(ran, at) })
+	}
+	e.RunUntil(2.5)
+	if len(ran) != 2 {
+		t.Fatalf("ran %v, want events at 1 and 2 only", ran)
+	}
+	if e.Now() != 2.5 {
+		t.Fatalf("Now = %v, want 2.5", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if len(ran) != 4 {
+		t.Fatalf("after Run, ran %v", ran)
+	}
+}
+
+func TestEngineClockMonotone(t *testing.T) {
+	f := func(seed int64, deltasRaw []uint8) bool {
+		e := NewEngine()
+		last := Time(-1)
+		ok := true
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			if e.Now() < last {
+				ok = false
+			}
+			last = e.Now()
+			if depth > 0 {
+				e.After(Time(depth)*0.5, func() { schedule(depth - 1) })
+			}
+		}
+		for _, d := range deltasRaw {
+			e.At(Time(d), func() { schedule(3) })
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceQueueing(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "threads", 2)
+	var grants []Time
+	hold := func(d Time) {
+		r.Acquire(func() {
+			grants = append(grants, e.Now())
+			e.After(d, r.Release)
+		})
+	}
+	e.At(0, func() {
+		hold(10)
+		hold(10)
+		hold(10) // queued until t=10
+		hold(10) // queued until t=10
+	})
+	e.Run()
+	if len(grants) != 4 {
+		t.Fatalf("grants = %v, want 4 entries", grants)
+	}
+	if grants[0] != 0 || grants[1] != 0 {
+		t.Fatalf("first two grants at %v %v, want 0 0", grants[0], grants[1])
+	}
+	if grants[2] != 10 || grants[3] != 10 {
+		t.Fatalf("queued grants at %v %v, want 10 10", grants[2], grants[3])
+	}
+}
+
+func TestResourceFIFOGrants(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "x", 1)
+	var order []int
+	e.At(0, func() {
+		r.Acquire(func() { e.After(1, r.Release) })
+		for i := 0; i < 5; i++ {
+			i := i
+			r.Acquire(func() {
+				order = append(order, i)
+				e.After(1, r.Release)
+			})
+		}
+	})
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("grants not FIFO: %v", order)
+		}
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "u", 2)
+	e.At(0, func() {
+		r.Acquire(func() { e.After(10, r.Release) })
+	})
+	e.At(0, func() {
+		r.Acquire(func() { e.After(10, r.Release) })
+	})
+	// Let the clock reach t=20 with the resource idle for the second half.
+	e.At(20, func() {})
+	e.Run()
+	u := r.Utilization()
+	if u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization = %g, want ~0.5", u)
+	}
+}
+
+func TestResourceReleaseIdlePanics(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "p", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("release of idle resource did not panic")
+		}
+	}()
+	r.Release()
+}
+
+func TestResourceInvalidCapacityPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 0 did not panic")
+		}
+	}()
+	NewResource(e, "bad", 0)
+}

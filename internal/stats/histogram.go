@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram counts observations into fixed bins. It backs the
+// reuse-distance histogram of Fig. 4 and the batch-time distribution of
+// Fig. 8c.
+type Histogram struct {
+	edges  []float64 // len(edges) == len(counts)+1, strictly increasing
+	counts []int64
+	under  int64 // observations below edges[0]
+	over   int64 // observations at or above edges[len-1]
+	total  int64
+}
+
+// NewHistogram creates a histogram with the given bin edges. Edges must be
+// strictly increasing and at least two values long.
+func NewHistogram(edges []float64) (*Histogram, error) {
+	if len(edges) < 2 {
+		return nil, fmt.Errorf("stats: histogram needs at least 2 edges, got %d", len(edges))
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			return nil, fmt.Errorf("stats: histogram edges must be strictly increasing at index %d", i)
+		}
+	}
+	e := make([]float64, len(edges))
+	copy(e, edges)
+	return &Histogram{edges: e, counts: make([]int64, len(edges)-1)}, nil
+}
+
+// NewLinearHistogram creates nbins equal-width bins covering [lo, hi).
+func NewLinearHistogram(lo, hi float64, nbins int) (*Histogram, error) {
+	if nbins < 1 {
+		return nil, fmt.Errorf("stats: linear histogram needs at least 1 bin, got %d", nbins)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("stats: linear histogram needs hi > lo (lo=%g hi=%g)", lo, hi)
+	}
+	edges := make([]float64, nbins+1)
+	w := (hi - lo) / float64(nbins)
+	for i := range edges {
+		edges[i] = lo + float64(i)*w
+	}
+	edges[nbins] = hi // avoid accumulation error on the last edge
+	return NewHistogram(edges)
+}
+
+// NewLogHistogram creates bins whose edges grow geometrically from lo to hi.
+// It is the natural binning for reuse distances, which span several orders
+// of magnitude (Fig. 4 uses a log-scale X axis).
+func NewLogHistogram(lo, hi float64, nbins int) (*Histogram, error) {
+	if lo <= 0 || hi <= lo {
+		return nil, fmt.Errorf("stats: log histogram needs 0 < lo < hi (lo=%g hi=%g)", lo, hi)
+	}
+	if nbins < 1 {
+		return nil, fmt.Errorf("stats: log histogram needs at least 1 bin, got %d", nbins)
+	}
+	edges := make([]float64, nbins+1)
+	ratio := math.Pow(hi/lo, 1/float64(nbins))
+	e := lo
+	for i := range edges {
+		edges[i] = e
+		e *= ratio
+	}
+	edges[nbins] = hi
+	return NewHistogram(edges)
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	h.total++
+	if v < h.edges[0] {
+		h.under++
+		return
+	}
+	if v >= h.edges[len(h.edges)-1] {
+		h.over++
+		return
+	}
+	// Binary search for the bin: find the last edge <= v.
+	lo, hi := 0, len(h.edges)-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if h.edges[mid] <= v {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo]++
+}
+
+// Total returns the number of observations recorded, including under/overflow.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Bins returns the number of regular bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// Bin returns the [lo, hi) bounds and count of bin i.
+func (h *Histogram) Bin(i int) (lo, hi float64, count int64) {
+	return h.edges[i], h.edges[i+1], h.counts[i]
+}
+
+// Underflow and Overflow return out-of-range observation counts.
+func (h *Histogram) Underflow() int64 { return h.under }
+
+// Overflow returns the number of observations at or above the last edge.
+func (h *Histogram) Overflow() int64 { return h.over }
+
+// FractionAbove returns the fraction of observations >= x (including
+// overflow). Observations inside the bin containing x are apportioned
+// linearly. This implements queries such as "80% of samples have reuse
+// distance larger than 1000 iterations".
+func (h *Histogram) FractionAbove(x float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var above float64 = float64(h.over)
+	for i := range h.counts {
+		lo, hi := h.edges[i], h.edges[i+1]
+		switch {
+		case lo >= x:
+			above += float64(h.counts[i])
+		case hi > x:
+			above += float64(h.counts[i]) * (hi - x) / (hi - lo)
+		}
+	}
+	if x < h.edges[0] {
+		above += float64(h.under)
+	}
+	return above / float64(h.total)
+}
+
+// Render draws an ASCII bar chart with the given maximum bar width. It is
+// used by the cmd/ tools to print figure reproductions in the terminal.
+func (h *Histogram) Render(width int) string {
+	if width < 1 {
+		width = 40
+	}
+	var maxCount int64 = 1
+	for _, c := range h.counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.counts {
+		bar := int(float64(c) / float64(maxCount) * float64(width))
+		fmt.Fprintf(&b, "[%12.4g, %12.4g) %8d %s\n", h.edges[i], h.edges[i+1], c, strings.Repeat("#", bar))
+	}
+	if h.under > 0 {
+		fmt.Fprintf(&b, "underflow %d\n", h.under)
+	}
+	if h.over > 0 {
+		fmt.Fprintf(&b, "overflow  %d\n", h.over)
+	}
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram([]float64{1}); err == nil {
+		t.Error("single edge accepted")
+	}
+	if _, err := NewHistogram([]float64{1, 1}); err == nil {
+		t.Error("non-increasing edges accepted")
+	}
+	if _, err := NewLinearHistogram(5, 5, 3); err == nil {
+		t.Error("hi == lo accepted")
+	}
+	if _, err := NewLinearHistogram(0, 1, 0); err == nil {
+		t.Error("0 bins accepted")
+	}
+	if _, err := NewLogHistogram(0, 10, 3); err == nil {
+		t.Error("log histogram with lo=0 accepted")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, err := NewLinearHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0, 1.9, 2, 5, 9.99, 10, -1} {
+		h.Add(v)
+	}
+	wantCounts := []int64{2, 1, 1, 0, 1} // [0,2):{0,1.9} [2,4):{2} [4,6):{5} [8,10):{9.99}
+	for i, want := range wantCounts {
+		if _, _, c := h.Bin(i); c != want {
+			t.Errorf("bin %d count = %d, want %d", i, c, want)
+		}
+	}
+	if h.Overflow() != 1 {
+		t.Errorf("overflow = %d, want 1 (value 10)", h.Overflow())
+	}
+	if h.Underflow() != 1 {
+		t.Errorf("underflow = %d, want 1 (value -1)", h.Underflow())
+	}
+	if h.Total() != 7 {
+		t.Errorf("total = %d, want 7", h.Total())
+	}
+}
+
+func TestHistogramCountConservation(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		h, err := NewLinearHistogram(-10, 10, 7)
+		if err != nil {
+			return false
+		}
+		r := NewRNG(seed)
+		for i := 0; i < n; i++ {
+			h.Add(r.NormFloat64() * 8)
+		}
+		var sum int64 = h.Underflow() + h.Overflow()
+		for i := 0; i < h.Bins(); i++ {
+			_, _, c := h.Bin(i)
+			sum += c
+		}
+		return sum == h.Total() && h.Total() == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogHistogramEdges(t *testing.T) {
+	h, err := NewLogHistogram(1, 1024, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo0, _, _ := h.Bin(0)
+	_, hiLast, _ := h.Bin(9)
+	if lo0 != 1 {
+		t.Errorf("first edge = %g, want 1", lo0)
+	}
+	if math.Abs(hiLast-1024) > 1e-9 {
+		t.Errorf("last edge = %g, want 1024", hiLast)
+	}
+	// Geometric growth: each bin should be ~2x the previous (1024 = 2^10).
+	for i := 0; i < 10; i++ {
+		lo, hi, _ := h.Bin(i)
+		if math.Abs(hi/lo-2) > 1e-6 {
+			t.Errorf("bin %d ratio = %g, want 2", i, hi/lo)
+		}
+	}
+}
+
+func TestFractionAbove(t *testing.T) {
+	h, _ := NewLinearHistogram(0, 100, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	if got := h.FractionAbove(0); math.Abs(got-1) > 0.02 {
+		t.Errorf("FractionAbove(0) = %g, want ~1", got)
+	}
+	if got := h.FractionAbove(50); math.Abs(got-0.5) > 0.02 {
+		t.Errorf("FractionAbove(50) = %g, want ~0.5", got)
+	}
+	if got := h.FractionAbove(100); got != 0 {
+		t.Errorf("FractionAbove(100) = %g, want 0", got)
+	}
+}
+
+func TestFractionAboveWithOverflow(t *testing.T) {
+	h, _ := NewLinearHistogram(0, 10, 2)
+	h.Add(5)
+	h.Add(100) // overflow
+	if got := h.FractionAbove(10); got != 0.5 {
+		t.Errorf("FractionAbove(10) = %g, want 0.5", got)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h, _ := NewLinearHistogram(0, 4, 2)
+	h.Add(1)
+	h.Add(1)
+	h.Add(3)
+	out := h.Render(10)
+	if !strings.Contains(out, "##########") {
+		t.Errorf("largest bin not drawn at full width:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Errorf("Render produced %d lines, want 2:\n%s", len(lines), out)
+	}
+}

@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryEmpty(t *testing.T) {
+	s := NewSummary()
+	if s.N() != 0 || s.Mean() != 0 || s.StdDev() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatalf("empty summary not zeroed: %v", s)
+	}
+	if s.Percentile(50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestSummaryBasics(t *testing.T) {
+	s := NewSummary()
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d, want 8", s.N())
+	}
+	if got := s.Mean(); got != 5 {
+		t.Fatalf("Mean = %g, want 5", got)
+	}
+	if got := s.StdDev(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("StdDev = %g, want 2", got)
+	}
+	if got := s.Min(); got != 2 {
+		t.Fatalf("Min = %g, want 2", got)
+	}
+	if got := s.Max(); got != 9 {
+		t.Fatalf("Max = %g, want 9", got)
+	}
+}
+
+func TestSummaryPercentiles(t *testing.T) {
+	s := NewSummary()
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 100}, {50, 50.5},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	// Percentiles must be monotone.
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 100; p += 2.5 {
+		v := s.Percentile(p)
+		if v < prev {
+			t.Fatalf("percentiles not monotone at p=%g: %g < %g", p, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestSummaryAddAfterPercentile(t *testing.T) {
+	s := NewSummary()
+	s.Add(1)
+	s.Add(3)
+	_ = s.Median()
+	s.Add(2) // must re-sort lazily
+	if got := s.Median(); got != 2 {
+		t.Fatalf("Median after post-percentile Add = %g, want 2", got)
+	}
+}
+
+func TestSummaryCoefVar(t *testing.T) {
+	s := NewSummary()
+	for i := 0; i < 10; i++ {
+		s.Add(5)
+	}
+	if got := s.CoefVar(); got != 0 {
+		t.Fatalf("CoefVar of constant data = %g, want 0", got)
+	}
+}
+
+func TestSummaryPropertyMeanBounds(t *testing.T) {
+	f := func(vals []float64) bool {
+		s := NewSummary()
+		ok := false
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				continue
+			}
+			s.Add(v)
+			ok = true
+		}
+		if !ok {
+			return true
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-6*math.Abs(s.Min())-1e-9 && m <= s.Max()+1e-6*math.Abs(s.Max())+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryValuesSorted(t *testing.T) {
+	s := NewSummary()
+	for _, v := range []float64{5, 1, 3} {
+		s.Add(v)
+	}
+	vals := s.Values()
+	if len(vals) != 3 || vals[0] != 1 || vals[1] != 3 || vals[2] != 5 {
+		t.Fatalf("Values = %v, want [1 3 5]", vals)
+	}
+}

@@ -1,0 +1,165 @@
+package tier
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCurveValidate(t *testing.T) {
+	bad := []Curve{
+		{PeakMBps: 0, HalfThreads: 1},
+		{PeakMBps: 1, HalfThreads: 0},
+		{PeakMBps: 1, HalfThreads: 1, OpLatency: -1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("curve %+v accepted", c)
+		}
+	}
+	if err := (Curve{PeakMBps: 100, HalfThreads: 2}).Validate(); err != nil {
+		t.Errorf("valid curve rejected: %v", err)
+	}
+}
+
+func TestAggregateMonotoneSaturating(t *testing.T) {
+	c := Curve{PeakMBps: 1000, HalfThreads: 4}
+	prev := 0.0
+	for n := 1; n <= 64; n++ {
+		a := c.Aggregate(n)
+		if a <= prev {
+			t.Fatalf("aggregate not strictly increasing at n=%d: %g <= %g", n, a, prev)
+		}
+		if a >= c.PeakMBps {
+			t.Fatalf("aggregate exceeded peak at n=%d: %g", n, a)
+		}
+		prev = a
+	}
+	// Half the peak at n = HalfThreads.
+	if got := c.Aggregate(4); math.Abs(got-500) > 1e-9 {
+		t.Fatalf("Aggregate(half) = %g, want 500", got)
+	}
+}
+
+func TestPerThreadDecreasing(t *testing.T) {
+	c := Curve{PeakMBps: 1000, HalfThreads: 4}
+	prev := math.Inf(1)
+	for n := 1; n <= 32; n++ {
+		p := c.PerThread(n)
+		if p >= prev {
+			t.Fatalf("per-thread throughput not decreasing at n=%d", n)
+		}
+		prev = p
+	}
+	if c.Aggregate(0) != 0 || c.PerThread(0) != 0 {
+		t.Fatal("zero threads should deliver zero throughput")
+	}
+}
+
+func TestReadTimeComponents(t *testing.T) {
+	c := Curve{PeakMBps: 100, HalfThreads: 1, OpLatency: 0.01}
+	// 1 thread: aggregate = 50 MB/s. 50 MB transfer = 1 s; 10 ops = 0.1 s.
+	got := c.ReadTime(50e6, 10, 1)
+	if math.Abs(got-1.1) > 1e-9 {
+		t.Fatalf("ReadTime = %g, want 1.1", got)
+	}
+	// More threads reduce both terms.
+	if c.ReadTime(50e6, 10, 4) >= got {
+		t.Fatal("more threads did not reduce read time")
+	}
+	if c.ReadTime(0, 0, 4) != 0 {
+		t.Fatal("empty read should take zero time")
+	}
+	if c.ReadTime(100, 1, 0) != 0 {
+		t.Fatal("zero threads should report zero (no work submitted)")
+	}
+}
+
+func TestReadTimeMonotoneInWork(t *testing.T) {
+	f := func(bytesRaw uint32, opsRaw, nRaw uint8) bool {
+		c := Curve{PeakMBps: 500, HalfThreads: 3, OpLatency: 1e-3}
+		bytes := int64(bytesRaw)
+		ops := int(opsRaw)
+		n := int(nRaw%16) + 1
+		t1 := c.ReadTime(bytes, ops, n)
+		t2 := c.ReadTime(bytes+1000, ops+1, n)
+		return t2 >= t1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchyOrdering(t *testing.T) {
+	h := ThetaGPULike()
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A typical sample (105 KB) read with 4 threads must be much faster
+	// from local than remote, and remote than PFS — the premise of the
+	// whole storage-hierarchy design.
+	const sample = 105 * 1024
+	local := h.ReadTime(Local, sample, 1, 4, 1)
+	remote := h.ReadTime(Remote, sample, 1, 4, 1)
+	pfs := h.ReadTime(PFS, sample, 1, 4, 1)
+	if !(local < remote && remote < pfs) {
+		t.Fatalf("tier ordering violated: local=%g remote=%g pfs=%g", local, remote, pfs)
+	}
+	if pfs/local < 50 {
+		t.Fatalf("PFS only %.1fx slower than local; paper needs orders of magnitude", pfs/local)
+	}
+}
+
+func TestPFSGlobalContention(t *testing.T) {
+	h := ThetaGPULike()
+	alone := h.ReadTime(PFS, 10e6, 100, 8, 1)
+	crowded := h.ReadTime(PFS, 10e6, 100, 8, 16)
+	if crowded <= alone {
+		t.Fatalf("16-node contention did not slow PFS reads: alone=%g crowded=%g", alone, crowded)
+	}
+	// The per-node share must be Global/k when that is below the node peak.
+	c := h.PFSNodeCurve(12)
+	want := h.PFSGlobalMBps / 12
+	if c.PeakMBps != want {
+		t.Fatalf("node share = %g, want %g", c.PeakMBps, want)
+	}
+	// With one node the local ceiling applies.
+	if got := h.PFSNodeCurve(1).PeakMBps; got != h.PFS.PeakMBps {
+		t.Fatalf("single-node PFS peak = %g, want %g", got, h.PFS.PeakMBps)
+	}
+	if got := h.PFSNodeCurve(0).PeakMBps; got != h.PFS.PeakMBps {
+		t.Fatalf("activeNodes=0 should clamp to 1")
+	}
+}
+
+func TestCurveOfPanicsOnUnknown(t *testing.T) {
+	h := ThetaGPULike()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown kind did not panic")
+		}
+	}()
+	h.CurveOf(Kind(99))
+}
+
+func TestKindString(t *testing.T) {
+	if Local.String() != "local" || Remote.String() != "remote" || PFS.String() != "pfs" {
+		t.Fatal("kind names wrong")
+	}
+	if len(Kinds()) != 3 {
+		t.Fatal("Kinds() should list 3 tiers")
+	}
+}
+
+func TestHierarchyValidateRejectsBadGlobal(t *testing.T) {
+	h := ThetaGPULike()
+	h.PFSGlobalMBps = 0
+	if err := h.Validate(); err == nil {
+		t.Fatal("zero global PFS capacity accepted")
+	}
+	h = ThetaGPULike()
+	h.Remote.PeakMBps = -1
+	if err := h.Validate(); err == nil {
+		t.Fatal("negative remote peak accepted")
+	}
+}
