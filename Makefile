@@ -1,0 +1,29 @@
+# Convenience targets around the tier-1 gate (verify.sh is the source
+# of truth; CI runs it directly).
+
+GO ?= go
+
+.PHONY: check build vet test race lint bench
+
+## check: the full tier-1 gate (build + vet + race tests + lobster-lint)
+check:
+	./verify.sh
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## lint: the project-specific static analysis suite
+lint:
+	$(GO) run ./cmd/lobster-lint ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -1,0 +1,113 @@
+// Command lobster-lint runs the project-specific static-analysis suite
+// over the module: determinism gates on the simulation/planning
+// packages, goroutine/mutex hygiene on the concurrent runtime, dropped
+// errors, and the bounded-queue contract. It is part of the tier-1
+// verification gate (see verify.sh).
+//
+// Usage:
+//
+//	lobster-lint [-list] [packages]
+//
+// Packages are module-relative patterns: "./..." (default, the whole
+// module), "./internal/..." (a subtree), or "./internal/sim" (one
+// package). Exit status: 0 clean, 1 findings, 2 load/usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lobster-lint [-list] [packages]\n\n"+
+			"Project static analysis: %d checks over every non-test package.\n", len(lint.Analyzers()))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.ID, a.Doc)
+		}
+		return
+	}
+
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		fatal(err)
+	}
+	modPath, err := lint.ModulePath(root)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err = filterPackages(pkgs, modPath, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	findings := lint.Run(pkgs, lint.Analyzers())
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if n := len(findings); n > 0 {
+		fmt.Fprintf(os.Stderr, "lobster-lint: %d finding(s) in %d package(s)\n", n, len(pkgs))
+		os.Exit(1)
+	}
+}
+
+// filterPackages keeps packages matching the command-line patterns
+// ("./...", "./internal/...", "./internal/sim"). With no patterns
+// everything is kept. A pattern that matches no package is an error —
+// a typo'd path must not pass as a clean run.
+func filterPackages(pkgs []*lint.Package, modPath string, patterns []string) ([]*lint.Package, error) {
+	if len(patterns) == 0 {
+		return pkgs, nil
+	}
+	match := func(rel, pat string) bool {
+		pat = strings.TrimSuffix(strings.TrimPrefix(pat, "./"), "/")
+		if pat == "..." || pat == "." || pat == "" {
+			return true
+		}
+		if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+			return rel == sub || strings.HasPrefix(rel, sub+"/")
+		}
+		return rel == pat
+	}
+	matched := make([]bool, len(patterns))
+	var out []*lint.Package
+	for _, p := range pkgs {
+		// Module-relative path of the package ("" for the root package).
+		rel := strings.TrimPrefix(strings.TrimPrefix(p.Path, modPath), "/")
+		keep := false
+		for i, pat := range patterns {
+			if match(rel, pat) {
+				matched[i] = true
+				keep = true
+			}
+		}
+		if keep {
+			out = append(out, p)
+		}
+	}
+	for i, pat := range patterns {
+		if !matched[i] {
+			return nil, fmt.Errorf("pattern %q matched no packages", pat)
+		}
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lobster-lint:", err)
+	os.Exit(2)
+}

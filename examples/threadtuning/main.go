@@ -56,7 +56,7 @@ func main() {
 	// One last scrape of the dashboard, as a monitoring client would see it.
 	if resp, err := http.Get("http://" + mon.Addr() + "/metrics.json"); err == nil {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		resp.Body.Close()
+		_ = resp.Body.Close()
 		fmt.Printf("final scrape (truncated):\n%s...\n\n", body)
 	}
 	fmt.Printf("iterations: %d   wall time: %v\n", stats.Iterations, stats.WallTime)

@@ -48,11 +48,14 @@ func Write(path string, ds *dataset.Dataset, seed uint64) error {
 	if _, err := w.WriteString(Magic); err != nil {
 		return err
 	}
+	// bufio.Writer errors are sticky: later Writes are no-ops after a
+	// failure and the Flush below surfaces the first error.
+	put := func(b []byte) { _, _ = w.Write(b) }
 	var u64 [8]byte
 	binary.LittleEndian.PutUint64(u64[:], uint64(n))
-	w.Write(u64[:])
+	put(u64[:])
 	binary.LittleEndian.PutUint64(u64[:], seed)
-	w.Write(u64[:])
+	put(u64[:])
 
 	// Index: offsets are relative to the start of the data section.
 	offset := uint64(0)
@@ -61,12 +64,12 @@ func Write(path string, ds *dataset.Dataset, seed uint64) error {
 		size := uint64(ds.Size(id))
 		payload := ds.Payload(id)
 		binary.LittleEndian.PutUint64(u64[:], offset)
-		w.Write(u64[:])
+		put(u64[:])
 		var u32 [4]byte
 		binary.LittleEndian.PutUint32(u32[:], uint32(size))
-		w.Write(u32[:])
+		put(u32[:])
 		binary.LittleEndian.PutUint32(u32[:], crc32.ChecksumIEEE(payload))
-		w.Write(u32[:])
+		put(u32[:])
 		offset += size
 	}
 	// Data.
@@ -108,17 +111,17 @@ func Open(path string, verify bool) (*Reader, error) {
 	}
 	hdr := make([]byte, headerSize)
 	if _, err := io.ReadFull(f, hdr); err != nil {
-		f.Close()
+		_ = f.Close() // read-only descriptor; the read error is what matters
 		return nil, fmt.Errorf("datafile: header: %w", err)
 	}
 	if string(hdr[:8]) != Magic {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("datafile: bad magic %q", hdr[:8])
 	}
 	count := binary.LittleEndian.Uint64(hdr[8:16])
 	seed := binary.LittleEndian.Uint64(hdr[16:24])
 	if count > 1<<31 {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("datafile: implausible sample count %d", count)
 	}
 	r := &Reader{
@@ -132,7 +135,7 @@ func Open(path string, verify bool) (*Reader, error) {
 	entry := make([]byte, indexEntrySize)
 	for i := range r.index {
 		if _, err := io.ReadFull(buf, entry); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, fmt.Errorf("datafile: index: %w", err)
 		}
 		r.index[i] = indexEntry{

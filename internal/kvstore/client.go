@@ -60,7 +60,7 @@ func (cl *Client) Close() {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	for _, cc := range cl.all {
-		cc.c.Close()
+		_ = cc.c.Close() // best-effort teardown of pooled connections
 	}
 	cl.all = nil
 }
@@ -70,7 +70,7 @@ func (cl *Client) roundTrip(op byte, key string, val []byte) (byte, []byte, erro
 	cc := <-cl.pool
 	status, out, err := cc.do(op, key, val)
 	if err != nil {
-		cc.c.Close()
+		_ = cc.c.Close() // broken connection; the round-trip error is what matters
 		if cc2, derr := cl.dial(); derr == nil {
 			status, out, err = cc2.do(op, key, val)
 			cc = cc2
@@ -81,14 +81,15 @@ func (cl *Client) roundTrip(op byte, key string, val []byte) (byte, []byte, erro
 }
 
 func (cc *clientConn) do(op byte, key string, val []byte) (byte, []byte, error) {
-	cc.w.WriteByte(op)
+	// bufio.Writer errors are sticky; the Flush below surfaces the first.
+	_ = cc.w.WriteByte(op)
 	var buf [4]byte
 	binary.BigEndian.PutUint32(buf[:], uint32(len(key)))
-	cc.w.Write(buf[:])
-	cc.w.WriteString(key)
+	_, _ = cc.w.Write(buf[:])
+	_, _ = cc.w.WriteString(key)
 	binary.BigEndian.PutUint32(buf[:], uint32(len(val)))
-	cc.w.Write(buf[:])
-	cc.w.Write(val)
+	_, _ = cc.w.Write(buf[:])
+	_, _ = cc.w.Write(val)
 	if err := cc.w.Flush(); err != nil {
 		return 0, nil, err
 	}
@@ -191,7 +192,7 @@ func NewCluster(addrs []string, poolSize int) (*Cluster, error) {
 // shard picks the client for a key.
 func (c *Cluster) shard(key string) *Client {
 	h := fnv.New32a()
-	h.Write([]byte(key))
+	_, _ = h.Write([]byte(key)) // hash.Hash.Write never returns an error
 	return c.clients[int(h.Sum32())%len(c.clients)]
 }
 

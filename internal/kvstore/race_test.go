@@ -1,0 +1,57 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentMixedOps drives every client operation — Put, Get,
+// Delete, client Stats and server Stats — from concurrent goroutines
+// against one shard. Under -race this covers the server's single-mutex
+// LRU (the paths the mutex-discipline analyzer audits) end to end over
+// real TCP connections.
+func TestConcurrentMixedOps(t *testing.T) {
+	s := testServer(t, 1<<20)
+	c := testClient(t, s)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 6; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i%8)
+				switch i % 4 {
+				case 0:
+					if err := c.Put(key, []byte(fmt.Sprintf("v%d", i))); err != nil {
+						errs <- err
+						return
+					}
+				case 1:
+					if _, _, err := c.Get(key); err != nil {
+						errs <- err
+						return
+					}
+				case 2:
+					if err := c.Delete(key); err != nil {
+						errs <- err
+						return
+					}
+				default:
+					if _, err := c.Stats(); err != nil {
+						errs <- err
+						return
+					}
+					s.Stats() // in-process snapshot racing the TCP path
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -316,9 +316,11 @@ func readLen(r io.Reader, max uint32) (uint32, error) {
 }
 
 func writeResponse(w *bufio.Writer, status byte, val []byte) {
-	w.WriteByte(status)
+	// bufio.Writer errors are sticky; the caller's Flush surfaces the
+	// first one and drops the connection.
+	_ = w.WriteByte(status)
 	var buf [4]byte
 	binary.BigEndian.PutUint32(buf[:], uint32(len(val)))
-	w.Write(buf[:])
-	w.Write(val)
+	_, _ = w.Write(buf[:])
+	_, _ = w.Write(val)
 }

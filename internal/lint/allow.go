@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"strings"
+)
+
+// allowDirective is the escape hatch:
+//
+//	//lint:allow <check-id> <justification>
+//
+// It suppresses findings of <check-id> on the directive's own line and
+// on the line directly below (so it works both as an end-of-line comment
+// and as a comment above the offending statement). The justification is
+// mandatory: an exception whose reason nobody wrote down is a bug
+// waiting to be re-discovered.
+const allowPrefix = "//lint:allow"
+
+// allowSet maps filename -> line -> set of allowed check IDs.
+type allowSet map[string]map[int]map[string]bool
+
+func (s allowSet) permits(f Finding) bool {
+	lines := s[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[f.Pos.Line][f.Check]
+}
+
+// collectAllows scans every comment in the package for allow directives.
+// It returns the resulting suppression set plus findings for malformed
+// directives (missing check ID or justification).
+func collectAllows(p *Package) (allowSet, []Finding) {
+	set := allowSet{}
+	var bad []Finding
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rest, isAllow := strings.CutPrefix(c.Text, allowPrefix)
+				if !isAllow || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				rest = strings.TrimSpace(rest)
+				id, why, _ := strings.Cut(rest, " ")
+				if id == "" {
+					bad = append(bad, p.finding("directive", c, "lint:allow directive names no check ID"))
+					continue
+				}
+				if strings.TrimSpace(why) == "" {
+					bad = append(bad, p.finding("directive",
+						c, "lint:allow %s has no justification; write why the exception is safe", id))
+					continue
+				}
+				pos := p.position(c)
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					set[pos.Filename] = lines
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					ids := lines[line]
+					if ids == nil {
+						ids = map[string]bool{}
+						lines[line] = ids
+					}
+					ids[id] = true
+				}
+			}
+		}
+	}
+	return set, bad
+}

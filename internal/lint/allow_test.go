@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllowDirectiveMissingJustification(t *testing.T) {
+	p := checkFixture(t, "repro/internal/sim", `package sim
+import "time"
+//lint:allow determinism
+func Stamp() time.Time { return time.Now() }
+`)
+	fs := Run([]*Package{p}, Analyzers())
+	var directive, determinism int
+	for _, f := range fs {
+		switch f.Check {
+		case "directive":
+			directive++
+			if !strings.Contains(f.Message, "no justification") {
+				t.Fatalf("unexpected directive message: %s", f.Message)
+			}
+		case "determinism":
+			determinism++
+		}
+	}
+	if directive != 1 {
+		t.Fatalf("want 1 directive finding, got %d:\n%s", directive, renderFindings(fs))
+	}
+	// A malformed directive must not suppress the underlying finding.
+	if determinism != 1 {
+		t.Fatalf("want 1 determinism finding (directive is void), got %d:\n%s", determinism, renderFindings(fs))
+	}
+}
+
+func TestAllowDirectiveNoCheckID(t *testing.T) {
+	p := checkFixture(t, "repro/internal/sim", `package sim
+//lint:allow
+func F() {}
+`)
+	fs := Run([]*Package{p}, Analyzers())
+	if len(fs) != 1 || fs[0].Check != "directive" {
+		t.Fatalf("want exactly one directive finding, got:\n%s", renderFindings(fs))
+	}
+}
+
+func TestAllowDirectiveScopedToCheck(t *testing.T) {
+	// The directive names errcheck, so the determinism finding on the
+	// same line must survive.
+	p := checkFixture(t, "repro/internal/sim", `package sim
+import "time"
+//lint:allow errcheck wrong check named here
+func Stamp() time.Time { return time.Now() }
+`)
+	fs := Run([]*Package{p}, Analyzers())
+	found := false
+	for _, f := range fs {
+		if f.Check == "determinism" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("determinism finding should survive an errcheck allow:\n%s", renderFindings(fs))
+	}
+}
+
+func TestAllowDirectiveEndOfLine(t *testing.T) {
+	p := checkFixture(t, "repro/internal/sim", `package sim
+import "time"
+func Stamp() time.Time { return time.Now() } //lint:allow determinism calibration-only helper
+`)
+	if fs := Run([]*Package{p}, Analyzers()); len(fs) != 0 {
+		t.Fatalf("end-of-line allow should suppress:\n%s", renderFindings(fs))
+	}
+}

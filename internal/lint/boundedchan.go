@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// boundedScope is the set of hot-path packages where DESIGN.md
+// specifies bounded per-GPU request queues: an unbuffered data channel
+// there couples producer and consumer into lockstep and hides the
+// queue-depth knob the thread manager tunes.
+var boundedScope = []string{
+	"internal/runtime",
+	"internal/preproc",
+	"internal/pipeline",
+	"internal/threadmgr",
+	"internal/kvstore",
+	"internal/loader",
+	"internal/distcache",
+}
+
+// BoundedChan flags `make(chan T)` (and explicit zero capacity) for
+// data-carrying channels in the hot request-queue packages. Channels of
+// struct{} are exempt: they are done/ready signals, where unbuffered
+// rendezvous is the point.
+var BoundedChan = &Analyzer{
+	ID: idBoundedChan,
+	Doc: "hot-path packages must use bounded, buffered channels for data " +
+		"(make(chan T, n)); unbuffered struct{} signal channels are fine",
+	Run: runBoundedChan,
+}
+
+func runBoundedChan(p *Package) []Finding {
+	if !hasSuffixPkg(p.Path, boundedScope) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isBuiltin(p.Info, call, "make") || len(call.Args) == 0 {
+				return true
+			}
+			t := p.Info.TypeOf(call.Args[0])
+			if t == nil {
+				return true
+			}
+			if _, isChan := t.Underlying().(*types.Chan); !isChan || isSignalChanType(t) {
+				return true
+			}
+			unbuffered := len(call.Args) < 2
+			if !unbuffered {
+				if tv, ok := p.Info.Types[call.Args[1]]; ok && tv.Value != nil {
+					if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact && v == 0 {
+						unbuffered = true
+					}
+				}
+			}
+			if unbuffered {
+				out = append(out, p.finding(idBoundedChan, call,
+					"unbuffered channel of %s in hot-path package %s; size it explicitly (make(chan T, n)) per DESIGN.md's bounded-queue contract",
+					typeString(t.Underlying().(*types.Chan).Elem()), p.Path))
+			}
+			return true
+		})
+	}
+	return out
+}

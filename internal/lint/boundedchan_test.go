@@ -1,0 +1,82 @@
+package lint
+
+import "testing"
+
+func TestBoundedChan(t *testing.T) {
+	runFixtures(t, BoundedChan, []fixtureTest{
+		{
+			name: "unbuffered data channel flagged",
+			pkg:  "repro/internal/runtime",
+			src: `package runtime
+func queue() chan int {
+	return make(chan int)
+}
+`,
+			want: 1,
+			grep: "unbuffered channel of int",
+		},
+		{
+			name: "explicit zero capacity flagged",
+			pkg:  "repro/internal/preproc",
+			src: `package preproc
+const depth = 0
+type job struct{ id int }
+func queue() chan job {
+	return make(chan job, depth)
+}
+`,
+			want: 1,
+		},
+		{
+			name: "buffered channel passes",
+			pkg:  "repro/internal/runtime",
+			src: `package runtime
+func queue() chan int {
+	return make(chan int, 1024)
+}
+`,
+			want: 0,
+		},
+		{
+			name: "runtime-sized capacity passes",
+			pkg:  "repro/internal/runtime",
+			src: `package runtime
+func queue(depth int) chan int {
+	return make(chan int, depth)
+}
+`,
+			want: 0,
+		},
+		{
+			name: "signal channel passes",
+			pkg:  "repro/internal/runtime",
+			src: `package runtime
+func done() chan struct{} {
+	return make(chan struct{})
+}
+`,
+			want: 0,
+		},
+		{
+			name: "out-of-scope package passes",
+			pkg:  "repro/internal/experiments",
+			src: `package experiments
+func queue() chan int {
+	return make(chan int)
+}
+`,
+			want: 0,
+		},
+		{
+			name: "allow directive suppresses",
+			pkg:  "repro/internal/runtime",
+			src: `package runtime
+func handshake() chan int {
+	//lint:allow boundedchan rendezvous handoff is the protocol here
+	return make(chan int)
+}
+`,
+			want: 0,
+		},
+	})
+}

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Errcheck flags call statements that silently drop an error return.
+// A dropped error in the loading path turns a storage failure into a
+// corrupt batch several stages downstream; every error must be
+// handled, explicitly assigned to _, or allowlisted with a reason.
+//
+// Pragmatic exemptions, so the check stays signal:
+//   - fmt.Print*/Println/Printf, and fmt.Fprint* writing to
+//     os.Stdout/os.Stderr, a strings.Builder, or a bytes.Buffer
+//     (cannot fail meaningfully);
+//   - methods on strings.Builder / bytes.Buffer (documented nil error);
+//   - deferred Close() calls (the conventional cleanup shape).
+var Errcheck = &Analyzer{
+	ID:  idErrcheck,
+	Doc: "error-returning calls must not be used as bare statements; handle, assign to _, or allowlist",
+	Run: runErrcheck,
+}
+
+func runErrcheck(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					if f, bad := droppedError(p, call, false); bad {
+						out = append(out, f)
+					}
+				}
+			case *ast.GoStmt:
+				if f, bad := droppedError(p, n.Call, false); bad {
+					out = append(out, f)
+				}
+			case *ast.DeferStmt:
+				if f, bad := droppedError(p, n.Call, true); bad {
+					out = append(out, f)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func droppedError(p *Package, call *ast.CallExpr, deferred bool) (Finding, bool) {
+	if !returnsError(p.Info, call) || exemptCall(p, call, deferred) {
+		return Finding{}, false
+	}
+	return p.finding(idErrcheck, call,
+		"%s returns an error that is dropped; handle it or assign to _ with a reason", calleeName(p, call)), true
+}
+
+// returnsError reports whether the call's only or last result is an
+// error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch t := t.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && isErrorType(t.At(t.Len()-1).Type())
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func exemptCall(p *Package, call *ast.CallExpr, deferred bool) bool {
+	fn := calleeFunc(p.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	if deferred && name == "Close" {
+		return true
+	}
+	if pkg == "fmt" {
+		switch name {
+		case "Print", "Println", "Printf":
+			return true
+		case "Fprint", "Fprintln", "Fprintf":
+			return len(call.Args) > 0 && unfailingWriter(p, call.Args[0])
+		}
+	}
+	if pkg == "strings" || pkg == "bytes" {
+		// strings.Builder and bytes.Buffer Write*/ReadFrom document a
+		// nil (or panic-only) error.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			switch typeString(deref(sig.Recv().Type())) {
+			case "strings.Builder", "bytes.Buffer":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// unfailingWriter reports whether expr is a writer whose Write cannot
+// fail in practice: os.Stdout, os.Stderr, a strings.Builder, or a
+// bytes.Buffer.
+func unfailingWriter(p *Package, expr ast.Expr) bool {
+	expr = ast.Unparen(expr)
+	if sel, ok := expr.(*ast.SelectorExpr); ok {
+		if obj, ok := p.Info.Uses[sel.Sel].(*types.Var); ok && obj.Pkg() != nil &&
+			obj.Pkg().Path() == "os" && (obj.Name() == "Stdout" || obj.Name() == "Stderr") {
+			return true
+		}
+	}
+	if t := p.Info.TypeOf(expr); t != nil {
+		switch typeString(deref(t)) {
+		case "strings.Builder", "bytes.Buffer":
+			return true
+		}
+	}
+	return false
+}
+
+func calleeName(p *Package, call *ast.CallExpr) string {
+	if fn := calleeFunc(p.Info, call); fn != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return "(" + typeString(sig.Recv().Type()) + ")." + fn.Name()
+		}
+		if fn.Pkg() != nil {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return types.ExprString(call.Fun)
+}

@@ -1,0 +1,147 @@
+package lint
+
+import "testing"
+
+func TestErrcheck(t *testing.T) {
+	runFixtures(t, Errcheck, []fixtureTest{
+		{
+			name: "dropped error flagged",
+			pkg:  "repro/internal/runtime",
+			src: `package runtime
+import "os"
+func cleanup(path string) {
+	os.Remove(path)
+}
+`,
+			want: 1,
+			grep: "os.Remove returns an error that is dropped",
+		},
+		{
+			name: "dropped method error flagged",
+			pkg:  "repro/internal/runtime",
+			src: `package runtime
+import "os"
+func drop(f *os.File) {
+	f.Close()
+}
+`,
+			want: 1,
+			grep: "Close returns an error that is dropped",
+		},
+		{
+			name: "dropped error in go statement flagged",
+			pkg:  "repro/internal/runtime",
+			src: `package runtime
+import "os"
+func bg(path string) {
+	go os.Remove(path)
+}
+`,
+			want: 1,
+		},
+		{
+			name: "checked error passes",
+			pkg:  "repro/internal/runtime",
+			src: `package runtime
+import "os"
+func cleanup(path string) error {
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	return nil
+}
+`,
+			want: 0,
+		},
+		{
+			name: "explicit blank assignment passes",
+			pkg:  "repro/internal/runtime",
+			src: `package runtime
+import "os"
+func cleanup(path string) {
+	_ = os.Remove(path) // best effort
+}
+`,
+			want: 0,
+		},
+		{
+			name: "deferred close passes",
+			pkg:  "repro/internal/runtime",
+			src: `package runtime
+import "os"
+func read(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}
+`,
+			want: 0,
+		},
+		{
+			name: "fmt.Println passes",
+			pkg:  "repro/internal/runtime",
+			src: `package runtime
+import "fmt"
+func report(n int) {
+	fmt.Println("loaded", n)
+}
+`,
+			want: 0,
+		},
+		{
+			name: "fprintf to stdout passes",
+			pkg:  "repro/internal/runtime",
+			src: `package runtime
+import (
+	"fmt"
+	"os"
+)
+func report(n int) {
+	fmt.Fprintf(os.Stdout, "loaded %d\n", n)
+}
+`,
+			want: 0,
+		},
+		{
+			name: "fprintf to arbitrary writer flagged",
+			pkg:  "repro/internal/runtime",
+			src: `package runtime
+import (
+	"fmt"
+	"io"
+)
+func report(w io.Writer, n int) {
+	fmt.Fprintf(w, "loaded %d\n", n)
+}
+`,
+			want: 1,
+		},
+		{
+			name: "strings.Builder writes pass",
+			pkg:  "repro/internal/runtime",
+			src: `package runtime
+import "strings"
+func render() string {
+	var b strings.Builder
+	b.WriteString("hello")
+	return b.String()
+}
+`,
+			want: 0,
+		},
+		{
+			name: "allow directive suppresses",
+			pkg:  "repro/internal/runtime",
+			src: `package runtime
+import "os"
+func cleanup(path string) {
+	os.Remove(path) //lint:allow errcheck scratch file, already gone on retry
+}
+`,
+			want: 0,
+		},
+	})
+}

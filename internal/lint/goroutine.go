@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Goroutine flags `go func() {...}()` launches with no visible
+// termination path — the classic leak shape in loading/preprocessing
+// pipelines, where worker goroutines outlive the training run and pin
+// buffers. A literal passes if its body (a) accounts itself on a
+// sync.WaitGroup via Done, (b) consults a context.Context, (c) receives
+// from a struct{} signal channel, or (d) ranges over a channel (it
+// terminates when the producer closes it). Named-function launches
+// (`go p.worker()`) are not flagged: the shutdown contract lives at the
+// declaration, which reviews better than a call site heuristic.
+var Goroutine = &Analyzer{
+	ID: idGoroutine,
+	Doc: "goroutine literals must carry a termination signal: WaitGroup.Done, " +
+		"a context, a struct{} done channel, or a range over a closable channel",
+	Run: runGoroutine,
+}
+
+func runGoroutine(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if !hasTerminationSignal(p.Info, lit) {
+				out = append(out, p.finding(idGoroutine, gs,
+					"goroutine literal has no termination signal; add sync.WaitGroup accounting, a context, or a done channel"))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func hasTerminationSignal(info *types.Info, lit *ast.FuncLit) bool {
+	// A context.Context parameter counts even if the body is still a stub.
+	for _, field := range lit.Type.Params.List {
+		if t := info.TypeOf(field.Type); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// wg.Done() (usually deferred) on a sync.WaitGroup.
+			if fn := calleeFunc(info, n); isStdFunc(fn, "sync", "Done") {
+				found = true
+			}
+		case *ast.Ident:
+			// Any use of a context value: ctx.Done(), ctx.Err(), passing
+			// it on — all give the goroutine a cancellation path.
+			if obj := info.Uses[n]; obj != nil && isContextType(obj.Type()) {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			// <-done on a struct{} signal channel.
+			if n.Op == token.ARROW {
+				if t := info.TypeOf(n.X); t != nil && isSignalChanType(t) {
+					found = true
+				}
+			}
+		case *ast.RangeStmt:
+			// for v := range ch — ends when the channel closes.
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

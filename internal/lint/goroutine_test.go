@@ -1,0 +1,136 @@
+package lint
+
+import "testing"
+
+func TestGoroutine(t *testing.T) {
+	runFixtures(t, Goroutine, []fixtureTest{
+		{
+			name: "unbounded literal flagged",
+			pkg:  "repro/internal/pipeline",
+			src: `package pipeline
+func Leak(work chan int) {
+	go func() {
+		for {
+			work <- 1
+		}
+	}()
+}
+`,
+			want: 1,
+			grep: "no termination signal",
+		},
+		{
+			name: "waitgroup done passes",
+			pkg:  "repro/internal/pipeline",
+			src: `package pipeline
+import "sync"
+func Tracked(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+		}
+	}()
+}
+`,
+			want: 0,
+		},
+		{
+			name: "captured context passes",
+			pkg:  "repro/internal/preproc",
+			src: `package preproc
+import "context"
+func Watch(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+`,
+			want: 0,
+		},
+		{
+			name: "context parameter passes",
+			pkg:  "repro/internal/preproc",
+			src: `package preproc
+import "context"
+func Spawn(ctx context.Context) {
+	go func(c context.Context) {
+	}(ctx)
+}
+`,
+			want: 0,
+		},
+		{
+			name: "struct{} done channel passes",
+			pkg:  "repro/internal/threadmgr",
+			src: `package threadmgr
+func Worker(stop chan struct{}, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case w := <-work:
+				_ = w
+			}
+		}
+	}()
+}
+`,
+			want: 0,
+		},
+		{
+			name: "range over channel passes",
+			pkg:  "repro/internal/threadmgr",
+			src: `package threadmgr
+func Consume(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+`,
+			want: 0,
+		},
+		{
+			name: "data channel receive alone is not a signal",
+			pkg:  "repro/internal/pipeline",
+			src: `package pipeline
+func Pull(work chan int) {
+	go func() {
+		for {
+			_ = <-work
+		}
+	}()
+}
+`,
+			want: 1,
+		},
+		{
+			name: "named function launch not flagged",
+			pkg:  "repro/internal/pipeline",
+			src: `package pipeline
+type pool struct{}
+func (p *pool) worker() {}
+func (p *pool) start() {
+	go p.worker()
+}
+`,
+			want: 0,
+		},
+		{
+			name: "allow directive suppresses",
+			pkg:  "repro/internal/pipeline",
+			src: `package pipeline
+func Fire(work chan int) {
+	//lint:allow goroutine fire-and-forget by design; process exit reaps it
+	go func() {
+		work <- 1
+	}()
+}
+`,
+			want: 0,
+		},
+	})
+}

@@ -1,0 +1,135 @@
+// Package lint implements lobster-lint, the project-specific static
+// analysis suite. Lobster's planner assumes the sample access order and
+// tier timings it simulates are exactly what the runtime replays;
+// nondeterminism leaking into the simulation/planning packages, or
+// goroutine/lock bugs in the concurrent runtime, silently invalidate the
+// load-balance results. These analyzers turn those conventions into
+// machine-checked gates:
+//
+//	determinism  no wall clocks, global RNG, or map-order-dependent
+//	             output in sim/plan packages
+//	goroutine    every goroutine literal has a termination signal
+//	mutex        Lock/Unlock pairing, no lock copies, no blocking
+//	             channel ops under a lock
+//	errcheck     no silently dropped error returns
+//	boundedchan  hot-path request queues are bounded
+//
+// The framework uses only the standard library (go/parser, go/ast,
+// go/types): each analyzer is a pure function from a type-checked
+// package to findings, so analyzers are unit-testable against in-memory
+// fixture sources. Deliberate exceptions are annotated in the source as
+//
+//	//lint:allow <check-id> <justification>
+//
+// which suppresses findings of that check on the directive's own line
+// and the line directly below it. A directive without a justification is
+// itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Check IDs, as reported in findings and accepted by //lint:allow.
+const (
+	idDeterminism = "determinism"
+	idGoroutine   = "goroutine"
+	idMutex       = "mutex"
+	idErrcheck    = "errcheck"
+	idBoundedChan = "boundedchan"
+)
+
+// Finding is one analyzer hit, positioned for file:line reporting.
+type Finding struct {
+	Check   string         // analyzer ID, e.g. "determinism"
+	Pos     token.Position // file:line:col of the offending node
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+}
+
+// Package is one type-checked, non-test package of the module under
+// analysis. Analyzers receive it read-only.
+type Package struct {
+	Path  string // import path, e.g. "repro/internal/sim"
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+func (p *Package) position(n ast.Node) token.Position { return p.Fset.Position(n.Pos()) }
+
+func (p *Package) finding(check string, n ast.Node, format string, args ...any) Finding {
+	return Finding{Check: check, Pos: p.position(n), Message: fmt.Sprintf(format, args...)}
+}
+
+// Analyzer is one named check: a pure function from a typed package to
+// findings.
+type Analyzer struct {
+	ID  string
+	Doc string
+	Run func(*Package) []Finding
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Determinism, Goroutine, Mutex, Errcheck, BoundedChan}
+}
+
+// Run applies the analyzers to every package, filters findings through
+// the //lint:allow directives, and returns the survivors sorted by
+// position. Malformed directives (no justification) are reported as
+// findings of check "directive".
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		allows, bad := collectAllows(p)
+		out = append(out, bad...)
+		for _, a := range analyzers {
+			for _, f := range a.Run(p) {
+				if allows.permits(f) {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+// hasSuffixPkg reports whether the package path ends with one of the
+// given module-relative suffixes (so checks scoped to e.g.
+// "internal/sim" work regardless of the module name).
+func hasSuffixPkg(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if path == s || len(path) > len(s) && path[len(path)-len(s)-1] == '/' && path[len(path)-len(s):] == s {
+			return true
+		}
+	}
+	return false
+}
+
+// typeString renders a type compactly for messages.
+func typeString(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadModule parses and type-checks every non-test package under the
+// module rooted at root (the directory containing go.mod) and returns
+// them sorted by import path. It is a small stdlib-only substitute for
+// golang.org/x/tools/go/packages: module-local imports are resolved by
+// walking the tree, standard-library imports are type-checked from
+// GOROOT source via go/importer's source compiler. Test files are
+// excluded — the gates police production code; tests legitimately use
+// wall clocks and ad-hoc goroutines.
+func LoadModule(root string) ([]*Package, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	ld := &loader{
+		root:    root,
+		modPath: modPath,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		loaded:  map[string]*loadResult{},
+	}
+
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		ok, err := hasGoSources(path)
+		if err != nil {
+			return err
+		}
+		if ok {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var pkgs []*Package
+	var errs []error
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		ipath := modPath
+		if rel != "." {
+			ipath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		p, err := ld.load(ipath)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		pkgs = append(pkgs, p)
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory
+// containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// ModulePath reads the module path from the go.mod in root.
+func ModulePath(root string) (string, error) {
+	return modulePath(filepath.Join(root, "go.mod"))
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+func hasGoSources(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// loader resolves imports: module-local paths recursively through
+// itself, everything else through the GOROOT source importer. It
+// implements types.Importer.
+type loader struct {
+	root    string
+	modPath string
+	fset    *token.FileSet
+	std     types.Importer
+	loaded  map[string]*loadResult
+}
+
+type loadResult struct {
+	pkg *Package
+	err error
+}
+
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == ld.modPath || strings.HasPrefix(path, ld.modPath+"/") {
+		p, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *loader) load(ipath string) (*Package, error) {
+	if r, ok := ld.loaded[ipath]; ok {
+		if r == nil {
+			return nil, fmt.Errorf("lint: import cycle through %s", ipath)
+		}
+		return r.pkg, r.err
+	}
+	ld.loaded[ipath] = nil // cycle marker
+	pkg, err := ld.check(ipath)
+	ld.loaded[ipath] = &loadResult{pkg: pkg, err: err}
+	return pkg, err
+}
+
+func (ld *loader) check(ipath string) (*Package, error) {
+	dir := ld.root
+	if ipath != ld.modPath {
+		dir = filepath.Join(ld.root, filepath.FromSlash(strings.TrimPrefix(ipath, ld.modPath+"/")))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go sources in %s", dir)
+	}
+	pkg, info, err := typecheck(ipath, ld.fset, files, ld)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: ipath, Fset: ld.fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// typecheck runs go/types over the files, collecting every error rather
+// than stopping at the first.
+func typecheck(ipath string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var terrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { terrs = append(terrs, err) },
+	}
+	pkg, err := conf.Check(ipath, fset, files, info)
+	if len(terrs) > 0 {
+		return nil, nil, fmt.Errorf("lint: type errors in %s: %w", ipath, errors.Join(terrs...))
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: type-checking %s: %w", ipath, err)
+	}
+	return pkg, info, nil
+}

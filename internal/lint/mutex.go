@@ -1,0 +1,261 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Mutex enforces three locking rules across the whole module:
+//
+//  1. Pairing: a Lock()/RLock() must be followed by `defer Unlock()` as
+//     the very next statement, or by a matching Unlock() later in the
+//     same block with no intervening top-level return. Anything else is
+//     either a leaked lock or a lock held across an early return.
+//  2. No copies: function parameters, results, and receivers must not
+//     pass a value containing a sync primitive by value.
+//  3. No blocking channel operations while a lock is held: a send or
+//     receive that blocks under a mutex stalls every other goroutine
+//     contending for it — in this codebase that means a stalled GPU
+//     queue stalls the allreduce barrier for everyone. Non-blocking
+//     selects (with a default case) are fine.
+var Mutex = &Analyzer{
+	ID: idMutex,
+	Doc: "Lock must pair with defer Unlock or a same-block Unlock with no early return; " +
+		"no lock values copied by value; no blocking channel ops under a lock",
+	Run: runMutex,
+}
+
+func runMutex(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		funcBodies(file, func(body *ast.BlockStmt, decl *ast.FuncDecl) {
+			if decl != nil {
+				out = append(out, lockCopyFindings(p, decl)...)
+			}
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			out = append(out, lockPairingFindings(p, block)...)
+			return true
+		})
+	}
+	return out
+}
+
+// lockCall decodes stmt as `x.Lock()` / `x.RLock()` on a sync mutex,
+// returning the receiver expression rendering ("nc.mu") and the
+// matching unlock method name.
+func lockCall(p *Package, stmt ast.Stmt) (recv, unlockName string, ok bool) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", "", false
+	}
+	return lockExpr(p, es.X)
+}
+
+func lockExpr(p *Package, x ast.Expr) (recv, unlockName string, ok bool) {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok {
+		return "", "", false
+	}
+	fn := calleeFunc(p.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	var unlock string
+	switch fn.Name() {
+	case "Lock":
+		unlock = "Unlock"
+	case "RLock":
+		unlock = "RUnlock"
+	default:
+		return "", "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), unlock, true
+}
+
+// unlockMatches decodes stmt as `recv.unlockName()` (possibly through
+// an embedded mutex, i.e. recv itself carrying the method).
+func unlockMatches(p *Package, stmt ast.Stmt, recv, unlockName string) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	return unlockExprMatches(p, es.X, recv, unlockName)
+}
+
+func unlockExprMatches(p *Package, x ast.Expr, recv, unlockName string) bool {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(p.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" || fn.Name() != unlockName {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && types.ExprString(sel.X) == recv
+}
+
+func deferUnlockMatches(p *Package, stmt ast.Stmt, recv, unlockName string) bool {
+	ds, ok := stmt.(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	return unlockExprMatches(p, ds.Call, recv, unlockName)
+}
+
+// lockPairingFindings analyzes one statement list for rules 1 and 3.
+func lockPairingFindings(p *Package, block *ast.BlockStmt) []Finding {
+	var out []Finding
+	stmts := block.List
+	for i, stmt := range stmts {
+		recv, unlockName, ok := lockCall(p, stmt)
+		if !ok {
+			continue
+		}
+		// Preferred shape: defer Unlock immediately after.
+		if i+1 < len(stmts) && deferUnlockMatches(p, stmts[i+1], recv, unlockName) {
+			out = append(out, heldRegionFindings(p, stmts[i+2:], recv)...)
+			continue
+		}
+		// Manual shape: scan the rest of the block for the unlock.
+		resolved := false
+		for j := i + 1; j < len(stmts); j++ {
+			if unlockMatches(p, stmts[j], recv, unlockName) || deferUnlockMatches(p, stmts[j], recv, unlockName) {
+				out = append(out, heldRegionFindings(p, stmts[i+1:j], recv)...)
+				resolved = true
+				break
+			}
+			if ret, isRet := stmts[j].(*ast.ReturnStmt); isRet {
+				out = append(out, p.finding(idMutex, ret,
+					"return while %s is held (locked at line %d); unlock first or use defer %s.%s()",
+					recv, p.position(stmt).Line, recv, unlockName))
+				resolved = true
+				break
+			}
+		}
+		if !resolved {
+			out = append(out, p.finding(idMutex, stmt,
+				"%s.%s() has no matching %s() in this block; use defer %s.%s() on the next line",
+				recv, map[string]string{"Unlock": "Lock", "RUnlock": "RLock"}[unlockName], unlockName, recv, unlockName))
+		}
+	}
+	return out
+}
+
+// heldRegionFindings flags blocking channel operations in statements
+// executed while recv is locked (rule 3). Nested function literals are
+// skipped: they execute later, not under this critical section (a defer
+// running under the lock is rare enough to accept the false negative).
+// Selects with a default case are non-blocking and pass.
+func heldRegionFindings(p *Package, stmts []ast.Stmt, recv string) []Finding {
+	var out []Finding
+	for _, stmt := range stmts {
+		// A nested unlock/lock cycle inside the region is beyond this
+		// straight-line analysis; the block-level scan above still
+		// covers the nested blocks themselves.
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.SelectStmt:
+				for _, clause := range n.Body.List {
+					if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+						return true // has default: non-blocking probe
+					}
+				}
+				out = append(out, p.finding(idMutex, n,
+					"blocking select while %s is held; add a default case or move it outside the critical section", recv))
+				return false
+			case *ast.SendStmt:
+				if !insideNonBlockingSelect(n, stmts) {
+					out = append(out, p.finding(idMutex, n,
+						"channel send while %s is held can block every goroutine contending for the lock; send after unlocking", recv))
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW && !insideNonBlockingSelect(n, stmts) {
+					out = append(out, p.finding(idMutex, n,
+						"channel receive while %s is held can block every goroutine contending for the lock; receive before locking", recv))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// insideNonBlockingSelect reports whether node is a comm clause of a
+// select that has a default case (a non-blocking try-send/try-recv).
+func insideNonBlockingSelect(node ast.Node, stmts []ast.Stmt) bool {
+	found := false
+	for _, stmt := range stmts {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok {
+				return !found
+			}
+			hasDefault := false
+			for _, clause := range sel.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				return true
+			}
+			for _, clause := range sel.Body.List {
+				cc, ok := clause.(*ast.CommClause)
+				if !ok || cc.Comm == nil {
+					continue
+				}
+				if node.Pos() >= cc.Comm.Pos() && node.End() <= cc.Comm.End() {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// lockCopyFindings implements rule 2 for one function declaration:
+// receivers, parameters, and results must not carry a sync primitive by
+// value.
+func lockCopyFindings(p *Package, decl *ast.FuncDecl) []Finding {
+	var out []Finding
+	check := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := p.Info.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if name, ok := containsLock(t); ok {
+				out = append(out, p.finding(idMutex, field,
+					"%s of %s passes %s by value (type %s); use a pointer so the lock state is shared",
+					kind, decl.Name.Name, name, typeString(t)))
+			}
+		}
+	}
+	check(decl.Recv, "receiver")
+	check(decl.Type.Params, "parameter")
+	check(decl.Type.Results, "result")
+	return out
+}

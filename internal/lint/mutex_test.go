@@ -1,0 +1,280 @@
+package lint
+
+import "testing"
+
+func TestMutexPairing(t *testing.T) {
+	runFixtures(t, Mutex, []fixtureTest{
+		{
+			name: "missing unlock flagged",
+			pkg:  "repro/internal/runtime",
+			src: `package runtime
+import "sync"
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+func (b *box) bump() {
+	b.mu.Lock()
+	b.n++
+}
+`,
+			want: 1,
+			grep: "no matching Unlock",
+		},
+		{
+			name: "early return under lock flagged",
+			pkg:  "repro/internal/runtime",
+			src: `package runtime
+import "sync"
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+func (b *box) bump() int {
+	b.mu.Lock()
+	b.n++
+	return b.n
+}
+`,
+			want: 1,
+			grep: "return while b.mu is held",
+		},
+		{
+			name: "defer unlock passes",
+			pkg:  "repro/internal/runtime",
+			src: `package runtime
+import "sync"
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+func (b *box) bump() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+	return b.n
+}
+`,
+			want: 0,
+		},
+		{
+			name: "manual unlock in same block passes",
+			pkg:  "repro/internal/runtime",
+			src: `package runtime
+import "sync"
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+func (b *box) bump() int {
+	b.mu.Lock()
+	b.n++
+	v := b.n
+	b.mu.Unlock()
+	return v
+}
+`,
+			want: 0,
+		},
+		{
+			name: "nested unlock-then-return passes",
+			pkg:  "repro/internal/runtime",
+			src: `package runtime
+import "sync"
+type box struct {
+	mu     sync.Mutex
+	closed bool
+}
+func (b *box) close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+}
+`,
+			want: 0,
+		},
+		{
+			name: "rwmutex rlock needs runlock",
+			pkg:  "repro/internal/runtime",
+			src: `package runtime
+import "sync"
+type box struct {
+	mu sync.RWMutex
+	n  int
+}
+func (b *box) read() int {
+	b.mu.RLock()
+	return b.n
+}
+`,
+			want: 1,
+			grep: "return while b.mu is held",
+		},
+	})
+}
+
+func TestMutexChannelOps(t *testing.T) {
+	runFixtures(t, Mutex, []fixtureTest{
+		{
+			name: "send under lock flagged",
+			pkg:  "repro/internal/runtime",
+			src: `package runtime
+import "sync"
+type q struct {
+	mu    sync.Mutex
+	stops chan struct{}
+}
+func (q *q) shrink() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.stops <- struct{}{}
+}
+`,
+			want: 1,
+			grep: "channel send while q.mu is held",
+		},
+		{
+			name: "receive under lock flagged",
+			pkg:  "repro/internal/runtime",
+			src: `package runtime
+import "sync"
+type q struct {
+	mu   sync.Mutex
+	jobs chan int
+}
+func (q *q) take() int {
+	q.mu.Lock()
+	v := <-q.jobs
+	q.mu.Unlock()
+	return v
+}
+`,
+			want: 1,
+			grep: "channel receive while q.mu is held",
+		},
+		{
+			name: "blocking select under lock flagged",
+			pkg:  "repro/internal/runtime",
+			src: `package runtime
+import "sync"
+type q struct {
+	mu   sync.Mutex
+	a, b chan int
+}
+func (q *q) wait() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case <-q.a:
+	case <-q.b:
+	}
+}
+`,
+			want: 1,
+			grep: "blocking select",
+		},
+		{
+			name: "non-blocking select under lock passes",
+			pkg:  "repro/internal/runtime",
+			src: `package runtime
+import "sync"
+type q struct {
+	mu   sync.Mutex
+	tick chan struct{}
+}
+func (q *q) poke() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.tick <- struct{}{}:
+	default:
+	}
+}
+`,
+			want: 0,
+		},
+		{
+			name: "send after unlock passes",
+			pkg:  "repro/internal/runtime",
+			src: `package runtime
+import "sync"
+type q struct {
+	mu    sync.Mutex
+	stops chan struct{}
+}
+func (q *q) shrink() {
+	q.mu.Lock()
+	n := 1
+	q.mu.Unlock()
+	for ; n > 0; n-- {
+		q.stops <- struct{}{}
+	}
+}
+`,
+			want: 0,
+		},
+	})
+}
+
+func TestMutexCopies(t *testing.T) {
+	runFixtures(t, Mutex, []fixtureTest{
+		{
+			name: "mutex-bearing parameter by value flagged",
+			pkg:  "repro/internal/runtime",
+			src: `package runtime
+import "sync"
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+func read(b box) int { return b.n }
+`,
+			want: 1,
+			grep: "passes sync.Mutex by value",
+		},
+		{
+			name: "value receiver with waitgroup flagged",
+			pkg:  "repro/internal/runtime",
+			src: `package runtime
+import "sync"
+type pool struct {
+	wg sync.WaitGroup
+}
+func (p pool) size() int { return 0 }
+`,
+			want: 1,
+			grep: "passes sync.WaitGroup by value",
+		},
+		{
+			name: "pointer parameter passes",
+			pkg:  "repro/internal/runtime",
+			src: `package runtime
+import "sync"
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+func read(b *box) int { return b.n }
+`,
+			want: 0,
+		},
+		{
+			name: "allow directive suppresses",
+			pkg:  "repro/internal/runtime",
+			src: `package runtime
+import "sync"
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+//lint:allow mutex snapshot copy of a quiesced value, lock is never reused
+func read(b box) int { return b.n }
+`,
+			want: 0,
+		},
+	})
+}

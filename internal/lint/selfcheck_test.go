@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestRepoIsLintClean is the self-check gate: the committed tree must
+// pass its own static analysis. Any intentional exception must carry a
+// //lint:allow directive with a justification; everything else is a
+// regression.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate test source file")
+	}
+	root, err := FindModuleRoot(filepath.Dir(thisFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("suspiciously few packages loaded (%d); loader regression?", len(pkgs))
+	}
+	findings := Run(pkgs, Analyzers())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Fatalf("repo is not lint-clean: %d finding(s); fix them or add //lint:allow <check> <why>", len(findings))
+	}
+}
+
+// TestLoadModulePackages sanity-checks the stdlib-only loader against
+// known packages of this module.
+func TestLoadModulePackages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate test source file")
+	}
+	root, err := FindModuleRoot(filepath.Dir(thisFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	modPath, err := ModulePath(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := map[string]*Package{}
+	for i, p := range pkgs {
+		byPath[p.Path] = p
+		if i > 0 && pkgs[i-1].Path >= p.Path {
+			t.Fatalf("packages not sorted: %s before %s", pkgs[i-1].Path, p.Path)
+		}
+	}
+	for _, want := range []string{"/internal/sim", "/internal/runtime", "/internal/lint", "/cmd/lobster-lint"} {
+		p := byPath[modPath+want]
+		if p == nil {
+			t.Fatalf("package %s%s not loaded", modPath, want)
+		}
+		if p.Pkg == nil || p.Info == nil || len(p.Files) == 0 {
+			t.Fatalf("package %s incompletely loaded", p.Path)
+		}
+		// Test files must be excluded: the gates police production code.
+		for _, f := range p.Files {
+			name := p.Fset.Position(f.Pos()).Filename
+			if filepath.Base(name) == "selfcheck_test.go" {
+				t.Fatalf("test file %s was loaded", name)
+			}
+		}
+	}
+}

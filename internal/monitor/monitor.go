@@ -41,7 +41,7 @@ func Serve(addr string) (*Server, error) {
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/", s.handleText)
 	s.httpSrv = &http.Server{Handler: mux}
-	go s.httpSrv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	go s.httpSrv.Serve(ln) //lint:allow errcheck Serve always returns non-nil on Close; nothing to do with it
 	return s, nil
 }
 
@@ -88,7 +88,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		http.Error(w, "no snapshot yet", http.StatusServiceUnavailable)
 		return
 	}
-	fmt.Fprintln(w, "ok")
+	fmt.Fprintln(w, "ok") //lint:allow errcheck best-effort health probe; client disconnects are not actionable
 }
 
 func (s *Server) handleText(w http.ResponseWriter, _ *http.Request) {
@@ -96,15 +96,16 @@ func (s *Server) handleText(w http.ResponseWriter, _ *http.Request) {
 	snap, updated := s.snapshot, s.updated
 	s.mu.RUnlock()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	//lint:allow errcheck best-effort text dashboard; client disconnects are not actionable
 	fmt.Fprintf(w, "lobster monitor — %d updates, last at %s\n\n",
 		s.updates.Load(), updated.Format(time.RFC3339Nano))
 	if snap == nil {
-		fmt.Fprintln(w, "(no snapshot published yet)")
+		fmt.Fprintln(w, "(no snapshot published yet)") //lint:allow errcheck best-effort text dashboard
 		return
 	}
 	// Render the snapshot as indented JSON; a text template would need to
 	// know the concrete type.
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(snap) //nolint:errcheck // best-effort dashboard
+	enc.Encode(snap) //lint:allow errcheck best-effort dashboard; a failed render is visible to the client
 }

@@ -104,17 +104,24 @@ func (p *Pool) Resize(n int) error {
 		return fmt.Errorf("preproc: Resize to %d < 1", n)
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.closed {
+		p.mu.Unlock()
 		return fmt.Errorf("preproc: Resize after Close")
 	}
 	for p.target < n {
 		p.target++
 		p.spawn()
 	}
+	shrink := 0
 	for p.target > n {
 		p.target--
 		p.workers--
+		shrink++
+	}
+	p.mu.Unlock()
+	// Deliver stop tokens after releasing the lock: a full stops channel
+	// must stall only this caller, not everyone contending for p.mu.
+	for ; shrink > 0; shrink-- {
 		p.stops <- struct{}{}
 	}
 	return nil

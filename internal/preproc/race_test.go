@@ -1,0 +1,57 @@
+package preproc
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestPoolResizeRace hammers Resize from several goroutines while
+// submissions are in flight — the shape the thread manager produces
+// when per-GPU decisions land on a shared node pool. Run under -race
+// this guards the lock-free stop-token delivery (tokens are sent after
+// p.mu is released; see Resize).
+func TestPoolResizeRace(t *testing.T) {
+	p, err := NewPool(4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const jobs = 300
+	done := make(chan Result, jobs)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sizes := []int{1, 6, 2, 8, 3, 5, 1, 7}
+			for i, s := range sizes {
+				if err := p.Resize(s + g%2); err != nil {
+					t.Errorf("Resize: %v", err)
+				}
+				_ = p.Workers()
+				_ = i
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < jobs; i++ {
+			buf := make([]byte, 256)
+			dataset.FillPayload(buf, 7, dataset.SampleID(i))
+			p.Submit(Job{ID: dataset.SampleID(i), Payload: buf, Seed: uint64(i), Done: done})
+		}
+	}()
+	wg.Wait()
+	for i := 0; i < jobs; i++ {
+		if r := <-done; r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	p.Close()
+	if got := p.Processed(); got != jobs {
+		t.Fatalf("processed = %d, want %d", got, jobs)
+	}
+}

@@ -133,14 +133,20 @@ func (q *gpuQueue) resize(n int) {
 		n = 1
 	}
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	for q.target < n {
 		q.target++
 		q.wg.Add(1)
 		go q.worker()
 	}
+	shrink := 0
 	for q.target > n {
 		q.target--
+		shrink++
+	}
+	q.mu.Unlock()
+	// Deliver stop tokens after releasing the lock: a full stops channel
+	// must stall only this caller, not everyone contending for q.mu.
+	for ; shrink > 0; shrink-- {
 		q.stops <- struct{}{}
 	}
 }

@@ -537,7 +537,7 @@ func openDataFile(opts Options, store *PFSStore) (*datafile.Reader, error) {
 		return nil, err
 	}
 	if err := store.UseFile(r); err != nil {
-		r.Close()
+		_ = r.Close() // read-only descriptor; the UseFile error is what matters
 		return nil, err
 	}
 	return r, nil

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate for the Lobster reproduction. Everything a PR
+# must pass, in dependency order:
+#
+#   1. go build        — the tree compiles
+#   2. go vet          — the stock correctness checks
+#   3. go test -race   — the full suite, module-wide, under the race detector
+#   4. lobster-lint    — the project's own static analysis (determinism,
+#                        goroutine/mutex hygiene, errcheck, bounded queues)
+#
+# Run from anywhere: the script cds to the repo root. `make check` is an
+# alias for this script.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> lobster-lint ./..."
+go run ./cmd/lobster-lint ./...
+
+echo "ALL CHECKS PASSED"
