@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race lint bench
+.PHONY: check build vet test race lint bench bench-kv
 
 ## check: the full tier-1 gate (build + vet + race tests + lobster-lint)
 check:
@@ -27,3 +27,8 @@ lint:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+## bench-kv: run the kvstore micro-benchmarks and record ops/sec, B/op
+## and p99 per protocol in BENCH_kv.json at the repo root.
+bench-kv:
+	LOBSTER_BENCH_KV=1 $(GO) test ./internal/kvstore -run TestBenchKVJSON -count=1 -v -timeout 30m

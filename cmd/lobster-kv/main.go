@@ -2,11 +2,13 @@
 // standalone process, so a cluster can be deployed across machines (the
 // "alternatives to distributed caching like for example KV-stores" of the
 // paper's Section 2). Point the online runtime's KVCache at the shard
-// addresses.
+// addresses. The shard speaks both wire protocols — v1 blocking
+// round trips and the pipelined/batched v2 — classifying each frame by
+// its first byte, so old and new clients can share a deployment.
 //
 // Example:
 //
-//	lobster-kv -addr 127.0.0.1:7001 -capacity 512MiB
+//	lobster-kv -addr 127.0.0.1:7001 -capacity 512MiB -stripes 16
 package main
 
 import (
@@ -27,6 +29,7 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:7001", "listen address")
 		capacity = flag.String("capacity", "256MiB", "shard capacity (bytes; supports KiB/MiB/GiB suffixes)")
 		statsSec = flag.Int("stats-interval", 30, "seconds between stats log lines (0 = silent)")
+		stripes  = flag.Int("stripes", 0, "LRU lock stripes (0 = auto-size from capacity)")
 	)
 	flag.Parse()
 
@@ -34,11 +37,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv, err := kvstore.NewServer(*addr, bytes)
+	srv, err := kvstore.NewServerStriped(*addr, bytes, *stripes)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("lobster-kv shard listening on %s (capacity %s)\n", srv.Addr(), *capacity)
+	fmt.Printf("lobster-kv shard listening on %s (capacity %s, %d stripes)\n",
+		srv.Addr(), *capacity, srv.Stripes())
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/dataset"
+	"repro/internal/perfmodel"
 	"repro/internal/tier"
 )
 
@@ -74,6 +75,34 @@ func (g *Group) Get(node int, id dataset.SampleID, now cache.Iter) tier.Kind {
 		return tier.Remote
 	}
 	return tier.PFS
+}
+
+// GetBatch resolves one GPU mini-batch against the distributed cache and
+// returns its tier placement: per sample it performs the same
+// get-then-put sequence as the equivalent Get/Put loop — the
+// interleaving matters, since each miss's insert can evict samples
+// consulted later in the batch. The placement doubles as the batch's
+// transfer accounting: RemoteOps counts remote-cache hits and PFSOps
+// counts PFS fetches.
+func (g *Group) GetBatch(node int, ids []dataset.SampleID, sizeOf func(dataset.SampleID) int64, now cache.Iter) perfmodel.BatchPlacement {
+	var pl perfmodel.BatchPlacement
+	for _, id := range ids {
+		size := sizeOf(id)
+		switch g.Get(node, id, now) {
+		case tier.Local:
+			pl.LocalBytes += size
+			pl.LocalOps++
+		case tier.Remote:
+			pl.RemoteBytes += size
+			pl.RemoteOps++
+			g.Put(node, id, size, now)
+		default:
+			pl.PFSBytes += size
+			pl.PFSOps++
+			g.Put(node, id, size, now)
+		}
+	}
+	return pl
 }
 
 // Put inserts the sample into node's cache (typically after fetching it

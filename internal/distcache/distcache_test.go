@@ -6,6 +6,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/cache"
 	"repro/internal/dataset"
+	"repro/internal/perfmodel"
 	"repro/internal/sampler"
 	"repro/internal/tier"
 )
@@ -210,5 +211,77 @@ func TestMaintainWithLobsterPolicyUpdatesReplicas(t *testing.T) {
 	agg := g.AggregateStats()
 	if agg.Hits+agg.Misses == 0 {
 		t.Fatal("no lookups recorded")
+	}
+}
+
+// TestGetBatchMatchesLoop checks GetBatch is step-for-step equivalent to
+// the per-sample Get/Put loop it replaces: same placement, same cache
+// stats, same replica state — including when mid-batch inserts evict
+// samples consulted later in the same batch (a tight 2-sample cache
+// forces that interleaving to matter).
+func TestGetBatchMatchesLoop(t *testing.T) {
+	sizeOf := func(id dataset.SampleID) int64 { return 10 + int64(id%3) }
+	batches := [][]dataset.SampleID{
+		{1, 2, 3, 1, 2}, // reuse within the batch
+		{4, 5, 6, 7, 4}, // evictions mid-batch (cap fits ~2)
+		{1, 6, 2, 7, 3}, // mix of evicted and resident
+	}
+	run := func(batched bool) (*Group, []perfmodel.BatchPlacement) {
+		g := newGroup(t, 2, 25)
+		// Seed node 1 so node 0 sees remote hits.
+		for _, id := range []dataset.SampleID{2, 5} {
+			if !g.Put(1, id, sizeOf(id), 0) {
+				t.Fatal("seed insert refused")
+			}
+		}
+		var pls []perfmodel.BatchPlacement
+		for h, ids := range batches {
+			now := cache.Iter(h + 1)
+			if batched {
+				pls = append(pls, g.GetBatch(0, ids, sizeOf, now))
+				continue
+			}
+			var pl perfmodel.BatchPlacement
+			for _, id := range ids {
+				size := sizeOf(id)
+				switch g.Get(0, id, now) {
+				case tier.Local:
+					pl.LocalBytes += size
+					pl.LocalOps++
+				case tier.Remote:
+					pl.RemoteBytes += size
+					pl.RemoteOps++
+					g.Put(0, id, size, now)
+				default:
+					pl.PFSBytes += size
+					pl.PFSOps++
+					g.Put(0, id, size, now)
+				}
+			}
+			pls = append(pls, pl)
+		}
+		return g, pls
+	}
+	gLoop, plLoop := run(false)
+	gBatch, plBatch := run(true)
+	for i := range plLoop {
+		if plLoop[i] != plBatch[i] {
+			t.Errorf("batch %d: loop %+v != batched %+v", i, plLoop[i], plBatch[i])
+		}
+	}
+	if plBatch[0].RemoteOps == 0 {
+		t.Error("fixture never exercised the remote tier")
+	}
+	sLoop, sBatch := gLoop.AggregateStats(), gBatch.AggregateStats()
+	if sLoop != sBatch {
+		t.Errorf("stats diverge: loop %+v, batched %+v", sLoop, sBatch)
+	}
+	for id := 0; id < 10; id++ {
+		if gLoop.ReplicaCount(dataset.SampleID(id)) != gBatch.ReplicaCount(dataset.SampleID(id)) {
+			t.Errorf("replica count diverges for sample %d", id)
+		}
+	}
+	if err := gBatch.CheckInvariants(); err != nil {
+		t.Error(err)
 	}
 }

@@ -1,0 +1,275 @@
+package kvstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestBenchKVJSON is the benchmark-recording harness behind
+// `make bench-kv`.
+//
+// Default (no env) it is a CI-safe smoke test: it drives a few hundred
+// ops through both protocols against a live server and fails on any
+// protocol error — enough to catch a broken frame encoder without
+// burning benchmark time in `go test ./...`.
+//
+// With LOBSTER_BENCH_KV=1 it runs the kvstore micro-benchmarks via
+// testing.Benchmark and writes the results (ops/sec, B/op, allocs/op,
+// p99) to BENCH_kv.json at the repository root, including the
+// v1-vs-v2 headline comparison at 16 concurrent clients.
+func TestBenchKVJSON(t *testing.T) {
+	if os.Getenv("LOBSTER_BENCH_KV") == "" {
+		benchSmoke(t)
+		return
+	}
+	benchFull(t)
+}
+
+func benchSmoke(t *testing.T) {
+	s, err := newBenchServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	window := make([]string, 16)
+	for i := range window {
+		window[i] = benchKey(i)
+	}
+	for _, proto := range []string{"v1", "v2"} {
+		var c benchClient
+		switch proto {
+		case "v1":
+			cl, err := NewClient(s.Addr(), 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c = cl
+		default:
+			cl, err := NewClientV2(s.Addr(), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c = cl
+		}
+		for i := 0; i < 100; i++ {
+			v, found, err := c.Get(benchKey(i % benchKeys))
+			if err != nil || !found || len(v) != benchValBytes {
+				c.Close()
+				t.Fatalf("%s smoke Get: len=%d found=%v err=%v", proto, len(v), found, err)
+			}
+		}
+		vals, err := c.MultiGet(window)
+		if err != nil {
+			c.Close()
+			t.Fatalf("%s smoke MultiGet: %v", proto, err)
+		}
+		for i, v := range vals {
+			if len(v) != benchValBytes {
+				c.Close()
+				t.Fatalf("%s smoke MultiGet[%d]: len=%d", proto, i, len(v))
+			}
+		}
+		if err := c.Put("smoke", []byte("x")); err != nil {
+			c.Close()
+			t.Fatalf("%s smoke Put: %v", proto, err)
+		}
+		c.Close()
+	}
+}
+
+// benchEntry is one benchmark row in BENCH_kv.json.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	Proto       string  `json:"proto"`
+	Clients     int     `json:"clients"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	P99Ns       float64 `json:"p99_ns,omitempty"`
+}
+
+func toEntry(name, proto string, clients int, r testing.BenchmarkResult) benchEntry {
+	ns := float64(r.NsPerOp())
+	e := benchEntry{
+		Name:        name,
+		Proto:       proto,
+		Clients:     clients,
+		NsPerOp:     ns,
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if ns > 0 {
+		e.OpsPerSec = 1e9 / ns
+	}
+	if p99, ok := r.Extra["p99-ns"]; ok {
+		e.P99Ns = p99
+	}
+	return e
+}
+
+func benchFull(t *testing.T) {
+	s, err := newBenchServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var entries []benchEntry
+	get := func(proto string, clients int) benchEntry {
+		r := testing.Benchmark(func(b *testing.B) {
+			c := benchDial(b, s, proto)
+			defer c.Close()
+			runClients(b, clients, func(g, i int) error {
+				_, found, err := c.Get(benchKey((g*7919 + i) % benchKeys))
+				if err == nil && !found {
+					err = fmt.Errorf("bench key missing")
+				}
+				return err
+			})
+		})
+		e := toEntry("get", proto, clients, r)
+		t.Logf("get/%s/clients=%d: %.0f ops/sec, %d B/op, %d allocs/op, p99 %.0fns",
+			proto, clients, e.OpsPerSec, e.BytesPerOp, e.AllocsPerOp, e.P99Ns)
+		return e
+	}
+	for _, proto := range []string{"v1", "v2"} {
+		for _, clients := range []int{1, 4, 16, 64} {
+			entries = append(entries, get(proto, clients))
+		}
+	}
+
+	window := make([]string, 32)
+	for k := range window {
+		window[k] = benchKey(k * 31 % benchKeys)
+	}
+	for _, clients := range []int{1, 16} {
+		clients := clients
+		r := testing.Benchmark(func(b *testing.B) {
+			c := benchDial(b, s, "v1")
+			defer c.Close()
+			runClients(b, clients, func(g, i int) error {
+				for _, key := range window {
+					if _, _, err := c.Get(key); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+		entries = append(entries, toEntry("multiget-window32", "v1-loop", clients, r))
+		r = testing.Benchmark(func(b *testing.B) {
+			c := benchDial(b, s, "v2")
+			defer c.Close()
+			runClients(b, clients, func(g, i int) error {
+				_, err := c.MultiGet(window)
+				return err
+			})
+		})
+		entries = append(entries, toEntry("multiget-window32", "v2-batch", clients, r))
+	}
+
+	val := make([]byte, benchValBytes)
+	for _, proto := range []string{"v1", "v2"} {
+		proto := proto
+		r := testing.Benchmark(func(b *testing.B) {
+			c := benchDial(b, s, proto)
+			defer c.Close()
+			runClients(b, 16, func(g, i int) error {
+				return c.Put(benchKey((g*7919+i)%benchKeys), val)
+			})
+		})
+		entries = append(entries, toEntry("put", proto, 16, r))
+	}
+
+	var v1at16, v2at16 *benchEntry
+	for i := range entries {
+		e := &entries[i]
+		if e.Name == "get" && e.Clients == 16 {
+			switch e.Proto {
+			case "v1":
+				v1at16 = e
+			case "v2":
+				v2at16 = e
+			}
+		}
+	}
+	if v1at16 == nil || v2at16 == nil {
+		t.Fatal("missing 16-client entries")
+	}
+	speedup := v2at16.OpsPerSec / v1at16.OpsPerSec
+	t.Logf("headline: v2 %.0f ops/sec vs v1 %.0f ops/sec at 16 clients = %.2fx",
+		v2at16.OpsPerSec, v1at16.OpsPerSec, speedup)
+
+	out := struct {
+		Generated string `json:"generated"`
+		GoVersion string `json:"go_version"`
+		NumCPU    int    `json:"num_cpu"`
+		Note      string `json:"note"`
+		// SeedBaseline is the pre-rework data path (single-op blocking
+		// round trips, unstriped mutex LRU, no pooling) measured at
+		// commit dd14fa7 with the same 16-client Get workload on the
+		// same machine as the rest of this file.
+		SeedBaseline benchEntry   `json:"seed_baseline"`
+		Headline     struct {
+			V1OpsPerSec float64 `json:"v1_ops_per_sec"`
+			V2OpsPerSec float64 `json:"v2_ops_per_sec"`
+			Speedup     float64 `json:"speedup_v2_over_v1"`
+		} `json:"headline_get_16_clients"`
+		Results []benchEntry `json:"results"`
+	}{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Note: "get/put: 4KiB values, 1024 keys; v1 uses a 4-conn pool, " +
+			"v2 one pipelined conn; multiget fetches a 32-key window",
+		SeedBaseline: benchEntry{
+			Name: "get-seed-dd14fa7", Proto: "v1-seed", Clients: 16,
+			NsPerOp: 12008, OpsPerSec: 83278, BytesPerOp: 4162, AllocsPerOp: 9,
+		},
+		Results: entries,
+	}
+	out.Headline.V1OpsPerSec = v1at16.OpsPerSec
+	out.Headline.V2OpsPerSec = v2at16.OpsPerSec
+	out.Headline.Speedup = speedup
+
+	root, err := repoRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(root, "BENCH_kv.json")
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+	if speedup < 2 {
+		t.Logf("WARNING: v2 speedup %.2fx below the 2x target; box may be loaded", speedup)
+	}
+}
+
+// repoRoot walks up from the working directory to the module root.
+func repoRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("go.mod not found above %s", dir)
+		}
+		dir = parent
+	}
+}

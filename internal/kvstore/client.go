@@ -4,18 +4,19 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"net"
 	"sync"
 )
 
-// Client is a pooled connection to one shard. Safe for concurrent use:
-// requests are one round trip each, multiplexed over a small connection
-// pool.
+// Client speaks the legacy v1 protocol to one shard: one blocking
+// request per round trip, multiplexed over a small connection pool.
+// Safe for concurrent use. New code should prefer ClientV2, which
+// pipelines many ops per connection; Client remains for compatibility
+// with v1-only peers and as the benchmark baseline.
 type Client struct {
 	addr string
-	pool chan *clientConn
+	pool chan *clientConn // nil slot = connection lost, redial on demand
 	mu   sync.Mutex
 	all  []*clientConn
 }
@@ -55,6 +56,20 @@ func (cl *Client) dial() (*clientConn, error) {
 	return cc, nil
 }
 
+// drop closes a broken connection and forgets it, so Close never
+// touches it again and the tracking list cannot accumulate corpses.
+func (cl *Client) drop(cc *clientConn) {
+	_ = cc.c.Close() // already broken; the round-trip error is what matters
+	cl.mu.Lock()
+	for i, other := range cl.all {
+		if other == cc {
+			cl.all = append(cl.all[:i], cl.all[i+1:]...)
+			break
+		}
+	}
+	cl.mu.Unlock()
+}
+
 // Close closes all pooled connections.
 func (cl *Client) Close() {
 	cl.mu.Lock()
@@ -65,30 +80,45 @@ func (cl *Client) Close() {
 	cl.all = nil
 }
 
-// roundTrip runs one request. A broken connection is replaced once.
+// roundTrip runs one request. A broken connection is replaced once; if
+// the redial fails too, the slot is parked as nil (never a dead
+// connection) and the next caller redials it.
 func (cl *Client) roundTrip(op byte, key string, val []byte) (byte, []byte, error) {
 	cc := <-cl.pool
-	status, out, err := cc.do(op, key, val)
-	if err != nil {
-		_ = cc.c.Close() // broken connection; the round-trip error is what matters
-		if cc2, derr := cl.dial(); derr == nil {
-			status, out, err = cc2.do(op, key, val)
-			cc = cc2
+	if cc == nil {
+		var err error
+		if cc, err = cl.dial(); err != nil {
+			cl.pool <- nil
+			return 0, nil, err
 		}
 	}
-	cl.pool <- cc
-	return status, out, err
+	status, out, err := cc.do(op, key, val)
+	if err == nil {
+		cl.pool <- cc
+		return status, out, nil
+	}
+	cl.drop(cc)
+	cc2, derr := cl.dial()
+	if derr != nil {
+		cl.pool <- nil
+		return 0, nil, err // the original round-trip error
+	}
+	status, out, err = cc2.do(op, key, val)
+	if err != nil {
+		cl.drop(cc2)
+		cl.pool <- nil
+		return 0, nil, err
+	}
+	cl.pool <- cc2
+	return status, out, nil
 }
 
 func (cc *clientConn) do(op byte, key string, val []byte) (byte, []byte, error) {
 	// bufio.Writer errors are sticky; the Flush below surfaces the first.
 	_ = cc.w.WriteByte(op)
-	var buf [4]byte
-	binary.BigEndian.PutUint32(buf[:], uint32(len(key)))
-	_, _ = cc.w.Write(buf[:])
+	writeU32(cc.w, uint32(len(key)))
 	_, _ = cc.w.WriteString(key)
-	binary.BigEndian.PutUint32(buf[:], uint32(len(val)))
-	_, _ = cc.w.Write(buf[:])
+	writeU32(cc.w, uint32(len(val)))
 	_, _ = cc.w.Write(val)
 	if err := cc.w.Flush(); err != nil {
 		return 0, nil, err
@@ -124,16 +154,26 @@ func (cl *Client) Get(key string) (val []byte, found bool, err error) {
 	}
 }
 
-// Put stores a value.
+// Put stores a value. Values the shard can never admit are reported as
+// ErrTooLarge.
 func (cl *Client) Put(key string, val []byte) error {
 	status, _, err := cl.roundTrip(opPut, key, val)
 	if err != nil {
 		return err
 	}
-	if status != statusOK {
+	return putStatusErr(status, key)
+}
+
+// putStatusErr maps a Put response status to the client-facing error.
+func putStatusErr(status byte, key string) error {
+	switch status {
+	case statusOK:
+		return nil
+	case statusTooLarge:
+		return fmt.Errorf("kvstore: Put(%q): %w", key, ErrTooLarge)
+	default:
 		return fmt.Errorf("kvstore: server error on Put(%q)", key)
 	}
-	return nil
 }
 
 // Delete removes a key (no-op when absent).
@@ -157,77 +197,54 @@ func (cl *Client) Stats() (Stats, error) {
 	if status != statusOK || len(out) != 40 {
 		return Stats{}, fmt.Errorf("kvstore: bad stats response")
 	}
+	return decodeStats(out), nil
+}
+
+func decodeStats(out []byte) Stats {
 	return Stats{
 		Items:     int(binary.BigEndian.Uint64(out[0:])),
 		UsedBytes: int64(binary.BigEndian.Uint64(out[8:])),
 		Hits:      binary.BigEndian.Uint64(out[16:]),
 		Misses:    binary.BigEndian.Uint64(out[24:]),
 		Evictions: binary.BigEndian.Uint64(out[32:]),
-	}, nil
-}
-
-// Cluster shards keys across several servers by FNV-1a hash — the
-// KV-store alternative to the node-to-node distribution manager.
-type Cluster struct {
-	clients []*Client
-}
-
-// NewCluster connects to every shard address.
-func NewCluster(addrs []string, poolSize int) (*Cluster, error) {
-	if len(addrs) == 0 {
-		return nil, fmt.Errorf("kvstore: no shard addresses")
 	}
-	c := &Cluster{}
-	for _, addr := range addrs {
-		cl, err := NewClient(addr, poolSize)
+}
+
+// MultiGet fetches several keys with one round trip per key (the v1
+// protocol has no batch frames). vals[i] is nil when keys[i] is absent
+// and non-nil (possibly empty) when present. Implements the same
+// contract as ClientV2.MultiGet so a Cluster can run on either.
+func (cl *Client) MultiGet(keys []string) ([][]byte, error) {
+	vals := make([][]byte, len(keys))
+	for i, key := range keys {
+		v, found, err := cl.Get(key)
 		if err != nil {
-			c.Close()
 			return nil, err
 		}
-		c.clients = append(c.clients, cl)
-	}
-	return c, nil
-}
-
-// shard picks the client for a key.
-func (c *Cluster) shard(key string) *Client {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(key)) // hash.Hash.Write never returns an error
-	return c.clients[int(h.Sum32())%len(c.clients)]
-}
-
-// Get fetches a key from its shard.
-func (c *Cluster) Get(key string) ([]byte, bool, error) { return c.shard(key).Get(key) }
-
-// Put stores a key on its shard.
-func (c *Cluster) Put(key string, val []byte) error { return c.shard(key).Put(key, val) }
-
-// Delete removes a key from its shard.
-func (c *Cluster) Delete(key string) error { return c.shard(key).Delete(key) }
-
-// Shards returns the number of shards.
-func (c *Cluster) Shards() int { return len(c.clients) }
-
-// Stats aggregates all shards' counters.
-func (c *Cluster) Stats() (Stats, error) {
-	var total Stats
-	for _, cl := range c.clients {
-		st, err := cl.Stats()
-		if err != nil {
-			return Stats{}, err
+		if found {
+			if v == nil {
+				v = []byte{}
+			}
+			vals[i] = v
 		}
-		total.Items += st.Items
-		total.UsedBytes += st.UsedBytes
-		total.Hits += st.Hits
-		total.Misses += st.Misses
-		total.Evictions += st.Evictions
 	}
-	return total, nil
+	return vals, nil
 }
 
-// Close closes every shard client.
-func (c *Cluster) Close() {
-	for _, cl := range c.clients {
-		cl.Close()
+// MultiPut stores several key/value pairs, one round trip each (see
+// MultiGet). Storage is best-effort: on a per-key refusal the remaining
+// pairs are still written and the first error is returned.
+func (cl *Client) MultiPut(keys []string, vals [][]byte) error {
+	if len(keys) != len(vals) {
+		return fmt.Errorf("kvstore: MultiPut got %d keys, %d values", len(keys), len(vals))
 	}
+	var first error
+	for i, key := range keys {
+		if err := cl.Put(key, vals[i]); err != nil {
+			if first == nil {
+				first = err
+			}
+		}
+	}
+	return first
 }

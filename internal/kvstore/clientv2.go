@@ -1,0 +1,564 @@
+package kvstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrClientClosed is returned for ops issued after Close.
+var ErrClientClosed = errors.New("kvstore: client closed")
+
+// writeQueueDepth bounds each connection's in-flight request queue.
+const writeQueueDepth = 512
+
+// ClientV2 speaks the pipelined v2 protocol to one shard: every request
+// carries an ID, a per-connection writer goroutine coalesces frames
+// into large writes, and a reader goroutine dispatches responses to
+// their waiters — so one connection sustains many concurrent ops
+// instead of one per round trip. Safe for concurrent use.
+type ClientV2 struct {
+	addr  string
+	mu    sync.Mutex
+	conns []*pipeConn
+	rr    atomic.Uint32
+	shut  bool
+}
+
+// NewClientV2 connects to a shard with the given number of multiplexed
+// connections (a handful is plenty; each carries hundreds of in-flight
+// ops).
+func NewClientV2(addr string, conns int) (*ClientV2, error) {
+	if conns < 1 {
+		conns = 1
+	}
+	cl := &ClientV2{addr: addr}
+	for i := 0; i < conns; i++ {
+		p, err := dialPipe(addr)
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.conns = append(cl.conns, p)
+	}
+	return cl, nil
+}
+
+// conn picks a connection round-robin, transparently replacing dead
+// ones.
+func (cl *ClientV2) conn() (*pipeConn, error) {
+	cl.mu.Lock()
+	if cl.shut {
+		cl.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	i := int(cl.rr.Add(1)) % len(cl.conns)
+	p := cl.conns[i]
+	cl.mu.Unlock()
+	if !p.dead.Load() {
+		return p, nil
+	}
+	return cl.replace(i, p)
+}
+
+// replace redials slot i if it still holds the dead connection old.
+func (cl *ClientV2) replace(i int, old *pipeConn) (*pipeConn, error) {
+	fresh, err := dialPipe(cl.addr)
+	if err != nil {
+		return nil, err
+	}
+	cl.mu.Lock()
+	if cl.shut {
+		cl.mu.Unlock()
+		fresh.shutdown(ErrClientClosed)
+		return nil, ErrClientClosed
+	}
+	cur := cl.conns[i]
+	if cur != old && !cur.dead.Load() {
+		// Someone else already replaced the slot; use theirs.
+		cl.mu.Unlock()
+		fresh.shutdown(ErrClientClosed)
+		return cur, nil
+	}
+	cl.conns[i] = fresh
+	cl.mu.Unlock()
+	old.shutdown(errors.New("kvstore: connection replaced"))
+	return fresh, nil
+}
+
+// Close tears down every connection; in-flight ops fail with
+// ErrClientClosed.
+func (cl *ClientV2) Close() {
+	cl.mu.Lock()
+	cl.shut = true
+	conns := cl.conns
+	cl.mu.Unlock()
+	for _, p := range conns {
+		p.shutdown(ErrClientClosed)
+	}
+}
+
+// call is one in-flight request/response pair. Instances are pooled:
+// the done channel is reused across ops.
+type call struct {
+	op  byte
+	id  uint32
+	key string
+	val []byte
+	// Batch request fields (opMultiGet/opMultiPut).
+	keys []string
+	vals [][]byte
+	// Response fields.
+	status   byte
+	out      []byte
+	statuses []byte   // per-key statuses (opMultiPut)
+	outs     [][]byte // per-key values (opMultiGet), nil = not found
+	err      error
+	done     chan *call
+}
+
+var callPool = sync.Pool{New: func() any { return &call{done: make(chan *call, 1)} }}
+
+func getCall(op byte) *call {
+	c := callPool.Get().(*call)
+	c.op = op
+	return c
+}
+
+func putCall(c *call) {
+	select {
+	case <-c.done: // drain a stray completion, never carry it to reuse
+	default:
+	}
+	done := c.done
+	*c = call{done: done}
+	callPool.Put(c)
+}
+
+// pipeConn is one multiplexed connection: a writer goroutine drains wq
+// and coalesces frames, a reader goroutine dispatches responses to the
+// pending map by request ID.
+type pipeConn struct {
+	c    net.Conn
+	wq   chan *call
+	stop chan struct{}
+
+	stopOnce sync.Once
+	dead     atomic.Bool
+
+	mu      sync.Mutex
+	err     error
+	nextID  uint32
+	pending map[uint32]*call
+
+	wg sync.WaitGroup
+}
+
+func dialPipe(addr string) (*pipeConn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: dial %s: %w", addr, err)
+	}
+	p := &pipeConn{
+		c:       c,
+		wq:      make(chan *call, writeQueueDepth),
+		stop:    make(chan struct{}),
+		pending: make(map[uint32]*call),
+	}
+	p.wg.Add(2)
+	go p.writeLoop()
+	go p.readLoop()
+	return p, nil
+}
+
+// shutdown fails the connection (idempotent) and waits for its
+// goroutines.
+func (p *pipeConn) shutdown(err error) {
+	p.fail(err)
+	p.wg.Wait()
+}
+
+// fail marks the connection dead, closes the socket (unblocking both
+// loops) and completes every pending call with err.
+func (p *pipeConn) fail(err error) {
+	p.stopOnce.Do(func() {
+		p.dead.Store(true)
+		p.mu.Lock()
+		p.err = err
+		p.mu.Unlock()
+		close(p.stop)
+		_ = p.c.Close() // unblocks the reader; its error is the close itself
+	})
+	// Whoever gets here drains whatever is pending at this moment; calls
+	// registered later see p.err at registration and never enqueue.
+	p.mu.Lock()
+	var drained []*call
+	for id, c := range p.pending {
+		delete(p.pending, id)
+		drained = append(drained, c)
+	}
+	failErr := p.err
+	p.mu.Unlock()
+	for _, c := range drained {
+		c.err = failErr
+		c.done <- c
+	}
+}
+
+// register assigns a request ID and parks the call in the pending map.
+func (p *pipeConn) register(c *call) error {
+	p.mu.Lock()
+	if p.err != nil {
+		err := p.err
+		p.mu.Unlock()
+		return err
+	}
+	c.id = p.nextID
+	p.nextID++
+	p.pending[c.id] = c
+	p.mu.Unlock()
+	return nil
+}
+
+// take removes a pending call; nil when already completed elsewhere.
+func (p *pipeConn) take(id uint32) *call {
+	p.mu.Lock()
+	c := p.pending[id]
+	delete(p.pending, id)
+	p.mu.Unlock()
+	return c
+}
+
+// failCall completes one call with err unless someone else already did.
+func (p *pipeConn) failCall(c *call, err error) {
+	if got := p.take(c.id); got != nil {
+		got.err = err
+		got.done <- got
+	}
+}
+
+// roundTrip runs one pipelined op to completion.
+func (p *pipeConn) roundTrip(c *call) error {
+	if err := p.register(c); err != nil {
+		return err
+	}
+	select {
+	case p.wq <- c:
+	case <-p.stop:
+		p.failCall(c, ErrClientClosed)
+	}
+	<-c.done
+	return c.err
+}
+
+// writeLoop serializes queued requests onto the socket, flushing only
+// when the queue momentarily drains — a burst of N ops from concurrent
+// callers coalesces into one write syscall.
+func (p *pipeConn) writeLoop() {
+	defer p.wg.Done()
+	w := bufio.NewWriterSize(p.c, connBufSize)
+	for {
+		select {
+		case <-p.stop:
+			p.drainQueue()
+			return
+		case c := <-p.wq:
+			if p.dead.Load() {
+				p.failCall(c, p.connErr())
+				continue
+			}
+			writeV2Request(w, c)
+			if len(p.wq) == 0 {
+				// The enqueue that woke this loop typically readied us
+				// before the caller's siblings got to run; yield once so
+				// every runnable caller enqueues, then flush the whole
+				// burst as one write.
+				runtime.Gosched()
+			}
+			if len(p.wq) == 0 {
+				if err := w.Flush(); err != nil {
+					p.fail(err)
+				}
+			}
+		}
+	}
+}
+
+// drainQueue fails whatever was queued but never written.
+func (p *pipeConn) drainQueue() {
+	for {
+		select {
+		case c := <-p.wq:
+			p.failCall(c, p.connErr())
+		default:
+			return
+		}
+	}
+}
+
+func (p *pipeConn) connErr() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.err != nil {
+		return p.err
+	}
+	return ErrClientClosed
+}
+
+// writeV2Request encodes one request frame (layout in store.go).
+func writeV2Request(w *bufio.Writer, c *call) {
+	// bufio errors are sticky; the writeLoop's Flush surfaces the first.
+	_ = w.WriteByte(frameV2Magic)
+	_ = w.WriteByte(c.op)
+	writeU32(w, c.id)
+	switch c.op {
+	case opMultiGet:
+		writeU32(w, uint32(len(c.keys)))
+		for _, k := range c.keys {
+			writeU32(w, uint32(len(k)))
+			_, _ = w.WriteString(k)
+		}
+	case opMultiPut:
+		writeU32(w, uint32(len(c.keys)))
+		for i, k := range c.keys {
+			writeU32(w, uint32(len(k)))
+			_, _ = w.WriteString(k)
+			writeU32(w, uint32(len(c.vals[i])))
+			_, _ = w.Write(c.vals[i])
+		}
+	default:
+		writeU32(w, uint32(len(c.key)))
+		_, _ = w.WriteString(c.key)
+		writeU32(w, uint32(len(c.val)))
+		_, _ = w.Write(c.val)
+	}
+}
+
+// readLoop parses response frames and hands each to its waiter.
+func (p *pipeConn) readLoop() {
+	defer p.wg.Done()
+	r := bufio.NewReaderSize(p.c, connBufSize)
+	for {
+		op, err := r.ReadByte()
+		if err != nil {
+			p.fail(err)
+			return
+		}
+		id, err := readU32(r)
+		if err != nil {
+			p.fail(err)
+			return
+		}
+		status, err := r.ReadByte()
+		if err != nil {
+			p.fail(err)
+			return
+		}
+		c := p.take(id)
+		if c == nil || c.op != op {
+			p.fail(fmt.Errorf("kvstore: response for unknown request %d (op %d)", id, op))
+			return
+		}
+		c.status = status
+		if err := readV2Body(r, op, c); err != nil {
+			c.err = err
+			c.done <- c
+			p.fail(err)
+			return
+		}
+		c.done <- c
+	}
+}
+
+// readV2Body parses a response frame's op-specific body into c.
+func readV2Body(r *bufio.Reader, op byte, c *call) error {
+	switch op {
+	case opMultiGet:
+		count, err := readLen(r, maxBatchLen)
+		if err != nil {
+			return err
+		}
+		if int(count) != len(c.keys) {
+			return fmt.Errorf("kvstore: MultiGet response has %d entries, want %d", count, len(c.keys))
+		}
+		c.outs = make([][]byte, count)
+		for i := uint32(0); i < count; i++ {
+			st, err := r.ReadByte()
+			if err != nil {
+				return err
+			}
+			n, err := readLen(r, maxValLen)
+			if err != nil {
+				return err
+			}
+			v := make([]byte, n)
+			if _, err := io.ReadFull(r, v); err != nil {
+				return err
+			}
+			if st == statusOK {
+				c.outs[i] = v
+			}
+		}
+		return nil
+	case opMultiPut:
+		count, err := readLen(r, maxBatchLen)
+		if err != nil {
+			return err
+		}
+		if int(count) != len(c.keys) {
+			return fmt.Errorf("kvstore: MultiPut response has %d entries, want %d", count, len(c.keys))
+		}
+		c.statuses = make([]byte, count)
+		if _, err := io.ReadFull(r, c.statuses); err != nil {
+			return err
+		}
+		return nil
+	default:
+		n, err := readLen(r, maxValLen)
+		if err != nil {
+			return err
+		}
+		out := make([]byte, n)
+		if _, err := io.ReadFull(r, out); err != nil {
+			return err
+		}
+		c.out = out
+		return nil
+	}
+}
+
+// do runs one single-key op on some connection.
+func (cl *ClientV2) do(op byte, key string, val []byte) (byte, []byte, error) {
+	p, err := cl.conn()
+	if err != nil {
+		return 0, nil, err
+	}
+	c := getCall(op)
+	c.key, c.val = key, val
+	if err := p.roundTrip(c); err != nil {
+		putCall(c)
+		return 0, nil, err
+	}
+	status, out := c.status, c.out
+	putCall(c)
+	return status, out, nil
+}
+
+// Get fetches a value; found=false when the key is absent.
+func (cl *ClientV2) Get(key string) ([]byte, bool, error) {
+	status, out, err := cl.do(opGet, key, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	switch status {
+	case statusOK:
+		return out, true, nil
+	case statusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("kvstore: server error on Get(%q)", key)
+	}
+}
+
+// Put stores a value; ErrTooLarge when the shard can never admit it.
+func (cl *ClientV2) Put(key string, val []byte) error {
+	status, _, err := cl.do(opPut, key, val)
+	if err != nil {
+		return err
+	}
+	return putStatusErr(status, key)
+}
+
+// Delete removes a key (no-op when absent).
+func (cl *ClientV2) Delete(key string) error {
+	status, _, err := cl.do(opDelete, key, nil)
+	if err != nil {
+		return err
+	}
+	if status != statusOK {
+		return fmt.Errorf("kvstore: server error on Delete(%q)", key)
+	}
+	return nil
+}
+
+// Stats fetches the shard's counters.
+func (cl *ClientV2) Stats() (Stats, error) {
+	status, out, err := cl.do(opStats, "", nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	if status != statusOK || len(out) != 40 {
+		return Stats{}, fmt.Errorf("kvstore: bad stats response")
+	}
+	return decodeStats(out), nil
+}
+
+// MultiGet fetches a whole batch of keys in one round trip. vals[i] is
+// nil when keys[i] is absent and non-nil (possibly empty) when present.
+func (cl *ClientV2) MultiGet(keys []string) ([][]byte, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	if len(keys) > maxBatchLen {
+		return nil, fmt.Errorf("kvstore: MultiGet batch %d exceeds %d keys", len(keys), maxBatchLen)
+	}
+	p, err := cl.conn()
+	if err != nil {
+		return nil, err
+	}
+	c := getCall(opMultiGet)
+	c.keys = keys
+	if err := p.roundTrip(c); err != nil {
+		putCall(c)
+		return nil, err
+	}
+	outs := c.outs
+	status := c.status
+	putCall(c)
+	if status != statusOK {
+		return nil, fmt.Errorf("kvstore: server error on MultiGet(%d keys)", len(keys))
+	}
+	return outs, nil
+}
+
+// MultiPut stores a whole batch of key/value pairs in one round trip.
+// Storage is best-effort per key; the first per-key refusal (e.g.
+// ErrTooLarge) is returned after the batch completes.
+func (cl *ClientV2) MultiPut(keys []string, vals [][]byte) error {
+	if len(keys) != len(vals) {
+		return fmt.Errorf("kvstore: MultiPut got %d keys, %d values", len(keys), len(vals))
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	if len(keys) > maxBatchLen {
+		return fmt.Errorf("kvstore: MultiPut batch %d exceeds %d keys", len(keys), maxBatchLen)
+	}
+	p, err := cl.conn()
+	if err != nil {
+		return err
+	}
+	c := getCall(opMultiPut)
+	c.keys, c.vals = keys, vals
+	if err := p.roundTrip(c); err != nil {
+		putCall(c)
+		return err
+	}
+	statuses := c.statuses
+	status := c.status
+	putCall(c)
+	if status != statusOK {
+		return fmt.Errorf("kvstore: server error on MultiPut(%d keys)", len(keys))
+	}
+	for i, st := range statuses {
+		if st != statusOK {
+			return putStatusErr(st, keys[i])
+		}
+	}
+	return nil
+}

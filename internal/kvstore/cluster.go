@@ -1,0 +1,233 @@
+package kvstore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+)
+
+// shardClient is the per-shard surface Cluster runs on; both the v1
+// Client and the pipelined ClientV2 implement it.
+type shardClient interface {
+	Get(key string) ([]byte, bool, error)
+	Put(key string, val []byte) error
+	Delete(key string) error
+	Stats() (Stats, error)
+	MultiGet(keys []string) ([][]byte, error)
+	MultiPut(keys []string, vals [][]byte) error
+	Close()
+}
+
+// Cluster shards keys across several servers by FNV-1a hash — the
+// KV-store alternative to the node-to-node distribution manager. Batch
+// ops group keys by shard and fan the per-shard batches out
+// concurrently, one round trip per shard.
+type Cluster struct {
+	clients []shardClient
+
+	// scratch pools the per-shard grouping state MultiGet/MultiPut
+	// rebuild on every call, so the prefetch hot path stops allocating.
+	scratch sync.Pool
+}
+
+// clusterScratch is one batch op's reusable grouping state.
+type clusterScratch struct {
+	keys [][]string // per shard: keys routed there
+	vals [][][]byte // per shard: values routed there (MultiPut)
+	idx  [][]int    // per shard: original positions
+}
+
+// NewCluster connects to every shard address with the pipelined v2
+// protocol (conns multiplexed connections per shard). Use NewClusterV1
+// for v1-only peers.
+func NewCluster(addrs []string, conns int) (*Cluster, error) {
+	return newCluster(addrs, func(addr string) (shardClient, error) {
+		return NewClientV2(addr, conns)
+	})
+}
+
+// NewClusterV1 connects with the legacy one-op-per-round-trip protocol
+// (poolSize pooled connections per shard). Batch ops degrade to key-
+// at-a-time loops; kept for compatibility and as the benchmark
+// baseline.
+func NewClusterV1(addrs []string, poolSize int) (*Cluster, error) {
+	return newCluster(addrs, func(addr string) (shardClient, error) {
+		return NewClient(addr, poolSize)
+	})
+}
+
+func newCluster(addrs []string, dial func(string) (shardClient, error)) (*Cluster, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("kvstore: no shard addresses")
+	}
+	c := &Cluster{}
+	shards := len(addrs)
+	c.scratch.New = func() any {
+		return &clusterScratch{
+			keys: make([][]string, shards),
+			vals: make([][][]byte, shards),
+			idx:  make([][]int, shards),
+		}
+	}
+	for _, addr := range addrs {
+		cl, err := dial(addr)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.clients = append(c.clients, cl)
+	}
+	return c, nil
+}
+
+// shardIndex picks the shard for a key.
+func (c *Cluster) shardIndex(key string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key)) // hash.Hash.Write never returns an error
+	return int(h.Sum32()) % len(c.clients)
+}
+
+// shard picks the client for a key.
+func (c *Cluster) shard(key string) shardClient {
+	return c.clients[c.shardIndex(key)]
+}
+
+// Get fetches a key from its shard.
+func (c *Cluster) Get(key string) ([]byte, bool, error) { return c.shard(key).Get(key) }
+
+// Put stores a key on its shard.
+func (c *Cluster) Put(key string, val []byte) error { return c.shard(key).Put(key, val) }
+
+// Delete removes a key from its shard.
+func (c *Cluster) Delete(key string) error { return c.shard(key).Delete(key) }
+
+// Shards returns the number of shards.
+func (c *Cluster) Shards() int { return len(c.clients) }
+
+// MultiGet fetches a batch of keys: grouped by shard, fanned out
+// concurrently (one round trip per shard on v2 clients), reassembled in
+// request order. vals[i] is nil when keys[i] is absent and non-nil
+// (possibly empty) when present.
+func (c *Cluster) MultiGet(keys []string) ([][]byte, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	if len(c.clients) == 1 {
+		return c.clients[0].MultiGet(keys)
+	}
+	sc := c.scratch.Get().(*clusterScratch)
+	defer c.putScratch(sc)
+	for i, key := range keys {
+		s := c.shardIndex(key)
+		sc.keys[s] = append(sc.keys[s], key)
+		sc.idx[s] = append(sc.idx[s], i)
+	}
+	out := make([][]byte, len(keys))
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.clients))
+	for s, cl := range c.clients {
+		if len(sc.keys[s]) == 0 {
+			continue
+		}
+		s, cl := s, cl
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			vals, err := cl.MultiGet(sc.keys[s])
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			for j, v := range vals {
+				out[sc.idx[s][j]] = v
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// MultiPut stores a batch of key/value pairs, grouped by shard and
+// fanned out concurrently. Storage is best-effort per key; the first
+// error is returned after every shard's batch completes.
+func (c *Cluster) MultiPut(keys []string, vals [][]byte) error {
+	if len(keys) != len(vals) {
+		return fmt.Errorf("kvstore: MultiPut got %d keys, %d values", len(keys), len(vals))
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	if len(c.clients) == 1 {
+		return c.clients[0].MultiPut(keys, vals)
+	}
+	sc := c.scratch.Get().(*clusterScratch)
+	defer c.putScratch(sc)
+	for i, key := range keys {
+		s := c.shardIndex(key)
+		sc.keys[s] = append(sc.keys[s], key)
+		sc.vals[s] = append(sc.vals[s], vals[i])
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.clients))
+	for s, cl := range c.clients {
+		if len(sc.keys[s]) == 0 {
+			continue
+		}
+		s, cl := s, cl
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[s] = cl.MultiPut(sc.keys[s], sc.vals[s])
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// putScratch clears and recycles a grouping scratch. Value references
+// are nilled so the pool never pins payload bytes across calls.
+func (c *Cluster) putScratch(sc *clusterScratch) {
+	for s := range sc.keys {
+		for j := range sc.vals[s] {
+			sc.vals[s][j] = nil
+		}
+		sc.keys[s] = sc.keys[s][:0]
+		sc.vals[s] = sc.vals[s][:0]
+		sc.idx[s] = sc.idx[s][:0]
+	}
+	c.scratch.Put(sc)
+}
+
+// Stats aggregates all shards' counters.
+func (c *Cluster) Stats() (Stats, error) {
+	var total Stats
+	for _, cl := range c.clients {
+		st, err := cl.Stats()
+		if err != nil {
+			return Stats{}, err
+		}
+		total.Items += st.Items
+		total.UsedBytes += st.UsedBytes
+		total.Hits += st.Hits
+		total.Misses += st.Misses
+		total.Evictions += st.Evictions
+	}
+	return total, nil
+}
+
+// Close closes every shard client.
+func (c *Cluster) Close() {
+	for _, cl := range c.clients {
+		cl.Close()
+	}
+}

@@ -3,13 +3,18 @@ package kvstore
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
+	"io"
 	"testing"
 )
 
-// FuzzReadRequest throws arbitrary bytes at the server-side frame parser:
-// it must never panic, and must either produce a well-formed request or an
+// fuzzStore builds a small striped store for decoder fuzzing.
+func fuzzStore() *store { return newStore(1<<20, 4) }
+
+// FuzzHandleV1 throws arbitrary bytes at the v1 frame handler: it must
+// never panic, and must either serve a well-formed request or return an
 // error — no partial state.
-func FuzzReadRequest(f *testing.F) {
+func FuzzHandleV1(f *testing.F) {
 	// Seed corpus: a valid PUT, a valid GET, truncations, and oversized
 	// length fields.
 	valid := func(op byte, key string, val []byte) []byte {
@@ -26,50 +31,105 @@ func FuzzReadRequest(f *testing.F) {
 	f.Add([]byte{opGet})
 	f.Add([]byte{opPut, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add([]byte{})
+	st := fuzzStore()
 	f.Fuzz(func(t *testing.T, data []byte) {
-		r := bufio.NewReader(bytes.NewReader(data))
-		op, key, val, err := readRequest(r)
-		if err != nil {
+		if len(data) == 0 {
 			return
 		}
-		if len(key) > maxKeyLen || len(val) > int(maxValLen) {
-			t.Fatalf("parser accepted oversized frame: key %d, val %d", len(key), len(val))
+		r := bufio.NewReader(bytes.NewReader(data[1:]))
+		w := bufio.NewWriter(io.Discard)
+		if err := st.handleV1(data[0], r, w); err != nil {
+			return
 		}
-		_ = op
+		if err := w.Flush(); err != nil {
+			t.Fatalf("discard writer failed: %v", err)
+		}
+	})
+}
+
+// FuzzHandleV2 drives the v2 frame decoder (everything after the magic
+// byte) with arbitrary bytes: it must never panic and must produce
+// either a well-formed response frame or an error that drops the
+// connection.
+func FuzzHandleV2(f *testing.F) {
+	u32 := func(v uint32) []byte {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], v)
+		return b[:]
+	}
+	frame := func(op byte, id uint32, body ...[]byte) []byte {
+		var buf bytes.Buffer
+		buf.WriteByte(op)
+		buf.Write(u32(id))
+		for _, b := range body {
+			buf.Write(b)
+		}
+		return buf.Bytes()
+	}
+	chunk := func(b []byte) []byte { return append(u32(uint32(len(b))), b...) }
+	// Seeds: valid single ops, a 3-key MultiGet, a 2-pair MultiPut,
+	// truncations, an unknown op, and hostile counts.
+	f.Add(frame(opGet, 1, chunk([]byte("key")), u32(0)))
+	f.Add(frame(opPut, 2, chunk([]byte("key")), chunk([]byte("value"))))
+	f.Add(frame(opStats, 3, u32(0), u32(0)))
+	f.Add(frame(opMultiGet, 4, u32(3), chunk([]byte("a")), chunk([]byte("b")), chunk([]byte("c"))))
+	f.Add(frame(opMultiPut, 5, u32(2),
+		chunk([]byte("a")), chunk([]byte("1")), chunk([]byte("b")), chunk([]byte("2"))))
+	f.Add(frame(opMultiGet, 6, u32(0xFFFFFFFF)))
+	f.Add(frame(0x7F, 7))
+	f.Add([]byte{opGet})
+	f.Add([]byte{})
+	st := fuzzStore()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bufio.NewReader(bytes.NewReader(data))
+		w := bufio.NewWriter(io.Discard)
+		if err := st.handleV2(r, w); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatalf("discard writer failed: %v", err)
+		}
 	})
 }
 
 // FuzzServerRoundTrip drives the real TCP server with fuzzed keys and
-// values through the typed client: data integrity must hold for whatever
-// fits the protocol limits.
+// values through both typed clients: data integrity must hold for
+// whatever fits the protocol limits, on either wire protocol.
 func FuzzServerRoundTrip(f *testing.F) {
 	s, err := NewServer("127.0.0.1:0", 1<<20)
 	if err != nil {
 		f.Fatal(err)
 	}
 	f.Cleanup(func() { s.Close() })
-	c, err := NewClient(s.Addr(), 1)
+	c1, err := NewClient(s.Addr(), 1)
 	if err != nil {
 		f.Fatal(err)
 	}
-	f.Cleanup(c.Close)
+	f.Cleanup(c1.Close)
+	c2, err := NewClientV2(s.Addr(), 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(c2.Close)
 
 	f.Add("key", []byte("value"))
 	f.Add("", []byte{})
 	f.Add("unicode-κλειδί", []byte{0, 1, 2, 255})
 	f.Fuzz(func(t *testing.T, key string, val []byte) {
-		if len(key) > maxKeyLen || len(val) > 1<<16 {
+		if len(key) > maxKeyLen || len(val) > 1<<15 {
 			return
 		}
-		if err := c.Put(key, val); err != nil {
-			t.Fatal(err)
-		}
-		got, found, err := c.Get(key)
-		if err != nil || !found {
-			t.Fatalf("Get(%q) = %v %v", key, found, err)
-		}
-		if !bytes.Equal(got, val) {
-			t.Fatalf("round trip corrupted %q: %d vs %d bytes", key, len(got), len(val))
+		for name, c := range map[string]shardClient{"v1": c1, "v2": c2} {
+			if err := c.Put(key, val); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			got, found, err := c.Get(key)
+			if err != nil || !found {
+				t.Fatalf("%s: Get(%q) = %v %v", name, key, found, err)
+			}
+			if !bytes.Equal(got, val) {
+				t.Fatalf("%s: round trip corrupted %q: %d vs %d bytes", name, key, len(got), len(val))
+			}
 		}
 	})
 }

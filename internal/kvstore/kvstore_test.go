@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -105,11 +106,16 @@ func TestLRUEvictionUnderCapacity(t *testing.T) {
 func TestOversizedValueRefused(t *testing.T) {
 	s := testServer(t, 10)
 	c := testClient(t, s)
-	if err := c.Put("big", make([]byte, 100)); err != nil {
-		t.Fatal(err) // protocol succeeds; value is silently refused
+	err := c.Put("big", make([]byte, 100))
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("Put(oversized) = %v, want ErrTooLarge", err)
 	}
 	if _, found, _ := c.Get("big"); found {
 		t.Fatal("oversized value stored")
+	}
+	// The connection must survive the refusal.
+	if err := c.Put("small", []byte("ok")); err != nil {
+		t.Fatal(err)
 	}
 }
 

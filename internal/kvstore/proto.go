@@ -1,0 +1,127 @@
+package kvstore
+
+import (
+	"bufio"
+	"errors"
+	"math/bits"
+	"sync"
+)
+
+// Protocol ops, shared by v1 and v2. The batch ops exist only in v2
+// frames; a v1 peer sending them gets statusError.
+const (
+	opGet byte = iota + 1
+	opPut
+	opDelete
+	opStats
+	opMultiGet // v2 only
+	opMultiPut // v2 only
+)
+
+// Response statuses.
+const (
+	statusOK byte = iota + 1
+	statusNotFound
+	statusError
+	statusTooLarge
+)
+
+// frameV2Magic introduces a v2 request frame. It is disjoint from every
+// v1 op byte, so the server classifies each incoming frame by its first
+// byte and one connection can carry either protocol (or both).
+const frameV2Magic byte = 0xA2
+
+// maxKeyLen, maxValLen and maxBatchLen bound request sizes (defense
+// against corrupt or hostile peers).
+const (
+	maxKeyLen   = 1 << 10
+	maxValLen   = 64 << 20
+	maxBatchLen = 1 << 16 // keys per MultiGet/MultiPut frame
+)
+
+// ErrTooLarge is returned by Put/MultiPut when a value exceeds the
+// receiving shard's capacity and can never be admitted.
+var ErrTooLarge = errors.New("kvstore: value exceeds shard capacity")
+
+// errFrame is the generic malformed-frame error; connections carrying a
+// malformed frame are dropped, matching v1 behaviour.
+var errFrame = errors.New("kvstore: malformed frame")
+
+// readLen and friends move u32 length fields byte-at-a-time through
+// bufio: unlike an io.ReadFull/Write with a stack array, nothing
+// escapes, so the frame hot path stays allocation-free.
+func readLen(r *bufio.Reader, max uint32) (uint32, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return 0, err
+	}
+	if n > max {
+		return 0, errors.New("kvstore: frame too large")
+	}
+	return n, nil
+}
+
+func writeU32(w *bufio.Writer, v uint32) {
+	// bufio errors are sticky; the eventual Flush surfaces the first.
+	_ = w.WriteByte(byte(v >> 24))
+	_ = w.WriteByte(byte(v >> 16))
+	_ = w.WriteByte(byte(v >> 8))
+	_ = w.WriteByte(byte(v))
+}
+
+func readU32(r *bufio.Reader) (uint32, error) {
+	var v uint32
+	for i := 0; i < 4; i++ {
+		b, err := r.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<8 | uint32(b)
+	}
+	return v, nil
+}
+
+// bufpool is a size-classed free list for transient request/response
+// scratch (key buffers, status vectors). Classes are powers of two from
+// 32 B up to maxValLen; anything larger is allocated directly. Buffers
+// travel inside a reusable *pbuf wrapper so recycling one allocates
+// nothing (a bare []byte would box a fresh slice header on every
+// Pool.Put). They flow through getBuf/putBuf on both the client and
+// the server, so the steady-state hot path allocates (almost) nothing
+// per op.
+var bufpool [27]sync.Pool
+
+// pbuf is a pooled buffer; use p.b, return with putBuf.
+type pbuf struct{ b []byte }
+
+// sizeClass returns the pool index whose capacity (1<<idx) fits n.
+func sizeClass(n int) int {
+	if n <= 32 {
+		return 5
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// getBuf returns a wrapper holding a length-n buffer.
+func getBuf(n int) *pbuf {
+	if n > maxValLen {
+		return &pbuf{b: make([]byte, n)}
+	}
+	c := sizeClass(n)
+	if p, ok := bufpool[c].Get().(*pbuf); ok {
+		p.b = p.b[:n]
+		return p
+	}
+	return &pbuf{b: make([]byte, n, 1<<c)}
+}
+
+// putBuf recycles a buffer obtained from getBuf. Callers must not
+// retain p or p.b afterwards.
+func putBuf(p *pbuf) {
+	c := cap(p.b)
+	if c < 32 || c > maxValLen || c&(c-1) != 0 {
+		return // oversized one-off: let the GC have it
+	}
+	p.b = p.b[:0]
+	bufpool[sizeClass(c)].Put(p)
+}

@@ -5,75 +5,59 @@
 // kvstore.Cluster as its shared cache layer instead of node-to-node
 // fetches.
 //
-// The wire protocol is deliberately simple and self-contained:
+// Two wire protocols share every connection, classified per frame by
+// the first byte:
+//
+// v1 (legacy, one blocking request per round trip):
 //
 //	request : op(1) keyLen(u32) key valLen(u32) val
 //	response: status(1) valLen(u32) val
 //
-// with big-endian lengths, one request per round trip, and persistent
-// connections. Servers bound their memory with an LRU over value bytes.
+// v2 (pipelined): requests carry a magic byte and a request ID so many
+// ops can be in flight per connection, and MultiGet/MultiPut move a
+// whole plan window in one round trip (frame layout in store.go and
+// DESIGN.md §8). All lengths are big-endian.
+//
+// Servers bound their memory with an LRU over value bytes, striped
+// across N key-hashed sub-shards so concurrent clients do not serialize
+// on one mutex.
 package kvstore
 
 import (
 	"bufio"
-	"encoding/binary"
-	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 )
 
-// Protocol ops.
-const (
-	opGet byte = iota + 1
-	opPut
-	opDelete
-	opStats
-)
-
-// Response statuses.
-const (
-	statusOK byte = iota + 1
-	statusNotFound
-	statusError
-)
-
-// maxKeyLen and maxValLen bound request sizes (defense against corrupt or
-// hostile peers).
-const (
-	maxKeyLen = 1 << 10
-	maxValLen = 64 << 20
-)
+// connBufSize sizes the per-connection bufio reader/writer. Large
+// enough that a pipelined burst of small ops coalesces into one
+// syscall each way.
+const connBufSize = 64 << 10
 
 // Server is one KV shard.
 type Server struct {
-	ln       net.Listener
-	capacity int64
-
-	mu    sync.Mutex
-	items map[string]*entry
-	head  *entry // most recently used
-	tail  *entry // least recently used
-	used  int64
-
-	hits      uint64
-	misses    uint64
-	evictions uint64
+	ln net.Listener
+	st *store
 
 	wg     sync.WaitGroup
 	closed chan struct{}
 }
 
-type entry struct {
-	key        string
-	val        []byte
-	prev, next *entry
+// NewServer starts a shard listening on addr ("127.0.0.1:0" for an
+// ephemeral port) with the given byte capacity. The LRU stripe count is
+// chosen automatically (capacities below 64 KiB per stripe collapse to
+// fewer stripes, tiny shards to a single global LRU).
+func NewServer(addr string, capacity int64) (*Server, error) {
+	return NewServerStriped(addr, capacity, 0)
 }
 
-// NewServer starts a shard listening on addr ("127.0.0.1:0" for an
-// ephemeral port) with the given byte capacity.
-func NewServer(addr string, capacity int64) (*Server, error) {
+// NewServerStriped is NewServer with an explicit LRU stripe count
+// (rounded down to a power of two; <= 0 selects automatically). One
+// stripe reproduces the exact global-LRU eviction order of the v1
+// store; more stripes trade that for concurrency, with the byte budget
+// split evenly per stripe.
+func NewServerStriped(addr string, capacity int64, stripes int) (*Server, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("kvstore: capacity %d <= 0", capacity)
 	}
@@ -82,10 +66,9 @@ func NewServer(addr string, capacity int64) (*Server, error) {
 		return nil, fmt.Errorf("kvstore: listen: %w", err)
 	}
 	s := &Server{
-		ln:       ln,
-		capacity: capacity,
-		items:    make(map[string]*entry),
-		closed:   make(chan struct{}),
+		ln:     ln,
+		st:     newStore(capacity, stripes),
+		closed: make(chan struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -94,6 +77,9 @@ func NewServer(addr string, capacity int64) (*Server, error) {
 
 // Addr returns the shard's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Stripes returns the shard's LRU stripe count.
+func (s *Server) Stripes() int { return len(s.st.stripes) }
 
 // Close stops the listener and waits for connection handlers to exit.
 func (s *Server) Close() error {
@@ -117,18 +103,8 @@ type Stats struct {
 	Evictions uint64
 }
 
-// Stats returns a snapshot.
-func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return Stats{
-		Items:     len(s.items),
-		UsedBytes: s.used,
-		Hits:      s.hits,
-		Misses:    s.misses,
-		Evictions: s.evictions,
-	}
-}
+// Stats returns a snapshot aggregated across stripes.
+func (s *Server) Stats() Stats { return s.st.stats() }
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
@@ -148,179 +124,33 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// serve processes frames from one connection until it drops. Each
+// frame's first byte selects the protocol: a v1 op byte or the v2
+// magic. Responses are written in request order and flushed only when
+// the read buffer holds no further request bytes, so a pipelined burst
+// of N ops costs one write syscall, not N.
 func (s *Server) serve(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
-	r := bufio.NewReader(conn)
-	w := bufio.NewWriter(conn)
+	r := bufio.NewReaderSize(conn, connBufSize)
+	w := bufio.NewWriterSize(conn, connBufSize)
 	for {
-		op, key, val, err := readRequest(r)
+		first, err := r.ReadByte()
 		if err != nil {
 			return // EOF or protocol error: drop the connection
 		}
-		switch op {
-		case opGet:
-			if v, ok := s.get(key); ok {
-				writeResponse(w, statusOK, v)
-			} else {
-				writeResponse(w, statusNotFound, nil)
-			}
-		case opPut:
-			s.put(key, val)
-			writeResponse(w, statusOK, nil)
-		case opDelete:
-			s.delete(key)
-			writeResponse(w, statusOK, nil)
-		case opStats:
-			st := s.Stats()
-			buf := make([]byte, 8*5)
-			binary.BigEndian.PutUint64(buf[0:], uint64(st.Items))
-			binary.BigEndian.PutUint64(buf[8:], uint64(st.UsedBytes))
-			binary.BigEndian.PutUint64(buf[16:], st.Hits)
-			binary.BigEndian.PutUint64(buf[24:], st.Misses)
-			binary.BigEndian.PutUint64(buf[32:], st.Evictions)
-			writeResponse(w, statusOK, buf)
-		default:
-			writeResponse(w, statusError, nil)
+		if first == frameV2Magic {
+			err = s.st.handleV2(r, w)
+		} else {
+			err = s.st.handleV1(first, r, w)
 		}
-		if err := w.Flush(); err != nil {
+		if err != nil {
 			return
 		}
+		if r.Buffered() == 0 {
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
 	}
-}
-
-// get looks a key up and promotes it.
-func (s *Server) get(key string) ([]byte, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.items[key]
-	if !ok {
-		s.misses++
-		return nil, false
-	}
-	s.hits++
-	s.moveToFront(e)
-	return e.val, true
-}
-
-// put inserts or replaces a value, evicting LRU entries to fit.
-func (s *Server) put(key string, val []byte) {
-	size := int64(len(val))
-	if size > s.capacity {
-		return // silently refuse values larger than the shard
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if e, ok := s.items[key]; ok {
-		s.used += size - int64(len(e.val))
-		e.val = val
-		s.moveToFront(e)
-	} else {
-		e := &entry{key: key, val: val}
-		s.items[key] = e
-		s.pushFront(e)
-		s.used += size
-	}
-	for s.used > s.capacity && s.tail != nil {
-		s.evict(s.tail)
-	}
-}
-
-func (s *Server) delete(key string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if e, ok := s.items[key]; ok {
-		s.remove(e)
-		delete(s.items, key)
-		s.used -= int64(len(e.val))
-	}
-}
-
-func (s *Server) evict(e *entry) {
-	s.remove(e)
-	delete(s.items, e.key)
-	s.used -= int64(len(e.val))
-	s.evictions++
-}
-
-// Intrusive doubly-linked LRU list.
-func (s *Server) pushFront(e *entry) {
-	e.prev = nil
-	e.next = s.head
-	if s.head != nil {
-		s.head.prev = e
-	}
-	s.head = e
-	if s.tail == nil {
-		s.tail = e
-	}
-}
-
-func (s *Server) remove(e *entry) {
-	if e.prev != nil {
-		e.prev.next = e.next
-	} else {
-		s.head = e.next
-	}
-	if e.next != nil {
-		e.next.prev = e.prev
-	} else {
-		s.tail = e.prev
-	}
-	e.prev, e.next = nil, nil
-}
-
-func (s *Server) moveToFront(e *entry) {
-	if s.head == e {
-		return
-	}
-	s.remove(e)
-	s.pushFront(e)
-}
-
-// readRequest parses one request frame.
-func readRequest(r *bufio.Reader) (op byte, key string, val []byte, err error) {
-	op, err = r.ReadByte()
-	if err != nil {
-		return 0, "", nil, err
-	}
-	keyLen, err := readLen(r, maxKeyLen)
-	if err != nil {
-		return 0, "", nil, err
-	}
-	keyBuf := make([]byte, keyLen)
-	if _, err := io.ReadFull(r, keyBuf); err != nil {
-		return 0, "", nil, err
-	}
-	valLen, err := readLen(r, maxValLen)
-	if err != nil {
-		return 0, "", nil, err
-	}
-	val = make([]byte, valLen)
-	if _, err := io.ReadFull(r, val); err != nil {
-		return 0, "", nil, err
-	}
-	return op, string(keyBuf), val, nil
-}
-
-func readLen(r io.Reader, max uint32) (uint32, error) {
-	var buf [4]byte
-	if _, err := io.ReadFull(r, buf[:]); err != nil {
-		return 0, err
-	}
-	n := binary.BigEndian.Uint32(buf[:])
-	if n > max {
-		return 0, errors.New("kvstore: frame too large")
-	}
-	return n, nil
-}
-
-func writeResponse(w *bufio.Writer, status byte, val []byte) {
-	// bufio.Writer errors are sticky; the caller's Flush surfaces the
-	// first one and drops the connection.
-	_ = w.WriteByte(status)
-	var buf [4]byte
-	binary.BigEndian.PutUint32(buf[:], uint32(len(val)))
-	_, _ = w.Write(buf[:])
-	_, _ = w.Write(val)
 }

@@ -1,0 +1,411 @@
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"hash/maphash"
+	"io"
+	"sync"
+)
+
+// minStripeBytes is the smallest per-stripe byte budget worth striping
+// for: below it the auto-sizing collapses stripes so tiny shards keep
+// the exact global-LRU semantics of the v1 store.
+const minStripeBytes = 64 << 10
+
+// defaultStripes caps the automatic stripe count.
+const defaultStripes = 16
+
+// stripeSeed keys the per-process stripe hash. maphash gives a strong,
+// per-process-randomized distribution so hostile key sets cannot pin
+// every op onto one stripe.
+var stripeSeed = maphash.MakeSeed()
+
+// store is the striped in-memory LRU behind one Server: keys hash to one
+// of N lock stripes, each with its own LRU list and byte budget, so
+// concurrent connections stop serializing on a single shard mutex.
+type store struct {
+	stripes []*stripe
+	mask    uint64
+}
+
+// stripe is one lock-striped sub-shard.
+type stripe struct {
+	mu       sync.Mutex
+	capacity int64
+	items    map[string]*entry
+	head     *entry // most recently used
+	tail     *entry // least recently used
+	used     int64
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type entry struct {
+	key        string
+	val        []byte
+	prev, next *entry
+}
+
+// pickStripes chooses the stripe count for a capacity: the configured
+// cap, halved until every stripe holds at least minStripeBytes. Small
+// shards (e.g. tests with double-digit capacities) get one stripe and
+// behave exactly like the old single-LRU store.
+func pickStripes(capacity int64) int {
+	n := defaultStripes
+	for n > 1 && capacity/int64(n) < minStripeBytes {
+		n /= 2
+	}
+	return n
+}
+
+// newStore builds the striped LRU. stripes <= 0 selects automatically;
+// an explicit count is rounded down to a power of two.
+func newStore(capacity int64, stripes int) *store {
+	if stripes <= 0 {
+		stripes = pickStripes(capacity)
+	}
+	for stripes&(stripes-1) != 0 {
+		stripes &= stripes - 1 // round down to a power of two
+	}
+	st := &store{mask: uint64(stripes - 1)}
+	per := capacity / int64(stripes)
+	rem := capacity % int64(stripes)
+	for i := 0; i < stripes; i++ {
+		c := per
+		if int64(i) < rem {
+			c++
+		}
+		st.stripes = append(st.stripes, &stripe{
+			capacity: c,
+			items:    make(map[string]*entry),
+		})
+	}
+	return st
+}
+
+// stripeFor hashes a key (as raw bytes, no allocation) to its stripe.
+func (st *store) stripeFor(key []byte) *stripe {
+	return st.stripes[maphash.Bytes(stripeSeed, key)&st.mask]
+}
+
+// get looks a key up and promotes it. The returned value slice is
+// immutable (overwrites install a fresh slice), so callers may read it
+// after the stripe lock is released.
+func (st *store) get(key []byte) ([]byte, bool) {
+	sp := st.stripeFor(key)
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	e, ok := sp.items[string(key)] // map lookup: no string allocation
+	if !ok {
+		sp.misses++
+		return nil, false
+	}
+	sp.hits++
+	sp.moveToFront(e)
+	return e.val, true
+}
+
+// put inserts or replaces a value, evicting LRU entries of its stripe to
+// fit. Values larger than the stripe budget can never be admitted and
+// yield statusTooLarge.
+func (st *store) put(key []byte, val []byte) byte {
+	sp := st.stripeFor(key)
+	size := int64(len(val))
+	if size > sp.capacity {
+		return statusTooLarge
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if e, ok := sp.items[string(key)]; ok {
+		sp.used += size - int64(len(e.val))
+		e.val = val
+		sp.moveToFront(e)
+	} else {
+		e := &entry{key: string(key), val: val}
+		sp.items[e.key] = e
+		sp.pushFront(e)
+		sp.used += size
+	}
+	for sp.used > sp.capacity && sp.tail != nil {
+		sp.evict(sp.tail)
+	}
+	return statusOK
+}
+
+func (st *store) delete(key []byte) {
+	sp := st.stripeFor(key)
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if e, ok := sp.items[string(key)]; ok {
+		sp.remove(e)
+		delete(sp.items, e.key)
+		sp.used -= int64(len(e.val))
+	}
+}
+
+// stats aggregates the counters across stripes.
+func (st *store) stats() Stats {
+	var total Stats
+	for _, sp := range st.stripes {
+		sp.mu.Lock()
+		total.Items += len(sp.items)
+		total.UsedBytes += sp.used
+		total.Hits += sp.hits
+		total.Misses += sp.misses
+		total.Evictions += sp.evictions
+		sp.mu.Unlock()
+	}
+	return total
+}
+
+func (sp *stripe) evict(e *entry) {
+	sp.remove(e)
+	delete(sp.items, e.key)
+	sp.used -= int64(len(e.val))
+	sp.evictions++
+}
+
+// Intrusive doubly-linked LRU list, one per stripe.
+func (sp *stripe) pushFront(e *entry) {
+	e.prev = nil
+	e.next = sp.head
+	if sp.head != nil {
+		sp.head.prev = e
+	}
+	sp.head = e
+	if sp.tail == nil {
+		sp.tail = e
+	}
+}
+
+func (sp *stripe) remove(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sp.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sp.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (sp *stripe) moveToFront(e *entry) {
+	if sp.head == e {
+		return
+	}
+	sp.remove(e)
+	sp.pushFront(e)
+}
+
+// ---- protocol handlers ----
+//
+// Both handlers live on the store (not the Server) so the fuzzers can
+// drive them over in-memory readers without a TCP listener.
+
+// handleV1 serves one v1 request whose op byte has already been
+// consumed. Responses are buffered in w; the serve loop flushes when no
+// further request bytes are pending.
+func (st *store) handleV1(op byte, r *bufio.Reader, w *bufio.Writer) error {
+	key, val, err := readKV(r)
+	if err != nil {
+		return err
+	}
+	defer putBuf(key)
+	switch op {
+	case opGet:
+		if v, ok := st.get(key.b); ok {
+			writeResponse(w, statusOK, v)
+		} else {
+			writeResponse(w, statusNotFound, nil)
+		}
+	case opPut:
+		writeResponse(w, st.put(key.b, val), nil)
+	case opDelete:
+		st.delete(key.b)
+		writeResponse(w, statusOK, nil)
+	case opStats:
+		writeStats(w, st.stats())
+	default:
+		writeResponse(w, statusError, nil)
+	}
+	return nil
+}
+
+// handleV2 serves one v2 request whose magic byte has already been
+// consumed.
+//
+// v2 request frame (big-endian lengths):
+//
+//	magic(1)=0xA2 op(1) reqID(u32) body
+//	  single ops : keyLen(u32) key valLen(u32) val
+//	  opMultiGet : count(u32) { keyLen(u32) key }*
+//	  opMultiPut : count(u32) { keyLen(u32) key valLen(u32) val }*
+//
+// v2 response frame:
+//
+//	op(1) reqID(u32) status(1) body
+//	  single ops : valLen(u32) val
+//	  opMultiGet : count(u32) { status(1) valLen(u32) val }*
+//	  opMultiPut : count(u32) { status(1) }*
+func (st *store) handleV2(r *bufio.Reader, w *bufio.Writer) error {
+	op, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	id, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	switch op {
+	case opGet, opPut, opDelete, opStats:
+		key, val, err := readKV(r)
+		if err != nil {
+			return err
+		}
+		defer putBuf(key)
+		switch op {
+		case opGet:
+			if v, ok := st.get(key.b); ok {
+				writeV2Response(w, op, id, statusOK, v)
+			} else {
+				writeV2Response(w, op, id, statusNotFound, nil)
+			}
+		case opPut:
+			writeV2Response(w, op, id, st.put(key.b, val), nil)
+		case opDelete:
+			st.delete(key.b)
+			writeV2Response(w, op, id, statusOK, nil)
+		case opStats:
+			s := st.stats()
+			buf := getBuf(40)
+			encodeStats(buf.b, s)
+			writeV2Response(w, op, id, statusOK, buf.b)
+			putBuf(buf)
+		}
+		return nil
+	case opMultiGet:
+		count, err := readLen(r, maxBatchLen)
+		if err != nil {
+			return err
+		}
+		// Stream the response while decoding: each key is looked up and
+		// its entry written as soon as it is read, so the batch needs no
+		// materialized request and only one key buffer of scratch.
+		_ = w.WriteByte(op)
+		writeU32(w, id)
+		_ = w.WriteByte(statusOK)
+		writeU32(w, count)
+		for i := uint32(0); i < count; i++ {
+			key, err := readChunk(r, maxKeyLen)
+			if err != nil {
+				return err
+			}
+			if v, ok := st.get(key.b); ok {
+				_ = w.WriteByte(statusOK)
+				writeU32(w, uint32(len(v)))
+				_, _ = w.Write(v)
+			} else {
+				_ = w.WriteByte(statusNotFound)
+				writeU32(w, 0)
+			}
+			putBuf(key)
+		}
+		return nil
+	case opMultiPut:
+		count, err := readLen(r, maxBatchLen)
+		if err != nil {
+			return err
+		}
+		statuses := getBuf(int(count))
+		defer putBuf(statuses)
+		for i := uint32(0); i < count; i++ {
+			key, val, err := readKV(r)
+			if err != nil {
+				return err
+			}
+			statuses.b[i] = st.put(key.b, val)
+			putBuf(key)
+		}
+		_ = w.WriteByte(op)
+		writeU32(w, id)
+		_ = w.WriteByte(statusOK)
+		writeU32(w, count)
+		_, _ = w.Write(statuses.b)
+		return nil
+	default:
+		// Unknown op: the frame boundary is lost, drop the connection.
+		return errFrame
+	}
+}
+
+// readChunk reads one length-prefixed blob into a pooled buffer.
+func readChunk(r *bufio.Reader, max uint32) (*pbuf, error) {
+	n, err := readLen(r, max)
+	if err != nil {
+		return nil, err
+	}
+	buf := getBuf(int(n))
+	if _, err := io.ReadFull(r, buf.b); err != nil {
+		putBuf(buf)
+		return nil, err
+	}
+	return buf, nil
+}
+
+// readKV reads the key+value body shared by every single-op request.
+// The key comes from the buffer pool (caller returns it via putBuf); the
+// value is heap-allocated because Put hands it to the store for keeps.
+func readKV(r *bufio.Reader) (key *pbuf, val []byte, err error) {
+	key, err = readChunk(r, maxKeyLen)
+	if err != nil {
+		return nil, nil, err
+	}
+	valLen, err := readLen(r, maxValLen)
+	if err != nil {
+		putBuf(key)
+		return nil, nil, err
+	}
+	val = make([]byte, valLen)
+	if _, err := io.ReadFull(r, val); err != nil {
+		putBuf(key)
+		return nil, nil, err
+	}
+	return key, val, nil
+}
+
+func encodeStats(buf []byte, s Stats) {
+	binary.BigEndian.PutUint64(buf[0:], uint64(s.Items))
+	binary.BigEndian.PutUint64(buf[8:], uint64(s.UsedBytes))
+	binary.BigEndian.PutUint64(buf[16:], s.Hits)
+	binary.BigEndian.PutUint64(buf[24:], s.Misses)
+	binary.BigEndian.PutUint64(buf[32:], s.Evictions)
+}
+
+func writeStats(w *bufio.Writer, s Stats) {
+	buf := getBuf(40)
+	encodeStats(buf.b, s)
+	writeResponse(w, statusOK, buf.b)
+	putBuf(buf)
+}
+
+func writeResponse(w *bufio.Writer, status byte, val []byte) {
+	// bufio.Writer errors are sticky; the caller's Flush surfaces the
+	// first one and drops the connection.
+	_ = w.WriteByte(status)
+	writeU32(w, uint32(len(val)))
+	_, _ = w.Write(val)
+}
+
+func writeV2Response(w *bufio.Writer, op byte, id uint32, status byte, val []byte) {
+	_ = w.WriteByte(op)
+	writeU32(w, id)
+	_ = w.WriteByte(status)
+	writeU32(w, uint32(len(val)))
+	_, _ = w.Write(val)
+}

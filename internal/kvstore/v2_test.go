@@ -1,0 +1,295 @@
+package kvstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func testClientV2(t *testing.T, s *Server) *ClientV2 {
+	t.Helper()
+	c, err := NewClientV2(s.Addr(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestV2PutGetDelete covers the single-op surface over the pipelined
+// protocol, against the same server that serves v1.
+func TestV2PutGetDelete(t *testing.T) {
+	s := testServer(t, 1<<20)
+	c := testClientV2(t, s)
+
+	if _, found, err := c.Get("missing"); err != nil || found {
+		t.Fatalf("Get(missing) = %v, %v", found, err)
+	}
+	if err := c.Put("k1", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := c.Get("k1")
+	if err != nil || !found || !bytes.Equal(v, []byte("hello")) {
+		t.Fatalf("Get(k1) = %q, %v, %v", v, found, err)
+	}
+	if err := c.Delete("k1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := c.Get("k1"); found {
+		t.Fatal("deleted key still present")
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Items != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestV2OversizedValueRefused checks statusTooLarge surfaces through
+// the pipelined client, for Put and MultiPut, and that the connection
+// survives.
+func TestV2OversizedValueRefused(t *testing.T) {
+	s := testServer(t, 10)
+	c := testClientV2(t, s)
+	if err := c.Put("big", make([]byte, 100)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("Put(oversized) = %v, want ErrTooLarge", err)
+	}
+	err := c.MultiPut([]string{"a", "big", "b"},
+		[][]byte{[]byte("x"), make([]byte, 100), []byte("y")})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("MultiPut(oversized) = %v, want ErrTooLarge", err)
+	}
+	// Best-effort semantics: the admissible pairs around the refusal
+	// must still have been stored.
+	for _, k := range []string{"a", "b"} {
+		if _, found, err := c.Get(k); err != nil || !found {
+			t.Fatalf("batch neighbor %q lost: %v %v", k, found, err)
+		}
+	}
+}
+
+// TestMultiGetMixed exercises a shard-local batch with hits, misses and
+// an empty value.
+func TestMultiGetMixed(t *testing.T) {
+	s := testServer(t, 1<<20)
+	c := testClientV2(t, s)
+	if err := c.MultiPut(
+		[]string{"a", "empty", "c"},
+		[][]byte{[]byte("va"), {}, []byte("vc")}); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := c.MultiGet([]string{"missing1", "a", "empty", "missing2", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 5 {
+		t.Fatalf("got %d values", len(vals))
+	}
+	if vals[0] != nil || vals[3] != nil {
+		t.Fatalf("absent keys returned values: %q %q", vals[0], vals[3])
+	}
+	if string(vals[1]) != "va" || string(vals[4]) != "vc" {
+		t.Fatalf("wrong values: %q %q", vals[1], vals[4])
+	}
+	if vals[2] == nil || len(vals[2]) != 0 {
+		t.Fatalf("present empty value must be non-nil empty, got %v", vals[2])
+	}
+}
+
+// TestClusterMultiGetSpansShards drives a batch across a 3-shard v2
+// cluster with mixed hits and misses, verifying order-preserving
+// reassembly.
+func TestClusterMultiGetSpansShards(t *testing.T) {
+	var addrs []string
+	var servers []*Server
+	for i := 0; i < 3; i++ {
+		s := testServer(t, 1<<20)
+		servers = append(servers, s)
+		addrs = append(addrs, s.Addr())
+	}
+	cluster, err := NewCluster(addrs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	const n = 90
+	var keys []string
+	var vals [][]byte
+	for i := 0; i < n; i++ {
+		keys = append(keys, fmt.Sprintf("sample-%d", i))
+		vals = append(vals, []byte(fmt.Sprintf("payload-%d", i)))
+	}
+	// Store only the even keys; odd keys are batch misses.
+	var putKeys []string
+	var putVals [][]byte
+	for i := 0; i < n; i += 2 {
+		putKeys = append(putKeys, keys[i])
+		putVals = append(putVals, vals[i])
+	}
+	if err := cluster.MultiPut(putKeys, putVals); err != nil {
+		t.Fatal(err)
+	}
+	// The batch must genuinely span shards.
+	spread := 0
+	for _, s := range servers {
+		if s.Stats().Items > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Fatalf("keys on %d/3 shards; hashing not spreading", spread)
+	}
+	got, err := cluster.MultiGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			if !bytes.Equal(got[i], vals[i]) {
+				t.Fatalf("key %d: got %q want %q", i, got[i], vals[i])
+			}
+		} else if got[i] != nil {
+			t.Fatalf("key %d: miss returned %q", i, got[i])
+		}
+	}
+	// A v1 cluster must satisfy the same contract (loop fallback).
+	v1, err := NewClusterV1(addrs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v1.Close()
+	got1, err := v1.MultiGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(got1[i], got[i]) {
+			t.Fatalf("v1/v2 disagree on key %d: %q vs %q", i, got1[i], got[i])
+		}
+	}
+}
+
+// TestV2Pipelining verifies many concurrent ops share few connections:
+// 32 goroutines over a single-connection client must all complete and
+// observe their own writes.
+func TestV2Pipelining(t *testing.T) {
+	s := testServer(t, 8<<20)
+	c, err := NewClientV2(s.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 32; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i)
+				want := []byte(fmt.Sprintf("v-%d-%d", g, i))
+				if err := c.Put(key, want); err != nil {
+					errs <- err
+					return
+				}
+				got, found, err := c.Get(key)
+				if err != nil || !found || !bytes.Equal(got, want) {
+					errs <- fmt.Errorf("get %s = %q %v %v", key, got, found, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st, _ := c.Stats(); st.Items != 32*25 {
+		t.Fatalf("items = %d, want %d", st.Items, 32*25)
+	}
+}
+
+// TestV2Reconnect kills the client's sockets behind its back and
+// verifies the next ops heal via the lazy redial path.
+func TestV2Reconnect(t *testing.T) {
+	s := testServer(t, 1<<20)
+	c := testClientV2(t, s)
+	if err := c.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	conns := append([]*pipeConn(nil), c.conns...)
+	c.mu.Unlock()
+	for _, p := range conns {
+		p.fail(errors.New("test: injected drop"))
+	}
+	// The first op after the drop may race the failure; the client must
+	// heal within a couple of attempts, not poison its pool.
+	var lastErr error
+	for attempt := 0; attempt < 4; attempt++ {
+		v, found, err := c.Get("k")
+		if err == nil && found && string(v) == "v" {
+			return
+		}
+		lastErr = err
+	}
+	t.Fatalf("client did not recover from dropped connections: %v", lastErr)
+}
+
+// TestStripingSpreadsAndBounds checks that a striped server both uses
+// multiple stripes and keeps total bytes within capacity.
+func TestStripingSpreadsAndBounds(t *testing.T) {
+	s, err := NewServerStriped("127.0.0.1:0", 1<<20, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	if s.Stripes() != 8 {
+		t.Fatalf("stripes = %d, want 8", s.Stripes())
+	}
+	c := testClientV2(t, s)
+	val := make([]byte, 4<<10)
+	for i := 0; i < 1000; i++ {
+		if err := c.Put(fmt.Sprintf("key-%d", i), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.UsedBytes > 1<<20 {
+		t.Fatalf("used %d > capacity", st.UsedBytes)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite 4x oversubscription")
+	}
+	occupied := 0
+	for _, sp := range s.st.stripes {
+		sp.mu.Lock()
+		if len(sp.items) > 0 {
+			occupied++
+		}
+		sp.mu.Unlock()
+	}
+	if occupied < 4 {
+		t.Fatalf("only %d/8 stripes occupied; hashing not spreading", occupied)
+	}
+}
+
+// TestAutoStripeCollapse: tiny capacities must collapse to one stripe so
+// the global LRU eviction order of the v1 store is preserved exactly.
+func TestAutoStripeCollapse(t *testing.T) {
+	small := testServer(t, 100)
+	if small.Stripes() != 1 {
+		t.Fatalf("tiny shard got %d stripes, want 1", small.Stripes())
+	}
+	big := testServer(t, 64<<20)
+	if big.Stripes() != defaultStripes {
+		t.Fatalf("big shard got %d stripes, want %d", big.Stripes(), defaultStripes)
+	}
+}

@@ -411,25 +411,11 @@ func (s *sim) step(h int) {
 		for j := 0; j < s.gpus; j++ {
 			rank := n*s.gpus + j
 			s.batchBuf = s.sched.Batch(s.batchBuf[:0], epoch, it, rank)
-			pl := perfmodel.BatchPlacement{}
-			for _, id := range s.batchBuf {
-				size := s.cfg.Dataset.Size(id)
-				switch s.group.Get(n, id, now) {
-				case tier.Local:
-					pl.LocalBytes += size
-					pl.LocalOps++
-				case tier.Remote:
-					pl.RemoteBytes += size
-					pl.RemoteOps++
-					s.runOut.RemoteHits++
-					s.group.Put(n, id, size, now)
-				default:
-					pl.PFSBytes += size
-					pl.PFSOps++
-					s.runOut.PFSFetches++
-					nodeHasPFS = true
-					s.group.Put(n, id, size, now)
-				}
+			pl := s.group.GetBatch(n, s.batchBuf, s.cfg.Dataset.Size, now)
+			s.runOut.RemoteHits += uint64(pl.RemoteOps)
+			s.runOut.PFSFetches += uint64(pl.PFSOps)
+			if pl.PFSOps > 0 {
+				nodeHasPFS = true
 			}
 			s.placements[n][j] = pl
 		}

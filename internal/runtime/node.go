@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,6 +56,17 @@ func (nc *nodeCache) peek(id dataset.SampleID) ([]byte, bool) {
 	defer nc.mu.Unlock()
 	p, ok := nc.payloads[id]
 	return p, ok
+}
+
+// peekBatch fills out[i] with whether ids[i] is resident, taking the
+// cache lock once for the whole batch. Like peek it does not touch the
+// hit/miss stats.
+func (nc *nodeCache) peekBatch(ids []dataset.SampleID, out []bool) {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	for i, id := range ids {
+		_, out[i] = nc.payloads[id]
+	}
 }
 
 // put inserts a payload (policy permitting) and syncs the directory.
@@ -260,7 +272,7 @@ func (n *nodeRuntime) pfsReadRetry(id dataset.SampleID) []byte {
 
 // kvKey renders a sample's cluster key.
 func kvKey(id dataset.SampleID) string {
-	return fmt.Sprintf("sample/%d", id)
+	return "sample/" + strconv.FormatUint(uint64(id), 10)
 }
 
 // serveRemote answers peer-cache fetches until the inbox closes.
@@ -308,25 +320,86 @@ func (n *nodeRuntime) prefetcher(workers, depthIters int) {
 				epoch := int(cursor) / n.rt.itersPerEpoch
 				it := int(cursor) % n.rt.itersPerEpoch
 				batch = n.rt.sched.NodeBatch(batch[:0], epoch, it, n.node, n.rt.gpus)
-				for _, id := range batch {
-					select {
-					case <-n.stopPref:
-						return
-					default:
+				if n.rt.kv != nil {
+					n.prefetchWindowKV(batch)
+				} else {
+					for _, id := range batch {
+						select {
+						case <-n.stopPref:
+							return
+						default:
+						}
+						nowC := cache.Iter(n.iterNow.Load())
+						if _, ok := n.cache.peek(id); ok {
+							continue
+						}
+						payload := n.fetchPrefetch(id, nowC)
+						if payload == nil {
+							break // cache refused: later candidates are needed later
+						}
+						n.prefetched.Add(1)
 					}
-					nowC := cache.Iter(n.iterNow.Load())
-					if _, ok := n.cache.peek(id); ok {
-						continue
-					}
-					payload := n.fetchPrefetch(id, nowC)
-					if payload == nil {
-						break // cache refused: later candidates are needed later
-					}
-					n.prefetched.Add(1)
 				}
 				cursor++
 			}
 		}()
+	}
+}
+
+// prefetchWindowKV fills the cache for one plan window through the KV
+// cluster: the window's misses are fetched in a single MultiGet round
+// trip per shard, and every PFS fallback read is written back to the
+// cluster in one batched MultiPut. Semantics match the per-id path:
+// a KV hit counts only toward prefetched, a PFS fallback also counts a
+// PFS read, and a local-cache refusal abandons the rest of the window
+// (later candidates are needed later).
+func (n *nodeRuntime) prefetchWindowKV(batch []dataset.SampleID) {
+	resident := make([]bool, len(batch))
+	n.cache.peekBatch(batch, resident)
+	need := batch[:0:0]
+	var keys []string
+	for i, id := range batch {
+		if !resident[i] {
+			need = append(need, id)
+			keys = append(keys, kvKey(id))
+		}
+	}
+	if len(need) == 0 {
+		return
+	}
+	vals, err := n.rt.kv.MultiGet(keys)
+	if err != nil {
+		vals = nil // degraded cluster: treat the window as all misses
+	}
+	// Write-backs accumulate across the loop and flush in one MultiPut,
+	// including when a cache refusal abandons the window early.
+	var wbKeys []string
+	var wbVals [][]byte
+	defer func() {
+		if len(wbKeys) > 0 {
+			_ = n.rt.kv.MultiPut(wbKeys, wbVals) // best-effort, like the per-id write-back
+		}
+	}()
+	for i, id := range need {
+		select {
+		case <-n.stopPref:
+			return
+		default:
+		}
+		now := cache.Iter(n.iterNow.Load())
+		var payload []byte
+		if vals != nil && vals[i] != nil {
+			payload = vals[i]
+		} else {
+			payload = n.pfsReadRetry(id)
+			n.pfsReads.Add(1)
+			wbKeys = append(wbKeys, keys[i])
+			wbVals = append(wbVals, payload)
+		}
+		if !n.cache.put(id, payload, now) {
+			return // cache refused: later candidates are needed later
+		}
+		n.prefetched.Add(1)
 	}
 }
 

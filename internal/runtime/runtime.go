@@ -71,8 +71,11 @@ type Options struct {
 	// KVCache, when non-nil, replaces the node-to-node distribution
 	// manager with a shared KV-store cluster as the middle cache tier
 	// (the "alternatives to distributed caching like for example
-	// KV-stores" of Section 2). Misses go local cache -> KV cluster ->
-	// PFS, with PFS fetches written back to the cluster.
+	// KV-stores" of Section 2). Demand misses go local cache -> KV
+	// cluster -> PFS, with PFS fetches written back to the cluster; the
+	// background prefetcher fetches each plan window through one batched
+	// MultiGet round trip per shard and writes PFS fallbacks back with a
+	// single MultiPut.
 	KVCache *kvstore.Cluster
 }
 
@@ -640,18 +643,29 @@ func (rt *Runtime) decideThreads(h int) {
 		}
 		demands := make([]threadmgr.GPUDemand, rt.gpus)
 		var batch []dataset.SampleID
+		var local, remote []bool
 		for j := 0; j < rt.gpus; j++ {
 			batch = rt.sched.Batch(batch[:0], epoch, it, n*rt.gpus+j)
+			// Classify the whole batch with one cache lock and one
+			// directory lock instead of two lock round trips per sample.
+			if cap(local) < len(batch) {
+				local = make([]bool, len(batch))
+				remote = make([]bool, len(batch))
+			}
+			local, remote = local[:len(batch)], remote[:len(batch)]
+			node.cache.peekBatch(batch, local)
+			rt.dir.HolderBatch(batch, n, remote)
 			var pl perfmodel.BatchPlacement
-			for _, id := range batch {
+			for i, id := range batch {
 				size := rt.ds.Size(id)
-				if _, ok := node.cache.peek(id); ok {
+				switch {
+				case local[i]:
 					pl.LocalBytes += size
 					pl.LocalOps++
-				} else if rt.dir.Holder(id, n) >= 0 {
+				case remote[i]:
 					pl.RemoteBytes += size
 					pl.RemoteOps++
-				} else {
+				default:
 					pl.PFSBytes += size
 					pl.PFSOps++
 				}

@@ -199,6 +199,18 @@ func (d *Directory) Holder(id dataset.SampleID, not int) int {
 	return -1
 }
 
+// HolderBatch fills out[i] with whether any node other than `not` holds
+// ids[i], taking the directory lock once for the whole batch (the thread
+// controller scans entire iteration batches per decision).
+func (d *Directory) HolderBatch(ids []dataset.SampleID, not int, out []bool) {
+	clear := ^(uint64(1) << uint(not))
+	d.mu.Lock()
+	for i, id := range ids {
+		out[i] = d.holders[id]&clear != 0
+	}
+	d.mu.Unlock()
+}
+
 // IsLastCopy reports whether node holds the only copy.
 func (d *Directory) IsLastCopy(node int, id dataset.SampleID) bool {
 	d.mu.Lock()

@@ -7,6 +7,8 @@
 #   3. go test -race   — the full suite, module-wide, under the race detector
 #   4. lobster-lint    — the project's own static analysis (determinism,
 #                        goroutine/mutex hygiene, errcheck, bounded queues)
+#   5. bench smoke     — quick protocol sanity pass of the kvstore
+#                        benchmark harness (full run: make bench-kv)
 #
 # Run from anywhere: the script cds to the repo root. `make check` is an
 # alias for this script.
@@ -24,5 +26,10 @@ go test -race ./...
 
 echo "==> lobster-lint ./..."
 go run ./cmd/lobster-lint ./...
+
+echo "==> kvstore bench smoke"
+# Short protocol sanity pass of the bench harness (the full run is
+# `make bench-kv`, which writes BENCH_kv.json).
+go test ./internal/kvstore -run TestBenchKVJSON -count=1
 
 echo "ALL CHECKS PASSED"
