@@ -57,8 +57,8 @@ func main() {
 		select {
 		case <-tick:
 			st := srv.Stats()
-			fmt.Printf("items=%d used=%.1fMB hits=%d misses=%d evictions=%d\n",
-				st.Items, float64(st.UsedBytes)/1e6, st.Hits, st.Misses, st.Evictions)
+			fmt.Printf("items=%d used=%.1fMB hits=%d misses=%d evictions=%d toolarge=%d\n",
+				st.Items, float64(st.UsedBytes)/1e6, st.Hits, st.Misses, st.Evictions, st.TooLarge)
 		case <-stop:
 			fmt.Println("shutting down")
 			if err := srv.Close(); err != nil {

@@ -194,7 +194,7 @@ func (cl *Client) Stats() (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
-	if status != statusOK || len(out) != 40 {
+	if status != statusOK || len(out) != statsWireLen {
 		return Stats{}, fmt.Errorf("kvstore: bad stats response")
 	}
 	return decodeStats(out), nil
@@ -207,6 +207,7 @@ func decodeStats(out []byte) Stats {
 		Hits:      binary.BigEndian.Uint64(out[16:]),
 		Misses:    binary.BigEndian.Uint64(out[24:]),
 		Evictions: binary.BigEndian.Uint64(out[32:]),
+		TooLarge:  binary.BigEndian.Uint64(out[40:]),
 	}
 }
 

@@ -57,7 +57,9 @@ func (cl *ClientV2) conn() (*pipeConn, error) {
 		cl.mu.Unlock()
 		return nil, ErrClientClosed
 	}
-	i := int(cl.rr.Add(1)) % len(cl.conns)
+	// Unsigned modulo before the int conversion: on 32-bit platforms a
+	// wrapped counter would otherwise go negative and panic the index.
+	i := int(cl.rr.Add(1) % uint32(len(cl.conns)))
 	p := cl.conns[i]
 	cl.mu.Unlock()
 	if !p.dead.Load() {
@@ -103,8 +105,12 @@ func (cl *ClientV2) Close() {
 	}
 }
 
-// call is one in-flight request/response pair. Instances are pooled:
-// the done channel is reused across ops.
+// call is one in-flight request/response pair. Instances are pooled
+// under a strict ownership rule: a call may be recycled (putCall) only
+// after a successful round trip, because the response proves the writer
+// goroutine finished serializing the request (see call.wrote). A call
+// whose round trip errored may still be queued for — or held by — the
+// writer, so error paths drop it for the GC instead of recycling it.
 type call struct {
 	op  byte
 	id  uint32
@@ -120,6 +126,11 @@ type call struct {
 	outs     [][]byte // per-key values (opMultiGet), nil = not found
 	err      error
 	done     chan *call
+	// wrote is released by the writer goroutine once the request frame
+	// is fully serialized and acquired by the reader before it completes
+	// the call, ordering the writer's reads of the request fields before
+	// any reuse of the call (or the caller's key/value buffers).
+	wrote atomic.Bool
 }
 
 var callPool = sync.Pool{New: func() any { return &call{done: make(chan *call, 1)} }}
@@ -135,8 +146,12 @@ func putCall(c *call) {
 	case <-c.done: // drain a stray completion, never carry it to reuse
 	default:
 	}
-	done := c.done
-	*c = call{done: done}
+	// Field-by-field: a struct assignment would copy the atomic.
+	c.op, c.id, c.key, c.val = 0, 0, "", nil
+	c.keys, c.vals = nil, nil
+	c.status, c.out, c.statuses, c.outs = 0, nil, nil, nil
+	c.err = nil
+	c.wrote.Store(false)
 	callPool.Put(c)
 }
 
@@ -155,6 +170,11 @@ type pipeConn struct {
 	err     error
 	nextID  uint32
 	pending map[uint32]*call
+	// held is the call the writer goroutine is serializing right now.
+	// While a call is held, only the writer may complete it (fail and
+	// the reader leave it alone), so nothing can wake its caller — and
+	// free it to reuse its key/value buffers — mid-serialization.
+	held *call
 
 	wg sync.WaitGroup
 }
@@ -184,7 +204,8 @@ func (p *pipeConn) shutdown(err error) {
 }
 
 // fail marks the connection dead, closes the socket (unblocking both
-// loops) and completes every pending call with err.
+// loops) and completes every pending call with err — except the call
+// the writer is serializing, which the writer itself completes.
 func (p *pipeConn) fail(err error) {
 	p.stopOnce.Do(func() {
 		p.dead.Store(true)
@@ -194,11 +215,18 @@ func (p *pipeConn) fail(err error) {
 		close(p.stop)
 		_ = p.c.Close() // unblocks the reader; its error is the close itself
 	})
-	// Whoever gets here drains whatever is pending at this moment; calls
-	// registered later see p.err at registration and never enqueue.
+	// Whoever gets here drains whatever is pending at this moment —
+	// except the call the writer currently holds, which the writer
+	// completes itself after the frame is written (endWrite). Calls
+	// registered later see p.err at registration and never enqueue;
+	// calls queued but never written are completed here and skipped by
+	// the writer (beginWrite).
 	p.mu.Lock()
 	var drained []*call
 	for id, c := range p.pending {
+		if c == p.held {
+			continue
+		}
 		delete(p.pending, id)
 		drained = append(drained, c)
 	}
@@ -242,6 +270,26 @@ func (p *pipeConn) failCall(c *call, err error) {
 	}
 }
 
+// failDesync handles a response that was matched to a pending call but
+// contradicts it (wrong op, or a frame the writer never finished
+// writing): it drops the connection and completes the taken call so its
+// waiter cannot hang. The connection is failed *first* so the writer
+// refuses to start serializing c after its waiter wakes; if the writer
+// already holds c, it is handed back to pending and the writer
+// completes it in endWrite once the frame is out.
+func (p *pipeConn) failDesync(c *call, err error) {
+	p.fail(err)
+	p.mu.Lock()
+	if p.held == c {
+		p.pending[c.id] = c
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	c.err = err
+	c.done <- c
+}
+
 // roundTrip runs one pipelined op to completion.
 func (p *pipeConn) roundTrip(c *call) error {
 	if err := p.register(c); err != nil {
@@ -268,11 +316,11 @@ func (p *pipeConn) writeLoop() {
 			p.drainQueue()
 			return
 		case c := <-p.wq:
-			if p.dead.Load() {
-				p.failCall(c, p.connErr())
+			if !p.beginWrite(c) {
 				continue
 			}
 			writeV2Request(w, c)
+			p.endWrite(c)
 			if len(p.wq) == 0 {
 				// The enqueue that woke this loop typically readied us
 				// before the caller's siblings got to run; yield once so
@@ -286,6 +334,55 @@ func (p *pipeConn) writeLoop() {
 				}
 			}
 		}
+	}
+}
+
+// beginWrite claims c for serialization, so that until endWrite
+// releases the claim no one else completes it. On a failed connection
+// it refuses the claim: c must not be serialized, and is completed here
+// unless fail() already did (c gone from pending).
+func (p *pipeConn) beginWrite(c *call) bool {
+	p.mu.Lock()
+	err := p.err
+	ours := false
+	if err != nil {
+		if ours = p.pending[c.id] == c; ours {
+			delete(p.pending, c.id)
+		}
+	} else {
+		p.held = c
+	}
+	p.mu.Unlock()
+	if err == nil {
+		return true
+	}
+	if ours {
+		c.err = err
+		c.done <- c
+	}
+	return false
+}
+
+// endWrite publishes that c's frame is fully serialized (the release
+// half of call.wrote — the reader acquires it before completing c) and
+// drops the writer's claim. If the connection failed mid-write, fail()
+// skipped c because it was held, so it is completed here.
+func (p *pipeConn) endWrite(c *call) {
+	// Capture the ID before publishing: once wrote is set a fast
+	// response can complete c and recycle it under us.
+	id := c.id
+	c.wrote.Store(true)
+	p.mu.Lock()
+	p.held = nil
+	var err error
+	if p.err != nil && p.pending[id] == c {
+		delete(p.pending, id)
+		err = p.err
+	}
+	p.mu.Unlock()
+	if err != nil {
+		c.err = err
+		c.done <- c
 	}
 }
 
@@ -360,8 +457,18 @@ func (p *pipeConn) readLoop() {
 			return
 		}
 		c := p.take(id)
-		if c == nil || c.op != op {
+		if c == nil {
 			p.fail(fmt.Errorf("kvstore: response for unknown request %d (op %d)", id, op))
+			return
+		}
+		// The acquire pairs with the writer's release in endWrite: after
+		// it, the writer's reads of c's request fields happened before
+		// this point, so completing c — and the caller then recycling it
+		// — cannot race the serialization. A response whose frame the
+		// writer never finished, or whose op does not match, is frame
+		// desync from a corrupt peer.
+		if !c.wrote.Load() || c.op != op {
+			p.failDesync(c, fmt.Errorf("kvstore: mismatched response for request %d (op %d)", id, op))
 			return
 		}
 		c.status = status
@@ -441,7 +548,8 @@ func (cl *ClientV2) do(op byte, key string, val []byte) (byte, []byte, error) {
 	c := getCall(op)
 	c.key, c.val = key, val
 	if err := p.roundTrip(c); err != nil {
-		putCall(c)
+		// Failed calls may still be referenced by the writer goroutine;
+		// drop them for the GC rather than recycling (see call).
 		return 0, nil, err
 	}
 	status, out := c.status, c.out
@@ -492,7 +600,7 @@ func (cl *ClientV2) Stats() (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
-	if status != statusOK || len(out) != 40 {
+	if status != statusOK || len(out) != statsWireLen {
 		return Stats{}, fmt.Errorf("kvstore: bad stats response")
 	}
 	return decodeStats(out), nil
@@ -514,7 +622,7 @@ func (cl *ClientV2) MultiGet(keys []string) ([][]byte, error) {
 	c := getCall(opMultiGet)
 	c.keys = keys
 	if err := p.roundTrip(c); err != nil {
-		putCall(c)
+		// Drop, don't recycle: the writer may still hold the call.
 		return nil, err
 	}
 	outs := c.outs
@@ -546,7 +654,7 @@ func (cl *ClientV2) MultiPut(keys []string, vals [][]byte) error {
 	c := getCall(opMultiPut)
 	c.keys, c.vals = keys, vals
 	if err := p.roundTrip(c); err != nil {
-		putCall(c)
+		// Drop, don't recycle: the writer may still hold the call.
 		return err
 	}
 	statuses := c.statuses

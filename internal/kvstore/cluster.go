@@ -221,6 +221,7 @@ func (c *Cluster) Stats() (Stats, error) {
 		total.Hits += st.Hits
 		total.Misses += st.Misses
 		total.Evictions += st.Evictions
+		total.TooLarge += st.TooLarge
 	}
 	return total, nil
 }

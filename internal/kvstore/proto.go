@@ -26,6 +26,11 @@ const (
 	statusTooLarge
 )
 
+// statsWireLen is the encoded size of a Stats payload: six big-endian
+// u64 counters (items, used bytes, hits, misses, evictions, too-large
+// refusals).
+const statsWireLen = 48
+
 // frameV2Magic introduces a v2 request frame. It is disjoint from every
 // v1 op byte, so the server classifies each incoming frame by its first
 // byte and one connection can carry either protocol (or both).

@@ -47,7 +47,12 @@ type Server struct {
 // NewServer starts a shard listening on addr ("127.0.0.1:0" for an
 // ephemeral port) with the given byte capacity. The LRU stripe count is
 // chosen automatically (capacities below 64 KiB per stripe collapse to
-// fewer stripes, tiny shards to a single global LRU).
+// fewer stripes, tiny shards to a single global LRU). Note the
+// admission bound: striping splits the capacity, so the largest
+// admissible value is capacity / Stripes(), not capacity — larger puts
+// are refused with ErrTooLarge and counted in Stats.TooLarge. Size the
+// capacity (or pick an explicit stripe count via NewServerStriped) so
+// the per-stripe budget comfortably exceeds the largest value stored.
 func NewServer(addr string, capacity int64) (*Server, error) {
 	return NewServerStriped(addr, capacity, 0)
 }
@@ -56,7 +61,8 @@ func NewServer(addr string, capacity int64) (*Server, error) {
 // (rounded down to a power of two; <= 0 selects automatically). One
 // stripe reproduces the exact global-LRU eviction order of the v1
 // store; more stripes trade that for concurrency, with the byte budget
-// split evenly per stripe.
+// — and therefore the largest admissible value and the eviction
+// pressure — split evenly per stripe.
 func NewServerStriped(addr string, capacity int64, stripes int) (*Server, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("kvstore: capacity %d <= 0", capacity)
@@ -101,6 +107,14 @@ type Stats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
+	// TooLarge counts puts refused because the value exceeded the
+	// per-stripe byte budget (capacity / stripe count). Best-effort
+	// writers that discard Put errors — e.g. the runtime's cache
+	// write-backs — silently lose those samples from the shared tier, so
+	// a growing TooLarge is the signal that values are outrunning the
+	// striped admission bound and the shard needs more capacity or fewer
+	// stripes.
+	TooLarge uint64
 }
 
 // Stats returns a snapshot aggregated across stripes.

@@ -41,6 +41,7 @@ type stripe struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	tooLarge  uint64
 }
 
 type entry struct {
@@ -109,12 +110,17 @@ func (st *store) get(key []byte) ([]byte, bool) {
 }
 
 // put inserts or replaces a value, evicting LRU entries of its stripe to
-// fit. Values larger than the stripe budget can never be admitted and
-// yield statusTooLarge.
+// fit. Values larger than the stripe budget (shard capacity / stripe
+// count, not the full shard capacity) can never be admitted and yield
+// statusTooLarge; the refusal is counted in Stats.TooLarge so callers
+// that drop Put errors can still observe the degradation.
 func (st *store) put(key []byte, val []byte) byte {
 	sp := st.stripeFor(key)
 	size := int64(len(val))
 	if size > sp.capacity {
+		sp.mu.Lock()
+		sp.tooLarge++
+		sp.mu.Unlock()
 		return statusTooLarge
 	}
 	sp.mu.Lock()
@@ -156,6 +162,7 @@ func (st *store) stats() Stats {
 		total.Hits += sp.hits
 		total.Misses += sp.misses
 		total.Evictions += sp.evictions
+		total.TooLarge += sp.tooLarge
 		sp.mu.Unlock()
 	}
 	return total
@@ -283,7 +290,7 @@ func (st *store) handleV2(r *bufio.Reader, w *bufio.Writer) error {
 			writeV2Response(w, op, id, statusOK, nil)
 		case opStats:
 			s := st.stats()
-			buf := getBuf(40)
+			buf := getBuf(statsWireLen)
 			encodeStats(buf.b, s)
 			writeV2Response(w, op, id, statusOK, buf.b)
 			putBuf(buf)
@@ -385,10 +392,11 @@ func encodeStats(buf []byte, s Stats) {
 	binary.BigEndian.PutUint64(buf[16:], s.Hits)
 	binary.BigEndian.PutUint64(buf[24:], s.Misses)
 	binary.BigEndian.PutUint64(buf[32:], s.Evictions)
+	binary.BigEndian.PutUint64(buf[40:], s.TooLarge)
 }
 
 func writeStats(w *bufio.Writer, s Stats) {
-	buf := getBuf(40)
+	buf := getBuf(statsWireLen)
 	encodeStats(buf.b, s)
 	writeResponse(w, statusOK, buf.b)
 	putBuf(buf)

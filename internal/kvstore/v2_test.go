@@ -4,8 +4,12 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
+	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func testClientV2(t *testing.T, s *Server) *ClientV2 {
@@ -69,6 +73,19 @@ func TestV2OversizedValueRefused(t *testing.T) {
 		if _, found, err := c.Get(k); err != nil || !found {
 			t.Fatalf("batch neighbor %q lost: %v %v", k, found, err)
 		}
+	}
+	// Both refusals must be observable even by writers that drop the Put
+	// error (the striped admission bound is per stripe, so silent drops
+	// would otherwise be invisible).
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TooLarge != 2 {
+		t.Fatalf("client TooLarge = %d, want 2", st.TooLarge)
+	}
+	if got := s.Stats().TooLarge; got != 2 {
+		t.Fatalf("server TooLarge = %d, want 2", got)
 	}
 }
 
@@ -241,6 +258,113 @@ func TestV2Reconnect(t *testing.T) {
 		lastErr = err
 	}
 	t.Fatalf("client did not recover from dropped connections: %v", lastErr)
+}
+
+// TestV2FailureUnderLoad repeatedly kills the client's connections
+// while pipelined ops are in flight. Regression for a race between the
+// writer goroutine and connection failure: fail() used to complete
+// calls that were still queued for — or being serialized by — the
+// writer, letting the caller recycle the call object and reuse its
+// value buffers (which this test mutates between iterations) under the
+// writer's reads. Under -race this must be silent, and every op must
+// return rather than hang.
+func TestV2FailureUnderLoad(t *testing.T) {
+	s := testServer(t, 8<<20)
+	c, err := NewClientV2(s.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			keys := make([]string, 4)
+			vals := make([][]byte, 4)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("g%d-k%d", g, i)
+				vals[i] = bytes.Repeat([]byte{byte(g)}, 512)
+			}
+			for i := 0; !stop.Load(); i++ {
+				// Errors are expected around each injected drop; what
+				// matters is that the op returns, and that touching the
+				// buffers afterwards cannot race a writer still
+				// serializing them.
+				if i%2 == 0 {
+					_ = c.MultiPut(keys, vals)
+				} else {
+					_, _, _ = c.Get(keys[i%len(keys)])
+				}
+				for _, v := range vals {
+					v[i%len(v)]++
+				}
+			}
+		}()
+	}
+	for round := 0; round < 8; round++ {
+		time.Sleep(2 * time.Millisecond)
+		c.mu.Lock()
+		conns := append([]*pipeConn(nil), c.conns...)
+		c.mu.Unlock()
+		for _, p := range conns {
+			p.fail(errors.New("test: injected drop"))
+		}
+	}
+	stop.Store(true)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("pipelined ops hung across injected connection failures")
+	}
+}
+
+// TestV2MismatchedResponseErrors serves a response whose op byte does
+// not match the request it answers. The waiter must get an error — not
+// hang forever — and the connection must be dropped.
+func TestV2MismatchedResponseErrors(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		// Consume the Get("k") request frame:
+		// magic(1) op(1) id(4) keyLen(4) "k"(1) valLen(4).
+		buf := make([]byte, 15)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		// Answer request 0 with the wrong op byte and an empty body.
+		_, _ = conn.Write([]byte{opPut, 0, 0, 0, 0, statusOK, 0, 0, 0, 0})
+	}()
+	c, err := NewClientV2(ln.Addr().String(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := c.Get("k")
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("Get succeeded against a desynced server")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Get hung on a mismatched response")
+	}
 }
 
 // TestStripingSpreadsAndBounds checks that a striped server both uses
