@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race lint bench bench-kv
+.PHONY: check build vet test race lint bench bench-kv bench-sim
 
 ## check: the full tier-1 gate (build + vet + race tests + lobster-lint)
 check:
@@ -32,3 +32,9 @@ bench:
 ## and p99 per protocol in BENCH_kv.json at the repo root.
 bench-kv:
 	LOBSTER_BENCH_KV=1 $(GO) test ./internal/kvstore -run TestBenchKVJSON -count=1 -v -timeout 30m
+
+## bench-sim: rerun the representative figure benchmarks plus the
+## multi-campaign sweep fan-out bench and record wall time, ns/op, B/op
+## and allocs/op in BENCH_sim.json at the repo root.
+bench-sim:
+	LOBSTER_BENCH_SIM=1 $(GO) test . -run TestBenchSimJSON -count=1 -v -timeout 30m

@@ -58,6 +58,7 @@ func BenchmarkAblEviction(b *testing.B) {
 		{"lobster", loader.PolicyLobster},
 		{"belady", loader.PolicyBelady},
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, p := range policies {
@@ -87,6 +88,7 @@ func BenchmarkAblQueues(b *testing.B) {
 	shared.LoadingPerGPU = 0
 
 	var ratio float64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a := runSpec(b, top, model, ds, perGPU)
@@ -103,6 +105,7 @@ func BenchmarkAblQueues(b *testing.B) {
 func BenchmarkAblPrefetchDepth(b *testing.B) {
 	top, model, ds := ablationWorkload(b)
 	depths := []int{0, 2, 8, 64}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, d := range depths {
@@ -121,6 +124,7 @@ func BenchmarkAblPrefetchDepth(b *testing.B) {
 func BenchmarkAblPipelineDepth(b *testing.B) {
 	top, model, ds := ablationWorkload(b)
 	var times []float64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		times = times[:0]
@@ -161,6 +165,7 @@ func BenchmarkAblDecideFrequency(b *testing.B) {
 	top, model, ds := ablationWorkload(b)
 	var times []float64
 	freqs := []int{1, 4, 16, 64}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		times = times[:0]

@@ -11,10 +11,12 @@ package repro
 
 import (
 	"os"
+	goruntime "runtime"
 	"testing"
 
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/par"
 )
 
 func benchScale(b *testing.B) dataset.Scale {
@@ -39,6 +41,7 @@ func runExperiment(b *testing.B, id string, metrics map[string]string) {
 	}
 	params := experiments.Params{Scale: benchScale(b), Seed: 42}
 	var rep *experiments.Report
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep, err = exp.Run(params)
@@ -208,3 +211,35 @@ func BenchmarkExtTimeToAccuracy(b *testing.B) {
 		"speedup_nopfs":   "nopfsTTASpeedup",
 	})
 }
+
+// runSweep executes the Fig. 7(d) scalability sweep — eight independent
+// campaigns (four node counts x two loaders) — through a bounded pool of
+// the given width; width 0 means serial. The report is identical at any
+// width (see internal/par); only wall time responds, which is exactly what
+// this benchmark measures.
+func runSweep(b *testing.B, width int) {
+	exp, err := experiments.ByID("fig07d")
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := experiments.Params{Scale: benchScale(b), Seed: 42}
+	if width > 1 {
+		params.Pool = par.NewPool(width)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepFanOutSerial is the multi-campaign sweep with campaigns
+// run one after another — the pre-fan-out execution model.
+func BenchmarkSweepFanOutSerial(b *testing.B) { runSweep(b, 0) }
+
+// BenchmarkSweepFanOutParallel is the same sweep fanned out over
+// GOMAXPROCS workers. Comparing against the serial variant isolates the
+// wall-time win of the parallel fan-out on this machine.
+func BenchmarkSweepFanOutParallel(b *testing.B) { runSweep(b, goruntime.GOMAXPROCS(0)) }

@@ -7,17 +7,20 @@
 //	lobster-bench                         # everything at small scale
 //	lobster-bench -experiment fig07a      # one figure
 //	lobster-bench -scale medium -seed 7
+//	lobster-bench -parallel 1             # serial (identical output)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	goruntime "runtime"
 	"strings"
 	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/par"
 )
 
 func main() {
@@ -26,8 +29,10 @@ func main() {
 		expID     = flag.String("experiment", "", "run only this experiment id (e.g. fig07a); empty = all")
 		epochs    = flag.Int("epochs", 0, "override epochs (0 = per-scale default)")
 		seed      = flag.Uint64("seed", 42, "base seed")
-		list      = flag.Bool("list", false, "list experiment ids and exit")
-		mdPath    = flag.String("markdown", "", "also write the full report as a Markdown file")
+		parallel  = flag.Int("parallel", goruntime.GOMAXPROCS(0),
+			"worker budget shared by independent experiments and within-experiment campaigns (1 = serial; reports are identical for any value)")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		mdPath = flag.String("markdown", "", "also write the full report as a Markdown file")
 	)
 	flag.Parse()
 
@@ -41,7 +46,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	params := experiments.Params{Scale: scale, Epochs: *epochs, Seed: *seed}
+	// One bounded pool serves both levels of fan-out: independent
+	// experiments below, and each experiment's independent campaigns via
+	// Params.Pool. Nested fan-outs recruit spare workers without blocking
+	// (see internal/par), so total concurrency stays <= -parallel.
+	var pool *par.Pool
+	if *parallel > 1 {
+		pool = par.NewPool(*parallel)
+	}
+	params := experiments.Params{Scale: scale, Epochs: *epochs, Seed: *seed, Pool: pool}
 
 	todo := experiments.All()
 	if *expID != "" {
@@ -51,27 +64,42 @@ func main() {
 		}
 		todo = []experiments.Experiment{e}
 	}
+	// Experiments run concurrently but render strictly in figure order from
+	// the index-slotted results, so stdout and the markdown file list them
+	// identically at any -parallel value (only the timings vary).
+	type outcome struct {
+		rep *experiments.Report
+		dur time.Duration
+	}
+	outs, err := par.Map(pool, len(todo), func(i int) (outcome, error) {
+		start := time.Now()
+		rep, err := todo[i].Run(params)
+		if err != nil {
+			return outcome{}, fmt.Errorf("%s: %w", todo[i].ID, err)
+		}
+		return outcome{rep: rep, dur: time.Since(start)}, nil
+	})
+	if err != nil {
+		fatal(err)
+	}
 	var md strings.Builder
 	if *mdPath != "" {
 		fmt.Fprintf(&md, "# Lobster reproduction report\n\nscale: %s, seed: %d\n\n", scale, *seed)
 	}
-	for _, e := range todo {
-		start := time.Now()
-		rep, err := e.Run(params)
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", e.ID, err))
-		}
+	for i, e := range todo {
+		rep, dur := outs[i].rep, outs[i].dur
 		fmt.Printf("################ %s — %s\n", e.ID, e.Title)
 		fmt.Printf("paper: %s\n\n", e.Paper)
 		fmt.Print(rep.Text())
-		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+		fmt.Printf("(%.1fs)\n\n", dur.Seconds())
 		if *mdPath != "" {
 			fmt.Fprintf(&md, "## %s — %s\n\npaper: %s\n\n```\n", e.ID, e.Title, e.Paper)
 			for _, line := range rep.Lines {
 				md.WriteString(line)
 				md.WriteByte('\n')
 			}
-			fmt.Fprintf(&md, "```\n\nheadline values: %s\n\n", strings.Join(rep.SortedValues(), ", "))
+			fmt.Fprintf(&md, "```\n\nheadline values: %s\n\nwall time: %.1fs\n\n",
+				strings.Join(rep.SortedValues(), ", "), dur.Seconds())
 		}
 	}
 	if *mdPath != "" {

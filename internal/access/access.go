@@ -13,7 +13,6 @@ package access
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/dataset"
 	"repro/internal/sampler"
@@ -37,12 +36,21 @@ const NoAccess Iter = -1
 // at the reduced experiment scales, and bounded by the horizon argument for
 // full-scale runs (the Lobster policies only ever look 2 epochs ahead; see
 // the reuse-distance policy in Section 4.4).
+//
+// The per-sample lists live in one flat backing array addressed by an
+// offsets table (sample id's accesses are flat[offsets[id]:offsets[id+1]])
+// rather than a slice-of-slices: building it is two allocations instead of
+// one growing slice per sample, and NextUse/UsesRemaining — the innermost
+// queries of every Lobster policy decision — binary-search a contiguous
+// window.
 type Plan struct {
 	node        int
 	gpusPerNode int
 	iters       int // iterations per epoch
 	epochs      int
-	accesses    [][]Iter // per sample: ascending global iterations accessed by this node
+	numSamples  int
+	offsets     []int32 // len numSamples+1; per sample: [start, end) into flat
+	flat        []Iter  // ascending global iterations, grouped by sample
 }
 
 // Build constructs the plan of `node` (0-based) for `epochs` epochs of the
@@ -66,16 +74,42 @@ func Build(s *sampler.Schedule, node, gpusPerNode, epochs, horizonEpochs int) (*
 		gpusPerNode: gpusPerNode,
 		iters:       s.IterationsPerEpoch(),
 		epochs:      epochs,
-		accesses:    make([][]Iter, s.Dataset().Len()),
+		numSamples:  s.Dataset().Len(),
 	}
+	// Single schedule walk (epoch permutations are expensive to
+	// regenerate): record the node's whole access sequence plus where each
+	// iteration ends, count per-sample accesses, then scatter the sequence
+	// into the flat per-sample layout via an offsets prefix sum.
+	counts := make([]int32, p.numSamples)
+	seq := make([]dataset.SampleID, 0, horizonEpochs*p.iters)
+	iterEnds := make([]int32, 0, horizonEpochs*p.iters)
 	var batch []dataset.SampleID
 	for epoch := 0; epoch < horizonEpochs; epoch++ {
 		for it := 0; it < p.iters; it++ {
-			g := Iter(epoch*p.iters + it)
 			batch = s.NodeBatch(batch[:0], epoch, it, node, gpusPerNode)
+			seq = append(seq, batch...)
+			iterEnds = append(iterEnds, int32(len(seq)))
 			for _, id := range batch {
-				p.accesses[id] = append(p.accesses[id], g)
+				counts[id]++
 			}
+		}
+	}
+	p.offsets = make([]int32, p.numSamples+1)
+	var sum int32
+	for id, n := range counts {
+		p.offsets[id] = sum
+		sum += n
+		counts[id] = 0 // reuse as the fill cursor below
+	}
+	p.offsets[p.numSamples] = sum
+	p.flat = make([]Iter, sum)
+	pos := 0
+	for gi, end := range iterEnds {
+		g := Iter(gi)
+		for ; pos < int(end); pos++ {
+			id := seq[pos]
+			p.flat[p.offsets[id]+counts[id]] = g
+			counts[id]++
 		}
 	}
 	return p, nil
@@ -94,13 +128,28 @@ func (p *Plan) TotalIterations() Iter { return Iter(p.epochs * p.iters) }
 // node accesses the sample, or NoAccess if it never does (within the plan
 // horizon).
 func (p *Plan) NextUse(id dataset.SampleID, after Iter) Iter {
-	list := p.accesses[id]
-	// Binary search: first element > after.
-	i := sort.Search(len(list), func(k int) bool { return list[k] > after })
-	if i == len(list) {
+	i := p.searchAfter(id, after)
+	if i == p.offsets[id+1] {
 		return NoAccess
 	}
-	return list[i]
+	return p.flat[i]
+}
+
+// searchAfter returns the index into flat of the first access of id
+// strictly after `after`, or the sample's end offset. Hand-rolled binary
+// search: this runs on every policy decision, and avoiding the
+// sort.Search closure call per probe measurably cheapens the hot path.
+func (p *Plan) searchAfter(id dataset.SampleID, after Iter) int32 {
+	lo, hi := p.offsets[id], p.offsets[id+1]
+	for lo < hi {
+		mid := int32(uint32(lo+hi) >> 1)
+		if p.flat[mid] > after {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
 }
 
 // NextReuseDistance returns NextUse(id, after) - after, or NoAccess if the
@@ -117,14 +166,14 @@ func (p *Plan) NextReuseDistance(id dataset.SampleID, after Iter) Iter {
 // UsesRemaining returns how many accesses of the sample by this node occur
 // strictly after `after`. This is the reuse count of Section 4.4.
 func (p *Plan) UsesRemaining(id dataset.SampleID, after Iter) int {
-	list := p.accesses[id]
-	i := sort.Search(len(list), func(k int) bool { return list[k] > after })
-	return len(list) - i
+	return int(p.offsets[id+1] - p.searchAfter(id, after))
 }
 
 // AccessesOf returns the full access list of a sample (shared slice; do not
 // modify). Used by tests and the trace tooling.
-func (p *Plan) AccessesOf(id dataset.SampleID) []Iter { return p.accesses[id] }
+func (p *Plan) AccessesOf(id dataset.SampleID) []Iter {
+	return p.flat[p.offsets[id]:p.offsets[id+1]]
+}
 
 // ReuseDistanceHistogram computes the distribution of reuse distances (in
 // iterations) between consecutive accesses of the same sample on this node
@@ -139,7 +188,8 @@ func (p *Plan) ReuseDistanceHistogram(bins int) (*stats.Histogram, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, list := range p.accesses {
+	for id := 0; id < p.numSamples; id++ {
+		list := p.flat[p.offsets[id]:p.offsets[id+1]]
 		for i := 1; i < len(list); i++ {
 			h.Add(float64(list[i] - list[i-1]))
 		}
@@ -152,7 +202,8 @@ func (p *Plan) ReuseDistanceHistogram(bins int) (*stats.Histogram, error) {
 func (p *Plan) MeanReuseDistance() (float64, int) {
 	var sum float64
 	var n int
-	for _, list := range p.accesses {
+	for id := 0; id < p.numSamples; id++ {
+		list := p.flat[p.offsets[id]:p.offsets[id+1]]
 		for i := 1; i < len(list); i++ {
 			sum += float64(list[i] - list[i-1])
 			n++

@@ -1,6 +1,10 @@
 package access
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
 
 // MergePlans combines the future-access plans of several training jobs
 // that share the same node and training data — the paper's "different DNN
@@ -23,9 +27,9 @@ func MergePlans(plans ...*Plan) (*Plan, error) {
 			return nil, fmt.Errorf("access: cannot merge plans with geometry %dx%d vs %dx%d",
 				p.epochs, p.iters, first.epochs, first.iters)
 		}
-		if len(p.accesses) != len(first.accesses) {
+		if p.numSamples != first.numSamples {
 			return nil, fmt.Errorf("access: cannot merge plans over different datasets (%d vs %d samples)",
-				len(p.accesses), len(first.accesses))
+				p.numSamples, first.numSamples)
 		}
 	}
 	merged := &Plan{
@@ -33,32 +37,40 @@ func MergePlans(plans ...*Plan) (*Plan, error) {
 		gpusPerNode: first.gpusPerNode,
 		iters:       first.iters,
 		epochs:      first.epochs,
-		accesses:    make([][]Iter, len(first.accesses)),
+		numSamples:  first.numSamples,
+		offsets:     make([]int32, first.numSamples+1),
 	}
-	for id := range merged.accesses {
-		merged.accesses[id] = mergeSorted(plans, id)
+	var total int32
+	for id := 0; id < merged.numSamples; id++ {
+		merged.offsets[id] = total
+		for _, p := range plans {
+			total += p.offsets[id+1] - p.offsets[id]
+		}
+	}
+	merged.offsets[merged.numSamples] = total
+	merged.flat = make([]Iter, total)
+	idx := make([]int, len(plans))
+	for id := 0; id < merged.numSamples; id++ {
+		mergeSorted(plans, dataset.SampleID(id),
+			merged.flat[merged.offsets[id]:merged.offsets[id+1]], idx)
 	}
 	return merged, nil
 }
 
 // mergeSorted k-way merges the (already ascending) access lists of one
-// sample. Duplicate timestamps (two jobs touching the sample in the same
-// iteration) are kept: they are distinct future uses.
-func mergeSorted(plans []*Plan, id int) []Iter {
-	total := 0
-	for _, p := range plans {
-		total += len(p.accesses[id])
+// sample into out, which has exactly the combined length. Duplicate
+// timestamps (two jobs touching the sample in the same iteration) are
+// kept: they are distinct future uses. idx is caller-provided scratch of
+// len(plans).
+func mergeSorted(plans []*Plan, id dataset.SampleID, out []Iter, idx []int) {
+	for pi := range idx {
+		idx[pi] = 0
 	}
-	if total == 0 {
-		return nil
-	}
-	out := make([]Iter, 0, total)
-	idx := make([]int, len(plans))
-	for len(out) < total {
+	for k := range out {
 		best := -1
 		var bestV Iter
 		for pi, p := range plans {
-			list := p.accesses[id]
+			list := p.AccessesOf(id)
 			if idx[pi] >= len(list) {
 				continue
 			}
@@ -66,8 +78,7 @@ func mergeSorted(plans []*Plan, id int) []Iter {
 				best, bestV = pi, list[idx[pi]]
 			}
 		}
-		out = append(out, bestV)
+		out[k] = bestV
 		idx[best]++
 	}
-	return out
 }

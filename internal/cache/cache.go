@@ -55,8 +55,13 @@ type Policy interface {
 type Cache struct {
 	capacity int64
 	used     int64
-	sizes    map[dataset.SampleID]int64
-	policy   Policy
+	// sizes is indexed by the dense sample id; 0 means "not cached"
+	// (Put validates sizes are positive). A flat slice instead of a map
+	// keeps the membership probe — executed several times per sample
+	// access across Get/Contains/Put — allocation-free and branch-cheap.
+	sizes  []int64
+	count  int
+	policy Policy
 
 	// Statistics.
 	hits      uint64
@@ -82,11 +87,10 @@ func New(capacity int64, policy Policy) (*Cache, error) {
 	}
 	c := &Cache{
 		capacity: capacity,
-		sizes:    make(map[dataset.SampleID]int64),
 		policy:   policy,
 	}
 	c.emit = func(id dataset.SampleID) {
-		if _, ok := c.sizes[id]; !ok {
+		if !c.Contains(id) {
 			return // already gone
 		}
 		c.removeLocked(id)
@@ -106,20 +110,19 @@ func (c *Cache) Used() int64 { return c.used }
 func (c *Cache) Free() int64 { return c.capacity - c.used }
 
 // Len returns the number of cached samples.
-func (c *Cache) Len() int { return len(c.sizes) }
+func (c *Cache) Len() int { return c.count }
 
 // PolicyName returns the eviction policy's name.
 func (c *Cache) PolicyName() string { return c.policy.Name() }
 
 // Contains reports membership without touching policy state or stats.
 func (c *Cache) Contains(id dataset.SampleID) bool {
-	_, ok := c.sizes[id]
-	return ok
+	return uint(id) < uint(len(c.sizes)) && c.sizes[id] != 0
 }
 
 // Get looks up id at iteration now, recording a hit or miss.
 func (c *Cache) Get(id dataset.SampleID, now Iter) bool {
-	if _, ok := c.sizes[id]; ok {
+	if c.Contains(id) {
 		c.hits++
 		c.policy.OnGet(id, now)
 		return true
@@ -140,7 +143,7 @@ func (c *Cache) Put(id dataset.SampleID, size int64, now Iter) (evicted []datase
 	if size <= 0 {
 		panic(fmt.Sprintf("cache: Put sample %d with size %d", id, size))
 	}
-	if _, present := c.sizes[id]; present {
+	if c.Contains(id) {
 		return nil, true
 	}
 	if size > c.capacity {
@@ -160,7 +163,9 @@ func (c *Cache) Put(id dataset.SampleID, size int64, now Iter) (evicted []datase
 		c.evictions++
 		c.scratch = append(c.scratch, victim)
 	}
+	c.sizes = grown(c.sizes, int(id), 0)
 	c.sizes[id] = size
+	c.count++
 	c.used += size
 	c.policy.OnPut(id, now)
 	return c.scratch, true
@@ -169,7 +174,7 @@ func (c *Cache) Put(id dataset.SampleID, size int64, now Iter) (evicted []datase
 // Remove deletes id (e.g. invalidation), returning whether it was present.
 // It does not count as an eviction.
 func (c *Cache) Remove(id dataset.SampleID) bool {
-	if _, ok := c.sizes[id]; !ok {
+	if !c.Contains(id) {
 		return false
 	}
 	c.removeLocked(id)
@@ -191,12 +196,12 @@ func (c *Cache) drainExpired(now Iter) {
 }
 
 func (c *Cache) removeLocked(id dataset.SampleID) {
-	size, ok := c.sizes[id]
-	if !ok {
+	if !c.Contains(id) {
 		panic(fmt.Sprintf("cache: internal remove of absent sample %d", id))
 	}
-	delete(c.sizes, id)
-	c.used -= size
+	c.used -= c.sizes[id]
+	c.sizes[id] = 0
+	c.count--
 	c.policy.OnRemove(id)
 }
 

@@ -1,8 +1,6 @@
 package cache
 
 import (
-	"container/list"
-
 	"repro/internal/dataset"
 )
 
@@ -12,17 +10,15 @@ import (
 // eviction logic of their own.
 type lruPolicy struct {
 	name       string
-	order      *list.List // front = most recent
-	entries    map[dataset.SampleID]*list.Element
-	touchOnGet bool // false turns this into FIFO
+	order      *denseList // front = most recent
+	touchOnGet bool       // false turns this into FIFO
 }
 
 // NewLRU returns a least-recently-used policy.
 func NewLRU() Policy {
 	return &lruPolicy{
 		name:       "lru",
-		order:      list.New(),
-		entries:    make(map[dataset.SampleID]*list.Element),
+		order:      newDenseList(),
 		touchOnGet: true,
 	}
 }
@@ -31,44 +27,38 @@ func NewLRU() Policy {
 // hits) — a common low-cost baseline.
 func NewFIFO() Policy {
 	return &lruPolicy{
-		name:    "fifo",
-		order:   list.New(),
-		entries: make(map[dataset.SampleID]*list.Element),
+		name:  "fifo",
+		order: newDenseList(),
 	}
 }
 
 func (p *lruPolicy) Name() string { return p.name }
 
 func (p *lruPolicy) OnPut(id dataset.SampleID, _ Iter) {
-	if e, ok := p.entries[id]; ok {
-		p.order.MoveToFront(e)
+	if p.order.contains(id) {
+		p.order.moveToFront(id)
 		return
 	}
-	p.entries[id] = p.order.PushFront(id)
+	p.order.pushFront(id)
 }
 
 func (p *lruPolicy) OnGet(id dataset.SampleID, _ Iter) {
 	if !p.touchOnGet {
 		return
 	}
-	if e, ok := p.entries[id]; ok {
-		p.order.MoveToFront(e)
+	if p.order.contains(id) {
+		p.order.moveToFront(id)
 	}
 }
 
 func (p *lruPolicy) OnRemove(id dataset.SampleID) {
-	if e, ok := p.entries[id]; ok {
-		p.order.Remove(e)
-		delete(p.entries, id)
+	if p.order.contains(id) {
+		p.order.remove(id)
 	}
 }
 
 func (p *lruPolicy) Victim(_ Iter, _ dataset.SampleID) (dataset.SampleID, bool) {
-	back := p.order.Back()
-	if back == nil {
-		return NoSample, false
-	}
-	return back.Value.(dataset.SampleID), true
+	return p.order.back()
 }
 
 func (p *lruPolicy) DrainExpired(_ Iter, _ func(dataset.SampleID)) {}

@@ -1,8 +1,6 @@
 package cache
 
 import (
-	"container/list"
-
 	"repro/internal/dataset"
 )
 
@@ -19,27 +17,24 @@ import (
 // Section 5.5. Segmented LRU converges instead to a stable protected set
 // of roughly the cache size that hits every epoch — reproducing the
 // page-cache behaviour the paper's baselines actually enjoy.
+//
+// Both segments are denseLists: an id is in at most one of the two, and
+// membership doubles as the "which segment" bit, so no per-entry node or
+// map is needed.
 type pageCache struct {
-	probation *list.List // front = most recent
-	protected *list.List
-	entries   map[dataset.SampleID]*pcEntry
+	probation *denseList // front = most recent
+	protected *denseList
 	// protectedShare is protected's maximum fraction of total entries,
 	// in eighths (e.g. 6 => 6/8 = 75%).
 	protectedShareEighths int
-}
-
-type pcEntry struct {
-	elem      *list.Element
-	protected bool
 }
 
 // NewPageCache returns the segmented-LRU page-cache model with the Linux
 // default-ish 75% protected share.
 func NewPageCache() Policy {
 	return &pageCache{
-		probation:             list.New(),
-		protected:             list.New(),
-		entries:               make(map[dataset.SampleID]*pcEntry),
+		probation:             newDenseList(),
+		protected:             newDenseList(),
 		protectedShareEighths: 6,
 	}
 }
@@ -47,54 +42,45 @@ func NewPageCache() Policy {
 func (p *pageCache) Name() string { return "page-cache" }
 
 func (p *pageCache) OnPut(id dataset.SampleID, _ Iter) {
-	if e, ok := p.entries[id]; ok {
-		p.touch(id, e)
+	if p.probation.contains(id) || p.protected.contains(id) {
+		p.touch(id)
 		return
 	}
-	p.entries[id] = &pcEntry{elem: p.probation.PushFront(id)}
+	p.probation.pushFront(id)
 }
 
 func (p *pageCache) OnGet(id dataset.SampleID, _ Iter) {
-	if e, ok := p.entries[id]; ok {
-		p.touch(id, e)
+	if p.probation.contains(id) || p.protected.contains(id) {
+		p.touch(id)
 	}
 }
 
 // touch promotes on re-reference, keeping the protected share bounded.
-func (p *pageCache) touch(id dataset.SampleID, e *pcEntry) {
-	if e.protected {
-		p.protected.MoveToFront(e.elem)
+func (p *pageCache) touch(id dataset.SampleID) {
+	if p.protected.contains(id) {
+		p.protected.moveToFront(id)
 		return
 	}
-	p.probation.Remove(e.elem)
-	e.elem = p.protected.PushFront(id)
-	e.protected = true
+	p.probation.remove(id)
+	p.protected.pushFront(id)
 	// Re-balance: protected must not exceed its share of all entries.
-	total := len(p.entries)
-	for p.protected.Len()*8 > total*p.protectedShareEighths {
-		tail := p.protected.Back()
-		if tail == nil {
+	total := p.probation.len() + p.protected.len()
+	for p.protected.len()*8 > total*p.protectedShareEighths {
+		tid, ok := p.protected.back()
+		if !ok {
 			break
 		}
-		tid := tail.Value.(dataset.SampleID)
-		te := p.entries[tid]
-		p.protected.Remove(tail)
-		te.elem = p.probation.PushFront(tid)
-		te.protected = false
+		p.protected.remove(tid)
+		p.probation.pushFront(tid)
 	}
 }
 
 func (p *pageCache) OnRemove(id dataset.SampleID) {
-	e, ok := p.entries[id]
-	if !ok {
-		return
+	if p.protected.contains(id) {
+		p.protected.remove(id)
+	} else if p.probation.contains(id) {
+		p.probation.remove(id)
 	}
-	if e.protected {
-		p.protected.Remove(e.elem)
-	} else {
-		p.probation.Remove(e.elem)
-	}
-	delete(p.entries, id)
 }
 
 // Victim evicts the oldest probationary entry; protected entries are
@@ -105,13 +91,10 @@ func (p *pageCache) OnRemove(id dataset.SampleID) {
 // converges to a stable set of about the cache size that hits once per
 // epoch.
 func (p *pageCache) Victim(_ Iter, _ dataset.SampleID) (dataset.SampleID, bool) {
-	if tail := p.probation.Back(); tail != nil {
-		return tail.Value.(dataset.SampleID), true
+	if tid, ok := p.probation.back(); ok {
+		return tid, true
 	}
-	if tail := p.protected.Back(); tail != nil {
-		return tail.Value.(dataset.SampleID), true
-	}
-	return NoSample, false
+	return p.protected.back()
 }
 
 func (p *pageCache) DrainExpired(_ Iter, _ func(dataset.SampleID)) {}

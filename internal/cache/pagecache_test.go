@@ -101,7 +101,7 @@ func TestPageCacheDuplicatePutTouches(t *testing.T) {
 	p.OnPut(1, 0)
 	p.OnPut(2, 1)
 	p.OnPut(1, 2) // duplicate: acts as a reference -> promotion
-	if e := p.entries[1]; !e.protected {
+	if !p.protected.contains(1) {
 		t.Fatal("duplicate OnPut did not promote")
 	}
 }

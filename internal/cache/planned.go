@@ -1,8 +1,6 @@
 package cache
 
 import (
-	"container/heap"
-
 	"repro/internal/dataset"
 )
 
@@ -25,26 +23,13 @@ type Oracle interface {
 	IterationsPerEpoch() int
 }
 
-// nextUseHeap is a lazy max-heap of (id, nextUse) pairs. Stale entries
-// (older versions of an id, or removed ids) are skipped at pop time.
+// heapEntry is one (id, nextUse, version) record in the lazy max-heap.
+// Stale entries (older versions of an id, or removed ids) are skipped at
+// pop time.
 type heapEntry struct {
 	id  dataset.SampleID
 	key Iter
 	ver uint32
-}
-
-type nextUseHeap []heapEntry
-
-func (h nextUseHeap) Len() int           { return len(h) }
-func (h nextUseHeap) Less(i, j int) bool { return h[i].key > h[j].key } // max-heap
-func (h nextUseHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *nextUseHeap) Push(x any)        { *h = append(*h, x.(heapEntry)) }
-func (h *nextUseHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
 }
 
 // plannedPolicy is the clairvoyant machinery shared by Belady and Lobster:
@@ -52,18 +37,24 @@ func (h *nextUseHeap) Pop() any {
 // and can evict the sample whose next use is farthest away, refusing to
 // evict anything needed sooner than the incoming sample (the "prioritize
 // the prefetches with the nearest reuse distance" rule).
+//
+// All per-sample state is slice-indexed by the dense id — vers[id] == 0
+// means "not cached" and live versions start at 1 — and the max-heap is
+// hand-rolled over []heapEntry, so the one-push-per-access hot path does
+// not allocate (container/heap's any-boxed Push was the top allocation
+// site of a simulated iteration).
 type plannedPolicy struct {
 	name   string
 	oracle Oracle
-	h      nextUseHeap
-	vers   map[dataset.SampleID]uint32
+	h      []heapEntry
+	vers   []uint32 // per dense id; 0 = absent, live versions start at 1
 
 	// Lobster-specific features, disabled for plain Belady.
 	reuseCountRule    bool
 	reuseDistanceRule bool
 	isLastCopy        func(dataset.SampleID) bool
 	expired           []dataset.SampleID
-	expiredSet        map[dataset.SampleID]bool
+	expiredSet        []bool // per dense id
 }
 
 // NewBelady returns the clairvoyant OPT policy: evict the cached sample
@@ -73,7 +64,6 @@ func NewBelady(oracle Oracle) Policy {
 	return &plannedPolicy{
 		name:   "belady",
 		oracle: oracle,
-		vers:   make(map[dataset.SampleID]uint32),
 	}
 }
 
@@ -96,11 +86,9 @@ func NewLobster(oracle Oracle, opts LobsterOptions) Policy {
 	return &plannedPolicy{
 		name:              "lobster",
 		oracle:            oracle,
-		vers:              make(map[dataset.SampleID]uint32),
 		reuseCountRule:    !opts.DisableReuseCount,
 		reuseDistanceRule: !opts.DisableReuseDistance,
 		isLastCopy:        opts.IsLastCopy,
-		expiredSet:        make(map[dataset.SampleID]bool),
 	}
 }
 
@@ -112,9 +100,51 @@ func (p *plannedPolicy) push(id dataset.SampleID, now Iter) {
 	if next == NoAccess {
 		key = farFuture
 	}
+	if int(id) >= len(p.vers) {
+		p.vers = grown(p.vers, int(id), 0)
+		p.expiredSet = grown(p.expiredSet, int(id), false)
+	}
 	v := p.vers[id] + 1
 	p.vers[id] = v
-	heap.Push(&p.h, heapEntry{id: id, key: key, ver: v})
+	p.heapPush(heapEntry{id: id, key: key, ver: v})
+}
+
+// heapPush and heapPop implement the standard binary max-heap sift (the
+// same comparison and child-selection order as container/heap with
+// Less(i,j) = key_i > key_j), minus the interface boxing.
+
+func (p *plannedPolicy) heapPush(e heapEntry) {
+	p.h = append(p.h, e)
+	j := len(p.h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if p.h[i].key >= p.h[j].key {
+			break
+		}
+		p.h[i], p.h[j] = p.h[j], p.h[i]
+		j = i
+	}
+}
+
+func (p *plannedPolicy) heapPop() {
+	n := len(p.h) - 1
+	p.h[0], p.h[n] = p.h[n], p.h[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && p.h[j2].key > p.h[j].key {
+			j = j2
+		}
+		if p.h[j].key <= p.h[i].key {
+			break
+		}
+		p.h[i], p.h[j] = p.h[j], p.h[i]
+		i = j
+	}
+	p.h = p.h[:n]
 }
 
 func (p *plannedPolicy) OnPut(id dataset.SampleID, now Iter) {
@@ -131,7 +161,8 @@ func (p *plannedPolicy) OnGet(id dataset.SampleID, now Iter) {
 
 // applyRules queues proactive evictions per the Lobster sub-policies.
 // Checks run when a sample is touched — the only moments its future
-// changes — so the cost is O(1) per access.
+// changes — so the cost is O(1) per access. push has already grown the
+// per-id slices to cover id.
 func (p *plannedPolicy) applyRules(id dataset.SampleID, now Iter) {
 	if !p.reuseCountRule && !p.reuseDistanceRule {
 		return
@@ -166,8 +197,10 @@ func (p *plannedPolicy) applyRules(id dataset.SampleID, now Iter) {
 }
 
 func (p *plannedPolicy) OnRemove(id dataset.SampleID) {
-	delete(p.vers, id)
-	delete(p.expiredSet, id)
+	if int(id) < len(p.vers) {
+		p.vers[id] = 0
+		p.expiredSet[id] = false
+	}
 	// Heap entries become stale and are skipped lazily.
 }
 
@@ -193,12 +226,12 @@ func (p *plannedPolicy) Victim(now Iter, incoming dataset.SampleID) (dataset.Sam
 // peek returns the live max entry without removing it, discarding stale
 // heap entries on the way.
 func (p *plannedPolicy) peek() (heapEntry, bool) {
-	for p.h.Len() > 0 {
+	for len(p.h) > 0 {
 		top := p.h[0]
-		if v, ok := p.vers[top.id]; ok && v == top.ver {
+		if v := p.vers[top.id]; v != 0 && v == top.ver {
 			return top, true
 		}
-		heap.Pop(&p.h) // stale
+		p.heapPop() // stale
 	}
 	return heapEntry{}, false
 }
@@ -222,15 +255,14 @@ type nopfsPolicy struct {
 	lru        *lruPolicy
 	oracle     Oracle
 	expired    []dataset.SampleID
-	expiredSet map[dataset.SampleID]bool
+	expiredSet []bool // per dense id
 }
 
 // NewNoPFS returns the NoPFS-style eviction policy.
 func NewNoPFS(oracle Oracle) Policy {
 	return &nopfsPolicy{
-		lru:        NewLRU().(*lruPolicy),
-		oracle:     oracle,
-		expiredSet: make(map[dataset.SampleID]bool),
+		lru:    NewLRU().(*lruPolicy),
+		oracle: oracle,
 	}
 }
 
@@ -247,6 +279,9 @@ func (p *nopfsPolicy) OnGet(id dataset.SampleID, now Iter) {
 }
 
 func (p *nopfsPolicy) check(id dataset.SampleID, now Iter) {
+	if int(id) >= len(p.expiredSet) {
+		p.expiredSet = grown(p.expiredSet, int(id), false)
+	}
 	if !p.expiredSet[id] && p.oracle.UsesRemaining(id, now) == 0 {
 		p.expiredSet[id] = true
 		p.expired = append(p.expired, id)
@@ -255,7 +290,9 @@ func (p *nopfsPolicy) check(id dataset.SampleID, now Iter) {
 
 func (p *nopfsPolicy) OnRemove(id dataset.SampleID) {
 	p.lru.OnRemove(id)
-	delete(p.expiredSet, id)
+	if int(id) < len(p.expiredSet) {
+		p.expiredSet[id] = false
+	}
 }
 
 func (p *nopfsPolicy) Victim(now Iter, incoming dataset.SampleID) (dataset.SampleID, bool) {

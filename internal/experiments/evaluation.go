@@ -28,15 +28,14 @@ func Fig09Accuracy() Experiment {
 			top := topology(8, ds, CacheRatio1K/8)
 			rep := &Report{ID: "fig09", Title: "Accuracy curves (Fig. 9)"}
 
-			base, err := trainsim.Run(baseConfig(p, top, ds, resnet50(),
-				loader.PyTorch(top.GPUsPerNode, top.CPUThreads)))
+			campaigns, err := runAllTrain(p, []pipeline.Config{
+				baseConfig(p, top, ds, resnet50(), loader.PyTorch(top.GPUsPerNode, top.CPUThreads)),
+				baseConfig(p, top, ds, resnet50(), loader.Lobster()),
+			})
 			if err != nil {
 				return nil, err
 			}
-			lob, err := trainsim.Run(baseConfig(p, top, ds, resnet50(), loader.Lobster()))
-			if err != nil {
-				return nil, err
-			}
+			base, lob := campaigns[0], campaigns[1]
 			rep.Printf("%6s %12s %12s %14s %14s", "epoch", "acc(pyt)", "acc(lob)", "t(pyt,s)", "t(lob,s)")
 			step := len(base.Curve)/10 + 1
 			for e := 0; e < len(base.Curve); e += step {
@@ -97,12 +96,17 @@ func TabHitRatio() Experiment {
 			paper := map[string]float64{"pytorch": 24.5, "dali": 32.6, "nopfs": 48.9, "lobster": 63.2}
 			rep.Printf("%-12s %12s %12s", "strategy", "hit%(ours)", "hit%(paper)")
 			var lobster, nopfs float64
-			for _, spec := range strategies(top) {
-				res, err := pipeline.Run(baseConfig(p, top, ds, resnet50(), spec))
-				if err != nil {
-					return nil, err
-				}
-				hr := res.Metrics.HitRatio() * 100
+			specs := strategies(top)
+			var cfgs []pipeline.Config
+			for _, spec := range specs {
+				cfgs = append(cfgs, baseConfig(p, top, ds, resnet50(), spec))
+			}
+			results, err := runAll(p, cfgs)
+			if err != nil {
+				return nil, err
+			}
+			for si, spec := range specs {
+				hr := results[si].Metrics.HitRatio() * 100
 				rep.Printf("%-12s %12.1f %12.1f", spec.Name, hr, paper[spec.Name])
 				rep.Set("hit_"+spec.Name, hr/100)
 				switch spec.Name {
@@ -140,14 +144,20 @@ func Fig10GPUUtil() Experiment {
 				specs[0].Name, specs[1].Name, specs[2].Name, specs[3].Name)
 			sums := make([]float64, len(specs))
 			models := benchModels()
+			var cfgs []pipeline.Config
 			for _, m := range models {
+				for _, spec := range specs {
+					cfgs = append(cfgs, baseConfig(p, top, ds, m, spec))
+				}
+			}
+			results, err := runAll(p, cfgs)
+			if err != nil {
+				return nil, err
+			}
+			for mi, m := range models {
 				row := fmt.Sprintf("%-12s", m.Name)
 				for i, spec := range specs {
-					res, err := pipeline.Run(baseConfig(p, top, ds, m, spec))
-					if err != nil {
-						return nil, err
-					}
-					u := res.Metrics.GPUUtilization()
+					u := results[mi*len(specs)+i].Metrics.GPUUtilization()
 					sums[i] += u
 					row += fmt.Sprintf(" %9.1f%%", u*100)
 					rep.Set(fmt.Sprintf("util_%s_%s", m.Name, spec.Name), u)
@@ -192,17 +202,24 @@ func Fig11Ablation() Experiment {
 			rep.Printf("%-12s %12s %14s %10s", "model", "lobster_th", "lobster_evict", "lobster")
 			sums := make([]float64, len(variants))
 			models := benchModels()
+			// Per model: the DALI baseline plus each variant (stride 1+len(variants)).
+			var cfgs []pipeline.Config
 			for _, m := range models {
-				base, err := pipeline.Run(baseConfig(p, top, ds, m, loader.DALI(top.CPUThreads)))
-				if err != nil {
-					return nil, err
+				cfgs = append(cfgs, baseConfig(p, top, ds, m, loader.DALI(top.CPUThreads)))
+				for _, v := range variants {
+					cfgs = append(cfgs, baseConfig(p, top, ds, m, v))
 				}
+			}
+			results, err := runAll(p, cfgs)
+			if err != nil {
+				return nil, err
+			}
+			stride := 1 + len(variants)
+			for mi, m := range models {
+				base := results[mi*stride]
 				row := fmt.Sprintf("%-12s", m.Name)
 				for i, v := range variants {
-					res, err := pipeline.Run(baseConfig(p, top, ds, m, v))
-					if err != nil {
-						return nil, err
-					}
+					res := results[mi*stride+1+i]
 					sp := base.Metrics.TotalTime / res.Metrics.TotalTime
 					sums[i] += sp
 					row += fmt.Sprintf(" %12.2fx", sp)

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"repro/internal/dataset"
+	"repro/internal/par"
 )
 
 // Params control an experiment run.
@@ -22,6 +23,12 @@ type Params struct {
 	Epochs int
 	// Seed is the base seed for schedules and noise.
 	Seed uint64
+	// Pool, when non-nil, fans independent simulation campaigns within an
+	// experiment out across its workers (nil = serial). Every campaign is
+	// seeded independently and results are slotted by campaign index, so
+	// a report is byte-identical for any pool width — parallelism changes
+	// wall time only, never a reported number.
+	Pool *par.Pool
 }
 
 func (p Params) withDefaults() Params {

@@ -30,17 +30,19 @@ func ExtCacheSweep() Experiment {
 			rep := &Report{ID: "ext-cachesweep", Title: "Cache-size sensitivity (extension)"}
 			fractions := []float64{0.05, 0.15, 0.30, 0.50, 0.80}
 			rep.Printf("%8s %14s %14s %12s %12s", "cache%", "pytorch(s)", "lobster(s)", "speedup", "lob hit%")
+			var cfgs []pipeline.Config
 			for _, frac := range fractions {
 				top := topology(1, ds, frac)
-				base, err := pipeline.Run(baseConfig(p, top, ds, resnet50(),
-					loader.PyTorch(top.GPUsPerNode, top.CPUThreads)))
-				if err != nil {
-					return nil, err
-				}
-				lob, err := pipeline.Run(baseConfig(p, top, ds, resnet50(), loader.Lobster()))
-				if err != nil {
-					return nil, err
-				}
+				cfgs = append(cfgs,
+					baseConfig(p, top, ds, resnet50(), loader.PyTorch(top.GPUsPerNode, top.CPUThreads)),
+					baseConfig(p, top, ds, resnet50(), loader.Lobster()))
+			}
+			results, err := runAll(p, cfgs)
+			if err != nil {
+				return nil, err
+			}
+			for fi, frac := range fractions {
+				base, lob := results[2*fi], results[2*fi+1]
 				sp := base.Metrics.TotalTime / lob.Metrics.TotalTime
 				rep.Printf("%8.0f %14.2f %14.2f %12.2f %12.1f", frac*100,
 					base.Metrics.TotalTime, lob.Metrics.TotalTime, sp,
@@ -71,8 +73,7 @@ func ExtPolicyZoo() Experiment {
 			top := topology(1, ds, CacheRatio1K)
 			rep := &Report{ID: "ext-policyzoo", Title: "Eviction policy zoo (extension)"}
 			rep.Printf("%-12s %10s %12s %10s", "policy", "hit%", "time(s)", "speedup")
-			var baseTime float64
-			for _, pk := range []struct {
+			policies := []struct {
 				name string
 				kind loader.PolicyKind
 			}{
@@ -84,17 +85,21 @@ func ExtPolicyZoo() Experiment {
 				{"nopfs", loader.PolicyNoPFS},
 				{"lobster", loader.PolicyLobster},
 				{"belady", loader.PolicyBelady},
-			} {
+			}
+			var cfgs []pipeline.Config
+			for _, pk := range policies {
 				spec := loader.Lobster()
 				spec.Name = "lobster+" + pk.name
 				spec.Policy = pk.kind
-				res, err := pipeline.Run(baseConfig(p, top, ds, resnet50(), spec))
-				if err != nil {
-					return nil, err
-				}
-				if baseTime == 0 {
-					baseTime = res.Metrics.TotalTime
-				}
+				cfgs = append(cfgs, baseConfig(p, top, ds, resnet50(), spec))
+			}
+			results, err := runAll(p, cfgs)
+			if err != nil {
+				return nil, err
+			}
+			baseTime := results[0].Metrics.TotalTime
+			for pi, pk := range policies {
+				res := results[pi]
 				rep.Printf("%-12s %10.1f %12.2f %10.2f", pk.name,
 					res.Metrics.HitRatio()*100, res.Metrics.TotalTime,
 					baseTime/res.Metrics.TotalTime)
@@ -132,13 +137,18 @@ func ExtTimeToAccuracy() Experiment {
 			rep.Printf("target accuracy: %.4f (reached at epoch %d of %d)",
 				target, len(probe)*6/10, p.epochs())
 			rep.Printf("%-12s %16s %12s", "strategy", "time-to-acc(s)", "vs pytorch")
+			specs := strategies(top)
+			var cfgs []pipeline.Config
+			for _, spec := range specs {
+				cfgs = append(cfgs, baseConfig(p, top, ds, model, spec))
+			}
+			campaigns, err := runAllTrain(p, cfgs)
+			if err != nil {
+				return nil, err
+			}
 			var base float64
-			for _, spec := range strategies(top) {
-				c, err := trainsim.Run(baseConfig(p, top, ds, model, spec))
-				if err != nil {
-					return nil, err
-				}
-				tta := c.TimeToAccuracy(target)
+			for si, spec := range specs {
+				tta := campaigns[si].TimeToAccuracy(target)
 				if tta < 0 {
 					return nil, fmt.Errorf("ext-tta: %s never reached %.4f", spec.Name, target)
 				}

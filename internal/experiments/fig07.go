@@ -11,15 +11,21 @@ import (
 )
 
 // runComparison executes all four loaders on one workload and renders the
-// Fig. 7-style speedup table (PyTorch = 1.0).
+// Fig. 7-style speedup table (PyTorch = 1.0). The four campaigns are
+// independent and fan out over p.Pool; the table is rendered afterwards
+// from the index-ordered results.
 func runComparison(rep *Report, p Params, top cluster.Topology, ds *dataset.Dataset, prefix string) error {
-	var runs []*metrics.Run
+	var cfgs []pipeline.Config
 	for _, spec := range strategies(top) {
-		res, err := pipeline.Run(baseConfig(p, top, ds, resnet50(), spec))
-		if err != nil {
-			return err
-		}
-		runs = append(runs, res.Metrics)
+		cfgs = append(cfgs, baseConfig(p, top, ds, resnet50(), spec))
+	}
+	results, err := runAll(p, cfgs)
+	if err != nil {
+		return err
+	}
+	runs := make([]*metrics.Run, len(results))
+	for i, res := range results {
+		runs[i] = res.Metrics
 	}
 	rep.Lines = append(rep.Lines, splitLines(metrics.Table(runs))...)
 	base := runs[0]
@@ -122,19 +128,22 @@ func Fig07dScalability() Experiment {
 			}
 			rep := &Report{ID: "fig07d", Title: "Scalability (Fig. 7d)"}
 			rep.Printf("%6s %12s %12s %9s", "nodes", "pytorch(s)", "lobster(s)", "speedup")
+			nodeCounts := []int{1, 2, 4, 8}
+			var cfgs []pipeline.Config
+			for _, nodes := range nodeCounts {
+				top := topology(nodes, ds, CacheRatio22K)
+				cfgs = append(cfgs,
+					baseConfig(p, top, ds, resnet50(), loader.PyTorch(top.GPUsPerNode, top.CPUThreads)),
+					baseConfig(p, top, ds, resnet50(), loader.Lobster()))
+			}
+			results, err := runAll(p, cfgs)
+			if err != nil {
+				return nil, err
+			}
 			sum, count := 0.0, 0
 			maxSp := 0.0
-			for _, nodes := range []int{1, 2, 4, 8} {
-				top := topology(nodes, ds, CacheRatio22K)
-				base, err := pipeline.Run(baseConfig(p, top, ds, resnet50(),
-					loader.PyTorch(top.GPUsPerNode, top.CPUThreads)))
-				if err != nil {
-					return nil, err
-				}
-				lob, err := pipeline.Run(baseConfig(p, top, ds, resnet50(), loader.Lobster()))
-				if err != nil {
-					return nil, err
-				}
+			for i, nodes := range nodeCounts {
+				base, lob := results[2*i], results[2*i+1]
 				sp := base.Metrics.TotalTime / lob.Metrics.TotalTime
 				rep.Printf("%6d %12.2f %12.2f %9.2f", nodes,
 					base.Metrics.TotalTime, lob.Metrics.TotalTime, sp)

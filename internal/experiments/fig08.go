@@ -13,14 +13,18 @@ import (
 // per-epoch count) of iterations with load imbalance — the Fig. 8(a)/(b)
 // measurement.
 func runImbalance(rep *Report, p Params, top cluster.Topology, ds *dataset.Dataset) error {
-	var runs []*metrics.Run
-	var itersPerEpoch int
+	var cfgs []pipeline.Config
 	for _, spec := range strategies(top) {
-		res, err := pipeline.Run(baseConfig(p, top, ds, resnet50(), spec))
-		if err != nil {
-			return err
-		}
-		runs = append(runs, res.Metrics)
+		cfgs = append(cfgs, baseConfig(p, top, ds, resnet50(), spec))
+	}
+	results, err := runAll(p, cfgs)
+	if err != nil {
+		return err
+	}
+	runs := make([]*metrics.Run, len(results))
+	var itersPerEpoch int
+	for i, res := range results {
+		runs[i] = res.Metrics
 		itersPerEpoch = res.IterationsPerEpoch
 	}
 	rep.Printf("%-12s %10s %14s %16s", "strategy", "imbal%", "imbal/epoch", "reduction(pp)")
@@ -101,12 +105,17 @@ func Fig08cBatchTime() Experiment {
 			rep := &Report{ID: "fig08c", Title: "Batch time distribution (Fig. 8c)"}
 			rep.Printf("%-12s %9s %9s %9s %9s %9s %8s", "strategy",
 				"mean(ms)", "p50(ms)", "p95(ms)", "p99(ms)", "std(ms)", "CV")
-			for _, spec := range strategies(top) {
-				res, err := pipeline.Run(baseConfig(p, top, ds, resnet50(), spec))
-				if err != nil {
-					return nil, err
-				}
-				bt := res.Metrics.BatchTimes
+			specs := strategies(top)
+			var cfgs []pipeline.Config
+			for _, spec := range specs {
+				cfgs = append(cfgs, baseConfig(p, top, ds, resnet50(), spec))
+			}
+			results, err := runAll(p, cfgs)
+			if err != nil {
+				return nil, err
+			}
+			for si, spec := range specs {
+				bt := results[si].Metrics.BatchTimes
 				rep.Printf("%-12s %9.1f %9.1f %9.1f %9.1f %9.1f %8.3f", spec.Name,
 					bt.Mean()*1000, bt.Median()*1000, bt.Percentile(95)*1000,
 					bt.Percentile(99)*1000, bt.StdDev()*1000, bt.CoefVar())

@@ -167,7 +167,7 @@ func Fig06PreprocThreads() Experiment {
 
 			// Per-sample time predictions from the fitted portfolio (the
 			// planner-side view of the same curve).
-			portfolio, err := perfmodel.FitPortfolio([]int64{105 << 10}, 16, 6,
+			portfolio, err := perfmodel.FitPortfolio(p.Pool, []int64{105 << 10}, 16, 6,
 				func(size int64, threads int) float64 { return model.Time(size, threads) })
 			if err != nil {
 				return nil, err

@@ -1,0 +1,163 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNilPoolRunsSerially(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool workers = %d, want 1", p.Workers())
+	}
+	var order []int
+	err := p.ForEach(5, func(i int) error {
+		order = append(order, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order %v, want ascending", order)
+		}
+	}
+}
+
+func TestMapSlotsResultsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := NewPool(workers)
+		got, err := Map(p, 64, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestLowestIndexErrorWins(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers)
+		err := p.ForEach(16, func(i int) error {
+			if i == 3 || i == 11 {
+				return fmt.Errorf("item %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 3" {
+			t.Fatalf("workers=%d: err = %v, want item 3", workers, err)
+		}
+	}
+}
+
+func TestAllItemsRunDespiteErrors(t *testing.T) {
+	p := NewPool(4)
+	var ran atomic.Int64
+	err := p.ForEach(32, func(i int) error {
+		ran.Add(1)
+		return errors.New("x")
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := ran.Load(); got != 32 {
+		t.Fatalf("ran %d items, want all 32", got)
+	}
+}
+
+// TestBoundedConcurrency verifies the pool's W bound holds across nested
+// fan-outs sharing it: the caller always participates and extras only run
+// on spare tokens, so active item executions never exceed W.
+func TestBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	var active, peak atomic.Int64
+	body := func() {
+		a := active.Add(1)
+		for {
+			cur := peak.Load()
+			if a <= cur || peak.CompareAndSwap(cur, a) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		active.Add(-1)
+	}
+	err := p.ForEach(6, func(i int) error {
+		// Nested fan-out through the same pool.
+		return p.ForEach(4, func(j int) error {
+			body()
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > workers {
+		t.Fatalf("peak concurrency %d exceeds pool bound %d", got, workers)
+	}
+}
+
+// TestNestedFanOutCompletes would deadlock if fan-outs queued for tokens
+// instead of degrading to caller-only execution.
+func TestNestedFanOutCompletes(t *testing.T) {
+	p := NewPool(2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = p.ForEach(8, func(i int) error {
+			return p.ForEach(8, func(j int) error {
+				return p.ForEach(2, func(k int) error { return nil })
+			})
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("nested fan-out did not complete")
+	}
+}
+
+// TestTokensReturned checks the pool recovers its full width after heavy
+// use: a later wide fan-out can still recruit extras.
+func TestTokensReturned(t *testing.T) {
+	p := NewPool(4)
+	for round := 0; round < 50; round++ {
+		if err := p.ForEach(9, func(i int) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(p.spare); got != p.workers-1 {
+		t.Fatalf("spare tokens after drain = %d, want %d", got, p.workers-1)
+	}
+}
+
+// TestResultVisibility exercises the happens-before edge from item
+// completion to ForEach return under the race detector.
+func TestResultVisibility(t *testing.T) {
+	p := NewPool(8)
+	results := make([]int, 128)
+	var mu sync.Mutex // not needed for distinct indices; guards the check below
+	if err := p.ForEach(128, func(i int) error {
+		results[i] = i + 1
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range results {
+		if v != i+1 {
+			t.Fatalf("results[%d] = %d not visible", i, v)
+		}
+	}
+}

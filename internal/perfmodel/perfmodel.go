@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/par"
 	"repro/internal/stats"
 	"repro/internal/tier"
 )
@@ -176,7 +177,12 @@ type PreprocPortfolio struct {
 // fitting a piecewise-linear model with the given segment count per size.
 // The measure callback returns seconds per sample of `size` bytes when
 // preprocessing runs with `threads` threads.
-func FitPortfolio(sizes []int64, maxThreads, segments int,
+//
+// The per-size fits are independent, so they fan out over pool (nil =
+// serial); measure must then be safe for concurrent calls. Models are
+// slotted by size index, so the fitted portfolio is identical for any
+// pool width.
+func FitPortfolio(pool *par.Pool, sizes []int64, maxThreads, segments int,
 	measure func(size int64, threads int) float64) (*PreprocPortfolio, error) {
 	if len(sizes) == 0 {
 		return nil, fmt.Errorf("perfmodel: no sizes to fit")
@@ -190,10 +196,10 @@ func FitPortfolio(sizes []int64, maxThreads, segments int,
 		}
 	}
 	p := &PreprocPortfolio{sizes: append([]int64(nil), sizes...)}
-	xs := make([]float64, 0, maxThreads)
-	ys := make([]float64, 0, maxThreads)
-	for _, size := range sizes {
-		xs, ys = xs[:0], ys[:0]
+	models, err := par.Map(pool, len(sizes), func(i int) (*stats.PiecewiseLinear, error) {
+		size := sizes[i]
+		xs := make([]float64, 0, maxThreads)
+		ys := make([]float64, 0, maxThreads)
 		for n := 1; n <= maxThreads; n++ {
 			xs = append(xs, float64(n))
 			ys = append(ys, measure(size, n))
@@ -202,8 +208,12 @@ func FitPortfolio(sizes []int64, maxThreads, segments int,
 		if err != nil {
 			return nil, fmt.Errorf("perfmodel: fitting size %d: %w", size, err)
 		}
-		p.models = append(p.models, m)
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	p.models = models
 	return p, nil
 }
 

@@ -160,20 +160,20 @@ func modelMeasure(size int64, threads int) float64 {
 }
 
 func TestFitPortfolioValidation(t *testing.T) {
-	if _, err := FitPortfolio(nil, 8, 3, modelMeasure); err == nil {
+	if _, err := FitPortfolio(nil, nil, 8, 3, modelMeasure); err == nil {
 		t.Error("empty sizes accepted")
 	}
-	if _, err := FitPortfolio([]int64{100}, 1, 3, modelMeasure); err == nil {
+	if _, err := FitPortfolio(nil, []int64{100}, 1, 3, modelMeasure); err == nil {
 		t.Error("maxThreads 1 accepted")
 	}
-	if _, err := FitPortfolio([]int64{100, 100}, 8, 3, modelMeasure); err == nil {
+	if _, err := FitPortfolio(nil, []int64{100, 100}, 8, 3, modelMeasure); err == nil {
 		t.Error("non-ascending sizes accepted")
 	}
 }
 
 func TestPortfolioPredictions(t *testing.T) {
 	sizes := []int64{32 << 10, 105 << 10, 512 << 10}
-	p, err := FitPortfolio(sizes, 16, 6, modelMeasure)
+	p, err := FitPortfolio(nil, sizes, 16, 6, modelMeasure)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestPortfolioPredictions(t *testing.T) {
 
 func TestPortfolioClosestSizeSelection(t *testing.T) {
 	sizes := []int64{10 << 10, 1 << 20}
-	p, err := FitPortfolio(sizes, 8, 4, modelMeasure)
+	p, err := FitPortfolio(nil, sizes, 8, 4, modelMeasure)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +211,7 @@ func TestPortfolioClosestSizeSelection(t *testing.T) {
 }
 
 func TestPortfolioBatchTime(t *testing.T) {
-	p, err := FitPortfolio([]int64{100 << 10}, 8, 4, modelMeasure)
+	p, err := FitPortfolio(nil, []int64{100 << 10}, 8, 4, modelMeasure)
 	if err != nil {
 		t.Fatal(err)
 	}

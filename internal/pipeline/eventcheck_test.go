@@ -69,7 +69,7 @@ func TestSharedPoolMatchesEventSimulation(t *testing.T) {
 	}
 	for _, works := range cases {
 		analytic := make([]float64, len(works))
-		sharedPoolTimes(works, analytic)
+		sharedPoolTimes(works, analytic, make([]poolQueue, len(works)))
 		event := eventPoolTimes(works, 1e-4)
 		for i := range works {
 			if math.Abs(analytic[i]-event[i]) > 1e-2*(analytic[i]+1e-9)+1e-3 {
@@ -89,7 +89,7 @@ func TestSharedPoolPropertyVsEvents(t *testing.T) {
 			works[i] = r.Float64() * 2
 		}
 		analytic := make([]float64, n)
-		sharedPoolTimes(works, analytic)
+		sharedPoolTimes(works, analytic, make([]poolQueue, n))
 		event := eventPoolTimes(works, 5e-4)
 		for i := range works {
 			if math.Abs(analytic[i]-event[i]) > 0.02*(analytic[i]+1) {
@@ -117,7 +117,7 @@ func TestSharedPoolConservation(t *testing.T) {
 			sum += works[i]
 		}
 		out := make([]float64, n)
-		sharedPoolTimes(works, out)
+		sharedPoolTimes(works, out, make([]poolQueue, n))
 		last := 0.0
 		for i, v := range out {
 			if v > last {

@@ -25,6 +25,7 @@ import (
 	"repro/internal/loader"
 	"repro/internal/metrics"
 	"repro/internal/numa"
+	"repro/internal/par"
 	"repro/internal/perfmodel"
 	"repro/internal/plan"
 	"repro/internal/preproc"
@@ -87,6 +88,12 @@ type Config struct {
 	// Preproc is the ground-truth preprocessing throughput model
 	// (default preproc.DefaultModel()).
 	Preproc *preproc.ThroughputModel
+
+	// Pool, when non-nil, parallelizes internal setup work that is
+	// independent per item (currently the per-size portfolio fits of
+	// dynamic strategies). It never changes a reported number — results
+	// are slotted by index, so output is identical for any pool width.
+	Pool *par.Pool
 }
 
 // GPUIter is the per-GPU breakdown of one iteration (the bars of Fig. 3).
@@ -219,9 +226,13 @@ type sim struct {
 	cursors []prefetchCursor
 
 	// Per-GPU PFS burstiness state: log-space AR(1) process and the
-	// factor realized for the current iteration.
-	pfsNoiseX []float64
-	pfsFactor []float64
+	// factor realized for the current iteration. pfsFactorAlt is the
+	// other half of a double buffer: each step writes the new factors
+	// into it and swaps, so the previous iteration's factors stay
+	// readable without a per-iteration allocation.
+	pfsNoiseX    []float64
+	pfsFactor    []float64
+	pfsFactorAlt []float64
 
 	// Scratch (reused across iterations).
 	placements  [][]perfmodel.BatchPlacement // [node][gpu]
@@ -234,6 +245,8 @@ type sim struct {
 	demands     []threadmgr.GPUDemand
 	batchBuf    []dataset.SampleID
 	works       []float64
+	numaBytes   []int64
+	poolScratch []poolQueue
 
 	// Outputs.
 	runOut  *metrics.Run
@@ -242,9 +255,10 @@ type sim struct {
 }
 
 type prefetchCursor struct {
-	iter  int // next global iteration to scan
-	off   int // offset within that iteration's node batch
-	batch []dataset.SampleID
+	iter   int                // next global iteration to scan
+	off    int                // offset within that iteration's node batch
+	batch  []dataset.SampleID // reused across refills
+	filled bool               // batch holds cur.iter's samples
 }
 
 func newSim(cfg Config) (*sim, error) {
@@ -312,7 +326,7 @@ func newSim(cfg Config) (*sim, error) {
 	}
 
 	if cfg.Strategy.Mode == loader.ThreadsDynamic {
-		portfolio, err := perfmodel.FitPortfolio(
+		portfolio, err := perfmodel.FitPortfolio(cfg.Pool,
 			[]int64{16 << 10, 32 << 10, 64 << 10, 105 << 10, 256 << 10, 512 << 10},
 			top.CPUThreads, 6,
 			func(size int64, threads int) float64 { return s.truth.Time(size, threads) },
@@ -335,6 +349,7 @@ func newSim(cfg Config) (*sim, error) {
 	s.preFree = make([]float64, s.world)
 	s.pfsNoiseX = make([]float64, s.world)
 	s.pfsFactor = make([]float64, s.world)
+	s.pfsFactorAlt = make([]float64, s.world)
 	for g := range s.pfsFactor {
 		s.pfsFactor[g] = 1
 	}
@@ -356,6 +371,8 @@ func newSim(cfg Config) (*sim, error) {
 	}
 	s.demands = make([]threadmgr.GPUDemand, s.gpus)
 	s.works = make([]float64, s.gpus)
+	s.numaBytes = make([]int64, s.gpus)
+	s.poolScratch = make([]poolQueue, s.gpus)
 	s.perIter = make([]GPUIter, s.world)
 
 	s.runOut = &metrics.Run{
@@ -434,12 +451,12 @@ func (s *sim) step(h int) {
 	if sigma := s.cfg.PFSNoise; sigma > 0 {
 		rho := s.cfg.PFSNoiseRho
 		innov := sigma * math.Sqrt(1-rho*rho)
-		newFactor := make([]float64, s.world)
+		newFactor := s.pfsFactorAlt
 		for g := 0; g < s.world; g++ {
 			s.pfsNoiseX[g] = rho*s.pfsNoiseX[g] + innov*s.rng.NormFloat64()
 			newFactor[g] = math.Exp(s.pfsNoiseX[g] - sigma*sigma/2)
 		}
-		s.pfsFactor = newFactor
+		s.pfsFactor, s.pfsFactorAlt = newFactor, prevFactor
 	}
 
 	// Phases C-D: thread decisions, load times, preprocessing times,
@@ -561,7 +578,7 @@ func (s *sim) nodeTimes(n, activePFS int, prevFactor []float64) {
 			alloc := perfmodel.SplitThreads(s.hier, pl, spec.SharedLoading, activePFS)
 			s.works[j] = s.noisyLoadTime(n*s.gpus+j, pl, alloc, activePFS)
 		}
-		sharedPoolTimes(s.works, s.loadTimes[n])
+		sharedPoolTimes(s.works, s.loadTimes[n], s.poolScratch)
 		share := spec.SharedLoading / s.gpus
 		if share < 1 {
 			share = 1
@@ -627,7 +644,7 @@ func (s *sim) applyNUMA(n int) {
 	if err != nil {
 		return
 	}
-	bytes := make([]int64, s.gpus)
+	bytes := s.numaBytes
 	for j := 0; j < s.gpus; j++ {
 		bytes[j] = s.placements[n][j].TotalBytes()
 	}
@@ -652,20 +669,23 @@ func (s *sim) noisyLoadTime(g int, pl perfmodel.BatchPlacement, alloc perfmodel.
 	return local + remote + pfs*s.pfsFactor[g]
 }
 
+// poolQueue is one GPU queue's (work, index) pair for sharedPoolTimes;
+// the scratch slice lives on the sim so the per-iteration call does not
+// allocate.
+type poolQueue struct {
+	w float64
+	i int
+}
+
 // sharedPoolTimes computes per-GPU completion times when each GPU's work
 // (expressed as "seconds alone with the whole pool") is served by a single
 // pool shared fairly among the currently-active queues (processor-sharing
 // / water-filling). A queue that needs w pool-seconds while k queues are
-// active drains at rate 1/k.
-func sharedPoolTimes(works []float64, out []float64) {
+// active drains at rate 1/k. qs is caller-provided scratch of len(works).
+func sharedPoolTimes(works []float64, out []float64, qs []poolQueue) {
 	n := len(works)
-	type wq struct {
-		w float64
-		i int
-	}
-	qs := make([]wq, n)
 	for i, w := range works {
-		qs[i] = wq{w, i}
+		qs[i] = poolQueue{w, i}
 	}
 	// Insertion sort by work: n is the GPU count (8), tiny.
 	for i := 1; i < n; i++ {
@@ -737,22 +757,23 @@ func (s *sim) prefetch(n, h int, batchTime float64, activePFS int) {
 	now := cache.Iter(h)
 	cur := &s.cursors[n]
 	if cur.iter <= h {
-		cur.iter, cur.off, cur.batch = h+1, 0, nil
+		cur.iter, cur.off, cur.filled = h+1, 0, false
 	}
 	limit := h + s.cfg.Strategy.PrefetchDepth
 	if limit > s.totalIters-1 {
 		limit = s.totalIters - 1
 	}
 	for budget > 0 && cur.iter <= limit {
-		if cur.batch == nil {
+		if !cur.filled {
 			epoch, it := cur.iter/s.iters, cur.iter%s.iters
-			cur.batch = s.sched.NodeBatch(nil, epoch, it, n, s.gpus)
+			cur.batch = s.sched.NodeBatch(cur.batch[:0], epoch, it, n, s.gpus)
 			cur.off = 0
+			cur.filled = true
 		}
 		if cur.off >= len(cur.batch) {
 			cur.iter++
 			cur.off = 0
-			cur.batch = nil
+			cur.filled = false
 			continue
 		}
 		// The node batch is GPU-major; walk it interleaved (sample k of

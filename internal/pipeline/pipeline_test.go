@@ -149,7 +149,7 @@ func TestTraceCollection(t *testing.T) {
 
 func TestSharedPoolTimes(t *testing.T) {
 	out := make([]float64, 3)
-	sharedPoolTimes([]float64{1, 1, 1}, out)
+	sharedPoolTimes([]float64{1, 1, 1}, out, make([]poolQueue, 3))
 	for _, v := range out {
 		if math.Abs(v-3) > 1e-9 {
 			t.Fatalf("equal works: %v, want all 3", out)
@@ -158,7 +158,7 @@ func TestSharedPoolTimes(t *testing.T) {
 	// One short and one long queue: short finishes at 2*w_short (two
 	// active sharers), long finishes when all pool-seconds are served.
 	out = out[:2]
-	sharedPoolTimes([]float64{1, 4}, out)
+	sharedPoolTimes([]float64{1, 4}, out, make([]poolQueue, 2))
 	if math.Abs(out[0]-2) > 1e-9 {
 		t.Fatalf("short queue finished at %g, want 2", out[0])
 	}
@@ -166,7 +166,7 @@ func TestSharedPoolTimes(t *testing.T) {
 		t.Fatalf("long queue finished at %g, want 5 (total pool-seconds)", out[1])
 	}
 	// Zero work completes immediately.
-	sharedPoolTimes([]float64{0, 2}, out)
+	sharedPoolTimes([]float64{0, 2}, out, make([]poolQueue, 2))
 	if out[0] != 0 || math.Abs(out[1]-2) > 1e-9 {
 		t.Fatalf("zero-work case: %v", out)
 	}

@@ -266,7 +266,7 @@ func RunContext(ctx context.Context, opts Options) (*Stats, error) {
 	var portfolio *perfmodel.PreprocPortfolio
 	if dynamic {
 		truth := preproc.DefaultModel()
-		portfolio, err = perfmodel.FitPortfolio(
+		portfolio, err = perfmodel.FitPortfolio(nil,
 			[]int64{16 << 10, 64 << 10, 105 << 10, 512 << 10}, top.CPUThreads, 6,
 			func(size int64, threads int) float64 { return truth.Time(size, threads) })
 		if err != nil {

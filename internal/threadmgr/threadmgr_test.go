@@ -12,7 +12,7 @@ import (
 func testManager(t *testing.T, totalThreads int) *Manager {
 	t.Helper()
 	pm := preproc.DefaultModel()
-	portfolio, err := perfmodel.FitPortfolio([]int64{32 << 10, 105 << 10}, 16, 6,
+	portfolio, err := perfmodel.FitPortfolio(nil, []int64{32 << 10, 105 << 10}, 16, 6,
 		func(size int64, threads int) float64 { return pm.Time(size, threads) })
 	if err != nil {
 		t.Fatal(err)
@@ -48,7 +48,7 @@ func demand(pfsMisses int) GPUDemand {
 
 func TestNewValidation(t *testing.T) {
 	pm := preproc.DefaultModel()
-	portfolio, _ := perfmodel.FitPortfolio([]int64{1 << 10}, 4, 2,
+	portfolio, _ := perfmodel.FitPortfolio(nil, []int64{1 << 10}, 4, 2,
 		func(size int64, threads int) float64 { return pm.Time(size, threads) })
 	if _, err := New(Config{Portfolio: nil, TotalThreads: 4, Tau: 1, Hierarchy: tier.ThetaGPULike()}); err == nil {
 		t.Error("nil portfolio accepted")

@@ -9,6 +9,8 @@
 #                        goroutine/mutex hygiene, errcheck, bounded queues)
 #   5. bench smoke     — quick protocol sanity pass of the kvstore
 #                        benchmark harness (full run: make bench-kv)
+#   6. sim bench smoke — BENCH_sim.json schema validation
+#                        (full regeneration: make bench-sim)
 #
 # Run from anywhere: the script cds to the repo root. `make check` is an
 # alias for this script.
@@ -31,5 +33,10 @@ echo "==> kvstore bench smoke"
 # Short protocol sanity pass of the bench harness (the full run is
 # `make bench-kv`, which writes BENCH_kv.json).
 go test ./internal/kvstore -run TestBenchKVJSON -count=1
+
+echo "==> sim bench smoke"
+# Schema validation of the committed BENCH_sim.json (the full run is
+# `make bench-sim`, which regenerates it).
+go test . -run TestBenchSimJSON -count=1
 
 echo "ALL CHECKS PASSED"
