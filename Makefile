@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race lint bench bench-kv bench-sim
+.PHONY: check build vet test race lint bench bench-kv bench-sim bench-obs
 
 ## check: the full tier-1 gate (build + vet + race tests + lobster-lint)
 check:
@@ -38,3 +38,9 @@ bench-kv:
 ## and allocs/op in BENCH_sim.json at the repo root.
 bench-sim:
 	LOBSTER_BENCH_SIM=1 $(GO) test . -run TestBenchSimJSON -count=1 -v -timeout 30m
+
+## bench-obs: measure the instrumentation layer's overhead — full online
+## runs with no/disabled/enabled instruments plus per-call instrument
+## micro-benchmarks — and record it in BENCH_obs.json at the repo root.
+bench-obs:
+	LOBSTER_BENCH_OBS=1 $(GO) test . -run TestBenchObsJSON -count=1 -v -timeout 30m

@@ -1,0 +1,292 @@
+package repro
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	goruntime "runtime"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/loader"
+	"repro/internal/obs"
+	"repro/internal/runtime"
+	"repro/internal/tier"
+)
+
+// TestBenchObsJSON is the observability-overhead recording harness
+// behind `make bench-obs`.
+//
+// Default (no env) it is a CI-safe smoke test over the committed
+// BENCH_obs.json: the three runtime variants (baseline / disabled /
+// enabled) are present with positive timings, every hot-path micro
+// benchmark is allocation-free, and the headline disabled overhead is
+// within the 2% budget the obs package promises.
+//
+// With LOBSTER_BENCH_OBS=1 it reruns the measurements: the real online
+// runtime at tiny scale with no instruments, with a disabled registry
+// attached, and with an enabled registry plus span tracing — plus
+// nanosecond micro-benchmarks of each instrument — and rewrites
+// BENCH_obs.json at the repository root.
+func TestBenchObsJSON(t *testing.T) {
+	if os.Getenv("LOBSTER_BENCH_OBS") == "" {
+		benchObsSmoke(t)
+		return
+	}
+	benchObsFull(t)
+}
+
+// obsEntry is one benchmark row in BENCH_obs.json.
+type obsEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// obsFile is the schema of BENCH_obs.json.
+type obsFile struct {
+	Generated string `json:"generated"`
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	Scale     string `json:"scale"`
+	Note      string `json:"note"`
+	// Runtime holds one full online-runtime run per instrumentation
+	// variant: "baseline" (no instruments), "disabled" (registry
+	// attached, SetEnabled(false)), "enabled" (registry + trace ring).
+	Runtime []obsEntry `json:"runtime"`
+	// Micro holds per-call instrument costs; all must be 0 allocs/op.
+	Micro    []obsEntry `json:"micro"`
+	Headline struct {
+		DisabledOverheadPct float64 `json:"disabled_overhead_pct"`
+		EnabledOverheadPct  float64 `json:"enabled_overhead_pct"`
+	} `json:"headline"`
+}
+
+// disabledOverheadBudgetPct is the acceptance bound: a disabled
+// registry must cost the runtime iteration path at most this much.
+const disabledOverheadBudgetPct = 2.0
+
+func benchObsSmoke(t *testing.T) {
+	root, err := simRepoRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(filepath.Join(root, "BENCH_obs.json"))
+	if err != nil {
+		t.Fatalf("BENCH_obs.json missing (regenerate with `make bench-obs`): %v", err)
+	}
+	var f obsFile
+	if err := json.Unmarshal(buf, &f); err != nil {
+		t.Fatalf("BENCH_obs.json does not parse: %v", err)
+	}
+	if f.Generated == "" || f.GoVersion == "" || f.NumCPU < 1 || f.Scale == "" {
+		t.Fatalf("BENCH_obs.json header incomplete: %+v", f)
+	}
+	variants := map[string]bool{}
+	for _, e := range f.Runtime {
+		if e.Name == "" || e.NsPerOp <= 0 {
+			t.Fatalf("malformed runtime entry: %+v", e)
+		}
+		variants[e.Name] = true
+	}
+	for _, want := range []string{"baseline", "disabled", "enabled"} {
+		if !variants[want] {
+			t.Fatalf("BENCH_obs.json missing runtime variant %q", want)
+		}
+	}
+	if len(f.Micro) == 0 {
+		t.Fatal("BENCH_obs.json has no micro entries")
+	}
+	for _, e := range f.Micro {
+		// A disabled instrument can legitimately round to 0 ns/op.
+		if e.Name == "" || e.NsPerOp < 0 {
+			t.Fatalf("malformed micro entry: %+v", e)
+		}
+		if e.AllocsPerOp != 0 {
+			t.Fatalf("hot-path instrument %q allocates (%d allocs/op); recording must be allocation-free",
+				e.Name, e.AllocsPerOp)
+		}
+	}
+	if f.Headline.DisabledOverheadPct > disabledOverheadBudgetPct {
+		t.Fatalf("committed disabled overhead %.2f%% exceeds the %.1f%% budget",
+			f.Headline.DisabledOverheadPct, disabledOverheadBudgetPct)
+	}
+}
+
+// benchObsRuntime times one full online run under the given
+// instrumentation variant.
+func benchObsRuntime(t *testing.T, name string, instrument func(*runtime.Options)) obsEntry {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.Spec{
+		Name: "obsbench", NumSamples: 256, MeanSize: 8 << 10, SigmaLog: 0.3,
+		MinSize: 1 << 10, Classes: 4, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := cluster.Topology{
+		Nodes:       1,
+		GPUsPerNode: 2,
+		CPUThreads:  8,
+		CacheBytes:  ds.TotalBytes() / 3,
+		NUMADomains: 2,
+		Hierarchy:   tier.ThetaGPULike(),
+	}
+	model := cluster.DNNModel{Name: "toy", IterTime: 0.004, BatchSize: 8, TargetAccuracy: 0.7, ConvergeEpochs: 10}
+	var failed error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			opts := runtime.Options{
+				Topology:  top,
+				Dataset:   ds,
+				Model:     model,
+				Epochs:    1,
+				Seed:      7,
+				Strategy:  loader.Lobster(),
+				TimeScale: 0.01,
+			}
+			instrument(&opts)
+			if _, err := runtime.Run(opts); err != nil {
+				failed = err
+				b.Skip()
+			}
+		}
+	})
+	if failed != nil {
+		t.Fatalf("bench %s: %v", name, failed)
+	}
+	e := obsEntry{
+		Name:        name,
+		NsPerOp:     float64(r.NsPerOp()),
+		WallSeconds: r.T.Seconds(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	t.Logf("%-10s %12.1f ms/run  %10d B/run  %9d allocs/run",
+		name, e.NsPerOp/1e6, e.BytesPerOp, e.AllocsPerOp)
+	return e
+}
+
+// benchObsMicro times one instrument call under testing.Benchmark.
+func benchObsMicro(t *testing.T, name string, fn func(b *testing.B)) obsEntry {
+	t.Helper()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	e := obsEntry{
+		Name:        name,
+		NsPerOp:     float64(r.NsPerOp()),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	t.Logf("%-28s %8.2f ns/op  %d allocs/op", name, e.NsPerOp, e.AllocsPerOp)
+	return e
+}
+
+func benchObsFull(t *testing.T) {
+	// Runtime variants. Three reps each, keep the fastest — the modeled
+	// sleeps dominate and the minimum is the least noisy estimator of
+	// the instrumentation delta.
+	best := func(name string, instrument func(*runtime.Options)) obsEntry {
+		e := benchObsRuntime(t, name, instrument)
+		for i := 0; i < 2; i++ {
+			if r := benchObsRuntime(t, name, instrument); r.NsPerOp < e.NsPerOp {
+				r.Name = name
+				e = r
+			}
+		}
+		return e
+	}
+	baseline := best("baseline", func(*runtime.Options) {})
+	disabled := best("disabled", func(o *runtime.Options) {
+		reg := obs.NewRegistry()
+		reg.SetEnabled(false)
+		o.Obs = reg
+	})
+	enabled := best("enabled", func(o *runtime.Options) {
+		o.Obs = obs.NewRegistry()
+		o.Trace = obs.NewTraceRing(8192)
+	})
+
+	// Micro costs per instrument call.
+	reg := obs.NewRegistry()
+	counter := reg.Counter("lobster_bench_ops_total", "bench")
+	gauge := reg.Gauge("lobster_bench_depth", "bench")
+	hist := reg.Histogram("lobster_bench_seconds", "bench", obs.LatencyBuckets())
+	ring := obs.NewTraceRing(1024)
+	tid := ring.NewThread("bench")
+	start := time.Now()
+	micro := []obsEntry{
+		benchObsMicro(t, "counter_inc", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				counter.Inc()
+			}
+		}),
+		benchObsMicro(t, "gauge_set", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gauge.Set(int64(i))
+			}
+		}),
+		benchObsMicro(t, "histogram_observe", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				hist.Observe(0.001)
+			}
+		}),
+		benchObsMicro(t, "trace_span", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ring.Span("op", "bench", tid, start, time.Microsecond)
+			}
+		}),
+	}
+	reg.SetEnabled(false)
+	micro = append(micro,
+		benchObsMicro(t, "counter_inc_disabled", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				counter.Inc()
+			}
+		}),
+		benchObsMicro(t, "histogram_observe_disabled", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				hist.Observe(0.001)
+			}
+		}),
+	)
+
+	var out obsFile
+	out.Generated = time.Now().UTC().Format(time.RFC3339)
+	out.GoVersion = goruntime.Version()
+	out.NumCPU = goruntime.NumCPU()
+	out.Scale = "tiny"
+	out.Note = "runtime rows are full online runs (1 node x 2 GPUs, 1 epoch, TimeScale 0.01), " +
+		"best of 3; micro rows are per-call instrument costs and must stay 0 allocs/op"
+	out.Runtime = []obsEntry{baseline, disabled, enabled}
+	out.Micro = micro
+	out.Headline.DisabledOverheadPct = (disabled.NsPerOp - baseline.NsPerOp) / baseline.NsPerOp * 100
+	out.Headline.EnabledOverheadPct = (enabled.NsPerOp - baseline.NsPerOp) / baseline.NsPerOp * 100
+	t.Logf("headline: disabled %+.2f%%, enabled %+.2f%% vs baseline",
+		out.Headline.DisabledOverheadPct, out.Headline.EnabledOverheadPct)
+
+	root, err := simRepoRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(root, "BENCH_obs.json")
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+	if out.Headline.DisabledOverheadPct > disabledOverheadBudgetPct {
+		t.Errorf("disabled overhead %.2f%% exceeds the %.1f%% budget; box may be loaded — rerun",
+			out.Headline.DisabledOverheadPct, disabledOverheadBudgetPct)
+	}
+}

@@ -8,7 +8,7 @@
 //
 // Example:
 //
-//	lobster-kv -addr 127.0.0.1:7001 -capacity 512MiB -stripes 16
+//	lobster-kv -addr 127.0.0.1:7001 -capacity 512MiB -stripes 16 -monitor 127.0.0.1:7101
 package main
 
 import (
@@ -22,6 +22,8 @@ import (
 	"time"
 
 	"repro/internal/kvstore"
+	"repro/internal/monitor"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -30,6 +32,7 @@ func main() {
 		capacity = flag.String("capacity", "256MiB", "shard capacity (bytes; supports KiB/MiB/GiB suffixes)")
 		statsSec = flag.Int("stats-interval", 30, "seconds between stats log lines (0 = silent)")
 		stripes  = flag.Int("stripes", 0, "LRU lock stripes (0 = auto-size from capacity)")
+		monAddr  = flag.String("monitor", "", "serve /metrics, /healthz, /trace.json and pprof on this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -44,29 +47,62 @@ func main() {
 	fmt.Printf("lobster-kv shard listening on %s (capacity %s, %d stripes)\n",
 		srv.Addr(), *capacity, srv.Stripes())
 
+	var mon *monitor.Server
+	if *monAddr != "" {
+		reg := obs.NewRegistry()
+		kvstore.InstrumentServer(reg, srv)
+		mon, err = monitor.Serve(*monAddr)
+		if err != nil {
+			fatal(err)
+		}
+		mon.SetRegistry(reg)
+		mon.Update(srv.Stats())
+		fmt.Printf("monitor at http://%s/metrics\n", mon.Addr())
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	var ticker *time.Ticker
-	var tick <-chan time.Time
-	if *statsSec > 0 {
-		ticker = time.NewTicker(time.Duration(*statsSec) * time.Second)
-		tick = ticker.C
-		defer ticker.Stop()
+	// The snapshot refresh doubles as the /healthz heartbeat, so it runs
+	// even when stats logging is silenced.
+	heartbeat := time.NewTicker(heartbeatEvery(*statsSec))
+	defer heartbeat.Stop()
+	if mon != nil {
+		mon.SetMaxStale(3 * heartbeatEvery(*statsSec))
 	}
+	var lastLog time.Time
 	for {
 		select {
-		case <-tick:
+		case now := <-heartbeat.C:
 			st := srv.Stats()
-			fmt.Printf("items=%d used=%.1fMB hits=%d misses=%d evictions=%d toolarge=%d\n",
-				st.Items, float64(st.UsedBytes)/1e6, st.Hits, st.Misses, st.Evictions, st.TooLarge)
+			if mon != nil {
+				mon.Update(st)
+			}
+			if *statsSec > 0 && now.Sub(lastLog) >= time.Duration(*statsSec)*time.Second {
+				lastLog = now
+				fmt.Printf("items=%d used=%.1fMB hits=%d misses=%d evictions=%d toolarge=%d\n",
+					st.Items, float64(st.UsedBytes)/1e6, st.Hits, st.Misses, st.Evictions, st.TooLarge)
+			}
 		case <-stop:
 			fmt.Println("shutting down")
+			if mon != nil {
+				_ = mon.Close() // best-effort; the shard close below is what matters
+			}
 			if err := srv.Close(); err != nil {
 				fatal(err)
 			}
 			return
 		}
 	}
+}
+
+// heartbeatEvery picks the snapshot refresh period: frequent enough for
+// a useful /healthz staleness bound, and aligned with the logging
+// cadence when one is configured.
+func heartbeatEvery(statsSec int) time.Duration {
+	if statsSec > 0 && statsSec < 5 {
+		return time.Duration(statsSec) * time.Second
+	}
+	return 5 * time.Second
 }
 
 // parseBytes understands plain integers and KiB/MiB/GiB suffixes.

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"log"
@@ -14,10 +15,15 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 )
 
 func main() {
+	monAddr := flag.String("monitor", "127.0.0.1:0",
+		"address for /metrics, /metrics.json, /trace.json, /healthz and pprof")
+	flag.Parse()
+
 	fmt.Println("online runtime, 2 nodes x 8 GPUs, Lobster strategy:")
 	fmt.Println()
 	cfg, err := core.NewConfig(core.Workload{
@@ -32,13 +38,19 @@ func main() {
 		log.Fatal(err)
 	}
 	// Expose live progress over HTTP while the run executes — the
-	// observability surface a production deployment would scrape.
-	mon, err := monitor.Serve("127.0.0.1:0")
+	// observability surface a production deployment would scrape: a
+	// Prometheus registry of per-stage instruments, a span ring for
+	// Perfetto traces, and the JSON progress snapshot.
+	mon, err := monitor.Serve(*monAddr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer mon.Close()
-	fmt.Printf("live metrics at http://%s/metrics.json\n\n", mon.Addr())
+	reg := obs.NewRegistry()
+	trace := obs.NewTraceRing(8192)
+	mon.SetRegistry(reg)
+	mon.SetTrace(trace)
+	fmt.Printf("live metrics at http://%s/metrics (trace at /trace.json)\n\n", mon.Addr())
 
 	stats, err := runtime.Run(runtime.Options{
 		Topology:   cfg.Pipeline.Topology,
@@ -48,17 +60,21 @@ func main() {
 		Seed:       cfg.Pipeline.Seed,
 		Strategy:   cfg.Pipeline.Strategy,
 		TimeScale:  0.002, // 500x faster than modeled time
+		Obs:        reg,
+		Trace:      trace,
 		OnProgress: func(p runtime.Progress) { mon.Update(p) },
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	// One last scrape of the dashboard, as a monitoring client would see it.
-	if resp, err := http.Get("http://" + mon.Addr() + "/metrics.json"); err == nil {
+	// One last scrape of the instruments, as a monitoring client would
+	// see them.
+	if resp, err := http.Get("http://" + mon.Addr() + "/metrics"); err == nil {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		_ = resp.Body.Close()
-		fmt.Printf("final scrape (truncated):\n%s...\n\n", body)
+		fmt.Printf("final /metrics scrape (truncated):\n%s...\n\n", body)
 	}
+	fmt.Printf("trace ring holds %d spans (stall/train per rank, load, preproc, prefetch windows)\n\n", trace.Len())
 	fmt.Printf("iterations: %d   wall time: %v\n", stats.Iterations, stats.WallTime)
 	fmt.Printf("samples loaded: %d, all verified: %v\n",
 		stats.SamplesLoaded, stats.SamplesVerified == stats.SamplesLoaded)

@@ -9,6 +9,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrClientClosed is returned for ops issued after Close.
@@ -28,6 +31,37 @@ type ClientV2 struct {
 	conns []*pipeConn
 	rr    atomic.Uint32
 	shut  bool
+
+	// ins is the optional observability hookup (SetInstruments); an
+	// atomic pointer so it can be attached while ops are in flight. The
+	// un-instrumented fast path costs one pointer load per op.
+	ins atomic.Pointer[ClientInstruments]
+}
+
+// SetInstruments attaches (or with nil detaches) per-op latency and
+// counter instruments. Safe to call concurrently with ops.
+func (cl *ClientV2) SetInstruments(ins *ClientInstruments) { cl.ins.Store(ins) }
+
+// opStart begins timing one op: bumps the in-flight gauge and returns
+// the histogram plus start time. A nil return (no instruments, or
+// metrics disabled) means opDone must be skipped.
+func (cl *ClientV2) opStart(op byte) (*obs.Histogram, *obs.Gauge, time.Time) {
+	ins := cl.ins.Load()
+	if ins == nil {
+		return nil, nil, time.Time{}
+	}
+	h := ins.opSeconds(op)
+	if !h.On() {
+		return nil, nil, time.Time{}
+	}
+	ins.InFlight.Add(1)
+	return h, ins.InFlight, time.Now()
+}
+
+// opDone finishes timing started by opStart.
+func opDone(h *obs.Histogram, g *obs.Gauge, start time.Time) {
+	g.Add(-1)
+	h.Observe(time.Since(start).Seconds())
 }
 
 // NewClientV2 connects to a shard with the given number of multiplexed
@@ -89,6 +123,9 @@ func (cl *ClientV2) replace(i int, old *pipeConn) (*pipeConn, error) {
 	}
 	cl.conns[i] = fresh
 	cl.mu.Unlock()
+	if ins := cl.ins.Load(); ins != nil {
+		ins.Redials.Inc()
+	}
 	old.shutdown(errors.New("kvstore: connection replaced"))
 	return fresh, nil
 }
@@ -539,8 +576,19 @@ func readV2Body(r *bufio.Reader, op byte, c *call) error {
 	}
 }
 
-// do runs one single-key op on some connection.
+// do runs one single-key op on some connection, timing it when
+// instruments are attached (inline rather than deferred — this is the
+// per-sample hot path and a defer closure would allocate).
 func (cl *ClientV2) do(op byte, key string, val []byte) (byte, []byte, error) {
+	h, g, start := cl.opStart(op)
+	status, out, err := cl.doRaw(op, key, val)
+	if h != nil {
+		opDone(h, g, start)
+	}
+	return status, out, err
+}
+
+func (cl *ClientV2) doRaw(op byte, key string, val []byte) (byte, []byte, error) {
 	p, err := cl.conn()
 	if err != nil {
 		return 0, nil, err
@@ -579,6 +627,11 @@ func (cl *ClientV2) Put(key string, val []byte) error {
 	if err != nil {
 		return err
 	}
+	if status == statusTooLarge {
+		if ins := cl.ins.Load(); ins != nil {
+			ins.TooLarge.Inc()
+		}
+	}
 	return putStatusErr(status, key)
 }
 
@@ -615,6 +668,15 @@ func (cl *ClientV2) MultiGet(keys []string) ([][]byte, error) {
 	if len(keys) > maxBatchLen {
 		return nil, fmt.Errorf("kvstore: MultiGet batch %d exceeds %d keys", len(keys), maxBatchLen)
 	}
+	h, g, start := cl.opStart(opMultiGet)
+	outs, err := cl.multiGetRaw(keys)
+	if h != nil {
+		opDone(h, g, start)
+	}
+	return outs, err
+}
+
+func (cl *ClientV2) multiGetRaw(keys []string) ([][]byte, error) {
 	p, err := cl.conn()
 	if err != nil {
 		return nil, err
@@ -647,6 +709,15 @@ func (cl *ClientV2) MultiPut(keys []string, vals [][]byte) error {
 	if len(keys) > maxBatchLen {
 		return fmt.Errorf("kvstore: MultiPut batch %d exceeds %d keys", len(keys), maxBatchLen)
 	}
+	h, g, start := cl.opStart(opMultiPut)
+	err := cl.multiPutRaw(keys, vals)
+	if h != nil {
+		opDone(h, g, start)
+	}
+	return err
+}
+
+func (cl *ClientV2) multiPutRaw(keys []string, vals [][]byte) error {
 	p, err := cl.conn()
 	if err != nil {
 		return err
@@ -663,10 +734,19 @@ func (cl *ClientV2) MultiPut(keys []string, vals [][]byte) error {
 	if status != statusOK {
 		return fmt.Errorf("kvstore: server error on MultiPut(%d keys)", len(keys))
 	}
+	var firstErr error
 	for i, st := range statuses {
-		if st != statusOK {
-			return putStatusErr(st, keys[i])
+		if st == statusOK {
+			continue
+		}
+		if st == statusTooLarge {
+			if ins := cl.ins.Load(); ins != nil {
+				ins.TooLarge.Inc()
+			}
+		}
+		if firstErr == nil {
+			firstErr = putStatusErr(st, keys[i])
 		}
 	}
-	return nil
+	return firstErr
 }

@@ -13,6 +13,8 @@
 //	             channel ops under a lock
 //	errcheck     no silently dropped error returns
 //	boundedchan  hot-path request queues are bounded
+//	obsnaming    metric registrations follow lobster_<component>_<metric>
+//	             with the family-specific suffix rules
 //
 // The framework uses only the standard library (go/parser, go/ast,
 // go/types): each analyzer is a pure function from a type-checked
@@ -41,6 +43,7 @@ const (
 	idMutex       = "mutex"
 	idErrcheck    = "errcheck"
 	idBoundedChan = "boundedchan"
+	idObsNaming   = "obsnaming"
 )
 
 // Finding is one analyzer hit, positioned for file:line reporting.
@@ -80,7 +83,7 @@ type Analyzer struct {
 
 // Analyzers returns the full suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Determinism, Goroutine, Mutex, Errcheck, BoundedChan}
+	return []*Analyzer{Determinism, Goroutine, Mutex, Errcheck, BoundedChan, ObsNaming}
 }
 
 // Run applies the analyzers to every package, filters findings through

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ObsNaming enforces the obs package's metric naming convention at
+// every registration call site: names are lobster_<component>_<metric>
+// (lowercase, underscore-separated), counters end in _total, histograms
+// in _seconds or _bytes, and gauges must not borrow the _total suffix.
+// Registration calls are setup code, so the name must be a compile-time
+// constant — a dynamic name cannot be checked and would defeat the
+// convention the /metrics dashboards key on.
+var ObsNaming = &Analyzer{
+	ID: idObsNaming,
+	Doc: "obs.Registry registrations must use lobster_<component>_<metric> names: " +
+		"counters end in _total, histograms in _seconds or _bytes",
+	Run: runObsNaming,
+}
+
+// obsKindByMethod maps Registry registration methods to the family kind
+// their naming rule keys on.
+var obsKindByMethod = map[string]string{
+	"Counter":     "counter",
+	"CounterFunc": "counter",
+	"Gauge":       "gauge",
+	"GaugeFunc":   "gauge",
+	"Histogram":   "histogram",
+}
+
+func runObsNaming(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			kind, ok := obsKindByMethod[sel.Sel.Name]
+			if !ok || !isObsRegistryMethod(p.Info, sel) {
+				return true
+			}
+			tv, ok := p.Info.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				out = append(out, p.finding(idObsNaming, call.Args[0],
+					"obs metric name must be a compile-time constant string (got %s)",
+					typeString(tv.Type)))
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if msg := obsNameProblem(name, kind); msg != "" {
+				out = append(out, p.finding(idObsNaming, call.Args[0], "%s", msg))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isObsRegistryMethod reports whether sel resolves to a method on
+// (*Registry) from an internal/obs package.
+func isObsRegistryMethod(info *types.Info, sel *ast.SelectorExpr) bool {
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	rt := recv.Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Name() != "Registry" {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && hasSuffixPkg(pkg.Path(), []string{"internal/obs"})
+}
+
+// obsNameProblem validates one metric name against the convention;
+// empty string means it conforms.
+func obsNameProblem(name, kind string) string {
+	segs := strings.Split(name, "_")
+	if len(segs) < 3 || segs[0] != "lobster" {
+		return "obs metric " + quote(name) + " must be named lobster_<component>_<metric>"
+	}
+	for _, s := range segs {
+		if !obsSegmentOK(s) {
+			return "obs metric " + quote(name) + " has malformed segment " + quote(s) +
+				" (lowercase letters and digits, starting with a letter)"
+		}
+	}
+	last := segs[len(segs)-1]
+	switch kind {
+	case "counter":
+		if last != "total" {
+			return "obs counter " + quote(name) + " must end in _total"
+		}
+	case "histogram":
+		if last != "seconds" && last != "bytes" {
+			return "obs histogram " + quote(name) + " must end in _seconds or _bytes"
+		}
+	case "gauge":
+		if last == "total" {
+			return "obs gauge " + quote(name) + " must not end in _total (that suffix marks counters)"
+		}
+	}
+	return ""
+}
+
+func obsSegmentOK(s string) bool {
+	if s == "" || s[0] < 'a' || s[0] > 'z' {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func quote(s string) string { return `"` + s + `"` }

@@ -1,0 +1,175 @@
+package lint
+
+import "testing"
+
+// obsFixtureDecls is a minimal stand-in for the real obs.Registry: the
+// analyzer keys on the receiver type name, the package-path suffix, and
+// the registration method names, so the signatures only need the name
+// argument in first position.
+const obsFixtureDecls = `
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string, labels ...string) *Counter         { return nil }
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...string) {}
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge             { return nil }
+func (r *Registry) GaugeFunc(name, help string, fn func() int64, labels ...string)   {}
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	return nil
+}
+`
+
+func TestObsNaming(t *testing.T) {
+	runFixtures(t, ObsNaming, []fixtureTest{
+		{
+			name: "conforming names pass",
+			pkg:  "repro/internal/obs",
+			src: `package obs
+` + obsFixtureDecls + `
+func setup(r *Registry) {
+	r.Counter("lobster_kvstore_hits_total", "h")
+	r.CounterFunc("lobster_runtime_pfs_reads_total", "h", func() int64 { return 0 })
+	r.Gauge("lobster_runtime_queue_depth", "h", "node", "0")
+	r.GaugeFunc("lobster_preproc_threads", "h", func() int64 { return 0 })
+	r.Histogram("lobster_kvstore_op_seconds", "h", nil)
+	r.Histogram("lobster_kvstore_value_bytes", "h", nil)
+}
+`,
+		},
+		{
+			name: "counter must end in total",
+			pkg:  "repro/internal/obs",
+			src: `package obs
+` + obsFixtureDecls + `
+func setup(r *Registry) {
+	r.Counter("lobster_kvstore_hits", "h")
+}
+`,
+			want: 1,
+			grep: "must end in _total",
+		},
+		{
+			name: "counterfunc checked like counter",
+			pkg:  "repro/internal/obs",
+			src: `package obs
+` + obsFixtureDecls + `
+func setup(r *Registry) {
+	r.CounterFunc("lobster_runtime_pfs_reads", "h", func() int64 { return 0 })
+}
+`,
+			want: 1,
+			grep: "must end in _total",
+		},
+		{
+			name: "histogram must end in seconds or bytes",
+			pkg:  "repro/internal/obs",
+			src: `package obs
+` + obsFixtureDecls + `
+func setup(r *Registry) {
+	r.Histogram("lobster_kvstore_op_latency", "h", nil)
+}
+`,
+			want: 1,
+			grep: "must end in _seconds or _bytes",
+		},
+		{
+			name: "gauge must not borrow total suffix",
+			pkg:  "repro/internal/obs",
+			src: `package obs
+` + obsFixtureDecls + `
+func setup(r *Registry) {
+	r.Gauge("lobster_runtime_threads_total", "h")
+}
+`,
+			want: 1,
+			grep: "must not end in _total",
+		},
+		{
+			name: "missing lobster prefix",
+			pkg:  "repro/internal/obs",
+			src: `package obs
+` + obsFixtureDecls + `
+func setup(r *Registry) {
+	r.Counter("kvstore_hits_total", "h")
+}
+`,
+			want: 1,
+			grep: "lobster_<component>_<metric>",
+		},
+		{
+			name: "too few segments",
+			pkg:  "repro/internal/obs",
+			src: `package obs
+` + obsFixtureDecls + `
+func setup(r *Registry) {
+	r.Gauge("lobster_depth", "h")
+}
+`,
+			want: 1,
+			grep: "lobster_<component>_<metric>",
+		},
+		{
+			name: "uppercase segment is malformed",
+			pkg:  "repro/internal/obs",
+			src: `package obs
+` + obsFixtureDecls + `
+func setup(r *Registry) {
+	r.Gauge("lobster_runtime_queueDepth", "h")
+}
+`,
+			want: 1,
+			grep: "malformed segment",
+		},
+		{
+			name: "name must be a constant",
+			pkg:  "repro/internal/obs",
+			src: `package obs
+` + obsFixtureDecls + `
+func setup(r *Registry, name string) {
+	r.Counter(name+"_total", "h")
+}
+`,
+			want: 1,
+			grep: "compile-time constant",
+		},
+		{
+			name: "declared constants are fine",
+			pkg:  "repro/internal/obs",
+			src: `package obs
+` + obsFixtureDecls + `
+const hitsName = "lobster_cache_hits_total"
+
+func setup(r *Registry) {
+	r.Counter(hitsName, "h")
+}
+`,
+		},
+		{
+			name: "unrelated Registry type is ignored",
+			pkg:  "repro/internal/sched",
+			src: `package sched
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string) {}
+
+func setup(r *Registry) {
+	r.Counter("whatever", "h")
+}
+`,
+		},
+		{
+			name: "allow directive suppresses",
+			pkg:  "repro/internal/obs",
+			src: `package obs
+` + obsFixtureDecls + `
+func setup(r *Registry) {
+	//lint:allow obsnaming legacy dashboard keys on this name
+	r.Counter("legacy_hits", "h")
+}
+`,
+		},
+	})
+}

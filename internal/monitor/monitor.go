@@ -1,22 +1,39 @@
 // Package monitor exposes a running training job's statistics over HTTP —
-// the minimal observability surface a production data-loading runtime
-// needs: a JSON metrics endpoint for scrapers, a human-readable text
-// dashboard, and a health probe.
+// the observability surface a production data-loading runtime needs:
 //
-// The server is generic: anything that can produce a snapshot value can be
-// monitored. The online runtime publishes a runtime.Progress every
-// iteration (see runtime.Options.OnProgress).
+//	/metrics.json    the most recent snapshot, JSON
+//	/metrics         Prometheus text exposition of an attached
+//	                 obs.Registry (404 until SetRegistry)
+//	/trace.json      Chrome trace-event dump of an attached
+//	                 obs.TraceRing, loadable in Perfetto
+//	                 (404 until SetTrace)
+//	/debug/pprof/*   the standard Go profiling endpoints
+//	/healthz         liveness probe, staleness-aware (SetMaxStale)
+//	/                human-readable text dashboard
+//
+// The server is generic: anything that can produce a snapshot value can
+// be monitored. The online runtime publishes a runtime.Progress every
+// iteration (see runtime.Options.OnProgress); attach the run's
+// obs.Registry and obs.TraceRing for the live per-stage view.
 package monitor
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
+
+// shutdownTimeout bounds how long Close waits for in-flight scrapes to
+// finish before forcibly closing connections.
+const shutdownTimeout = 2 * time.Second
 
 // Server serves the most recently published snapshot.
 type Server struct {
@@ -27,6 +44,13 @@ type Server struct {
 	snapshot any
 	updated  time.Time
 	updates  atomic.Uint64
+
+	// maxStale (ns) is the /healthz staleness window; 0 disables the
+	// staleness check (a snapshot, once published, keeps the probe ok).
+	maxStale atomic.Int64
+
+	reg   atomic.Pointer[obs.Registry]
+	trace atomic.Pointer[obs.TraceRing]
 }
 
 // Serve starts the monitor on addr ("127.0.0.1:0" for an ephemeral port).
@@ -38,7 +62,14 @@ func Serve(addr string) (*Server, error) {
 	s := &Server{ln: ln}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics.json", s.handleJSON)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/trace.json", s.handleTrace)
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/", s.handleText)
 	s.httpSrv = &http.Server{Handler: mux}
 	go s.httpSrv.Serve(ln) //lint:allow errcheck Serve always returns non-nil on Close; nothing to do with it
@@ -60,8 +91,34 @@ func (s *Server) Update(snapshot any) {
 // Updates returns the number of snapshots published.
 func (s *Server) Updates() uint64 { return s.updates.Load() }
 
-// Close shuts the server down.
-func (s *Server) Close() error { return s.httpSrv.Close() }
+// SetMaxStale makes /healthz fail once the last Update is older than d.
+// A runtime that hangs mid-run stops publishing; without a staleness
+// window the probe would report ok forever on the frozen snapshot.
+// d <= 0 disables the check.
+func (s *Server) SetMaxStale(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.maxStale.Store(int64(d))
+}
+
+// SetRegistry attaches the instrument registry served at /metrics.
+func (s *Server) SetRegistry(r *obs.Registry) { s.reg.Store(r) }
+
+// SetTrace attaches the span ring served at /trace.json.
+func (s *Server) SetTrace(tr *obs.TraceRing) { s.trace.Store(tr) }
+
+// Close shuts the server down gracefully: in-flight scrapes get up to
+// shutdownTimeout to finish before connections are forcibly closed.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	if err := s.httpSrv.Shutdown(ctx); err != nil {
+		// Stragglers past the deadline: cut them.
+		return s.httpSrv.Close()
+	}
+	return nil
+}
 
 func (s *Server) handleJSON(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
@@ -80,13 +137,47 @@ func (s *Server) handleJSON(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	reg := s.reg.Load()
+	if reg == nil {
+		http.Error(w, "no instrument registry attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := reg.WritePrometheus(w); err != nil {
+		// Headers are gone; the truncated body is the client's signal.
+		return
+	}
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	tr := s.trace.Load()
+	if tr == nil {
+		http.Error(w, "no trace ring attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="lobster-trace.json"`)
+	if err := tr.WriteJSON(w); err != nil {
+		return // client disconnect mid-dump; nothing actionable
+	}
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
-	stale := s.snapshot == nil
+	none := s.snapshot == nil
+	updated := s.updated
 	s.mu.RUnlock()
-	if stale {
+	if none {
 		http.Error(w, "no snapshot yet", http.StatusServiceUnavailable)
 		return
+	}
+	if window := time.Duration(s.maxStale.Load()); window > 0 {
+		if age := time.Since(updated); age > window {
+			http.Error(w, fmt.Sprintf("snapshot stale: last update %s ago (max %s)", age.Round(time.Millisecond), window),
+				http.StatusServiceUnavailable)
+			return
+		}
 	}
 	fmt.Fprintln(w, "ok") //lint:allow errcheck best-effort health probe; client disconnects are not actionable
 }

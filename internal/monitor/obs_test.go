@@ -1,0 +1,150 @@
+package monitor
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestMetricsEndpoint checks /metrics 404s without a registry and
+// serves the exposition format once one is attached.
+func TestMetricsEndpoint(t *testing.T) {
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	code, _ := get(t, "http://"+s.Addr()+"/metrics")
+	if code != http.StatusNotFound {
+		t.Fatalf("/metrics without registry = %d, want 404", code)
+	}
+
+	reg := obs.NewRegistry()
+	reg.Counter("lobster_test_hits_total", "Hits.", "node", "0").Add(7)
+	s.SetRegistry(reg)
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want the 0.0.4 exposition type", ct)
+	}
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	if !strings.Contains(body, `lobster_test_hits_total{node="0"} 7`) {
+		t.Fatalf("scrape missing counter sample:\n%s", body)
+	}
+}
+
+// TestTraceEndpoint checks /trace.json 404s without a ring and serves
+// parseable Chrome trace JSON once one is attached.
+func TestTraceEndpoint(t *testing.T) {
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	code, _ := get(t, "http://"+s.Addr()+"/trace.json")
+	if code != http.StatusNotFound {
+		t.Fatalf("/trace.json without ring = %d, want 404", code)
+	}
+
+	tr := obs.NewTraceRing(64)
+	tid := tr.NewThread("rank0")
+	tr.Span("stall", "gpu", tid, time.Now(), time.Millisecond)
+	s.SetTrace(tr)
+	code, body := get(t, "http://"+s.Addr()+"/trace.json")
+	if code != http.StatusOK {
+		t.Fatalf("/trace.json = %d, want 200", code)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("trace dump does not parse: %v", err)
+	}
+	var haveSpan bool
+	for _, e := range out.TraceEvents {
+		if e["name"] == "stall" && e["ph"] == "X" {
+			haveSpan = true
+		}
+	}
+	if !haveSpan {
+		t.Fatalf("trace dump missing the recorded span:\n%s", body)
+	}
+}
+
+// TestHealthzStaleness checks the probe fails once the snapshot is
+// older than the configured window, and recovers on the next Update.
+func TestHealthzStaleness(t *testing.T) {
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetMaxStale(30 * time.Millisecond)
+
+	s.Update(map[string]int{"iter": 1})
+	if code, _ := get(t, "http://"+s.Addr()+"/healthz"); code != http.StatusOK {
+		t.Fatalf("fresh healthz = %d, want 200", code)
+	}
+	time.Sleep(60 * time.Millisecond)
+	code, body := get(t, "http://"+s.Addr()+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("stale healthz = %d, want 503 (%s)", code, body)
+	}
+	if !strings.Contains(body, "stale") {
+		t.Fatalf("stale healthz body %q does not say why", body)
+	}
+	s.Update(map[string]int{"iter": 2})
+	if code, _ := get(t, "http://"+s.Addr()+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz after recovery = %d, want 200", code)
+	}
+
+	// Disabling the window makes the frozen snapshot healthy again.
+	s.SetMaxStale(0)
+	time.Sleep(10 * time.Millisecond)
+	if code, _ := get(t, "http://"+s.Addr()+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz with window disabled = %d, want 200", code)
+	}
+}
+
+// TestGracefulClose checks Close lets an in-flight scrape finish
+// instead of cutting the connection under it.
+func TestGracefulClose(t *testing.T) {
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	reg.Counter("lobster_test_total", "t").Inc()
+	s.SetRegistry(reg)
+
+	// Hold a connection open with a request already accepted, then Close.
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Close() }()
+	buf := make([]byte, 1024)
+	n, _ := resp.Body.Read(buf)
+	resp.Body.Close()
+	if n == 0 {
+		t.Fatal("in-flight scrape got no body across Close")
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("graceful Close returned %v", err)
+	}
+}

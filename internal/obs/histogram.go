@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// histStripes is the number of independently locked shards an Observe
+// can land on. Power of two so the stripe pick is a mask. Eight stripes
+// keep a 64-GPU runtime's load workers from serializing on one mutex
+// while the per-stripe state stays cache-resident.
+const histStripes = 8
+
+// Histogram is a concurrent latency histogram: fixed bucket upper
+// bounds shared across histStripes lock-striped shards, each shard a
+// stats.Histogram (the same binning that backs the offline Fig. 4 /
+// Fig. 8c analysis) plus a running sum for the Prometheus _sum series.
+// Observe picks a stripe round-robin with one relaxed atomic add, takes
+// only that stripe's mutex, and allocates nothing.
+type Histogram struct {
+	en     *atomic.Bool
+	bounds []float64 // bucket upper bounds (le), strictly increasing
+	next   atomic.Uint64
+	shards [histStripes]histShard
+}
+
+type histShard struct {
+	mu  sync.Mutex
+	h   *stats.Histogram
+	sum float64
+	// pad the shard to a 64-byte cache line so neighboring stripes do
+	// not false-share under concurrent Observe.
+	_ [40]byte
+}
+
+// newHistogram builds the striped histogram; bounds must be strictly
+// increasing and non-empty. Panics on misuse (registration-time code).
+func newHistogram(en *atomic.Bool, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	// stats.Histogram bins are [edge[i], edge[i+1]); prepending edge 0
+	// makes bin i count observations in (prev bound, bounds[i]], with
+	// Underflow catching v < 0 and Overflow the +Inf bucket.
+	edges := make([]float64, 0, len(bounds)+1)
+	edges = append(edges, 0)
+	edges = append(edges, bounds...)
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	h := &Histogram{en: en, bounds: b}
+	for i := range h.shards {
+		sh, err := stats.NewHistogram(edges)
+		if err != nil {
+			panic(fmt.Sprintf("obs: histogram bounds %v: %v", bounds, err))
+		}
+		h.shards[i].h = sh
+	}
+	return h
+}
+
+// On reports whether observations are currently being recorded — the
+// cheap pre-check hot paths use to skip the clock reads that feed
+// Observe.
+func (h *Histogram) On() bool { return h != nil && h.en.Load() }
+
+// Observe records one value (typically seconds). Allocation-free;
+// no-op when nil or disabled.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || !h.en.Load() {
+		return
+	}
+	sh := &h.shards[h.next.Add(1)&(histStripes-1)]
+	sh.mu.Lock()
+	sh.h.Add(v)
+	sh.sum += v
+	sh.mu.Unlock()
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.Lock()
+		n += uint64(sh.h.Total())
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// snapshot aggregates the stripes: cumulative counts per bound
+// (cum[i] = observations <= bounds[i], Prometheus le semantics with
+// negative observations clamped into the first bucket), the +Inf total,
+// and the running sum.
+func (h *Histogram) snapshot() (cum []uint64, count uint64, sum float64) {
+	cum = make([]uint64, len(h.bounds))
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.Lock()
+		running := uint64(sh.h.Underflow()) // v < 0: clamp into bucket 0
+		for b := 0; b < sh.h.Bins(); b++ {
+			_, _, c := sh.h.Bin(b)
+			running += uint64(c)
+			cum[b] += running
+		}
+		count += uint64(sh.h.Total())
+		sum += sh.sum
+		sh.mu.Unlock()
+	}
+	return cum, count, sum
+}
+
+// ExpBuckets returns n geometrically spaced bucket bounds from lo to hi
+// (inclusive), the natural binning for latencies spanning orders of
+// magnitude. Built on stats.NewLogHistogram so the edge math matches
+// the offline reuse-distance histograms. Panics on invalid shape
+// (registration-time code).
+func ExpBuckets(lo, hi float64, n int) []float64 {
+	h, err := stats.NewLogHistogram(lo, hi, n)
+	if err != nil {
+		panic(fmt.Sprintf("obs: ExpBuckets(%g, %g, %d): %v", lo, hi, n, err))
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		_, upper, _ := h.Bin(i)
+		out[i] = upper
+	}
+	return out
+}
+
+// LatencyBuckets is the default latency binning: 1µs to 10s over 24
+// geometric buckets, wide enough for both an in-memory cache hit and a
+// stalled PFS read under failure-injection backoff.
+func LatencyBuckets() []float64 { return ExpBuckets(1e-6, 10, 24) }

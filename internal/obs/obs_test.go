@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterGauge checks basic recording plus the disabled and
+// nil-receiver no-op paths.
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("lobster_test_ops_total", "ops")
+	g := r.Gauge("lobster_test_depth", "depth")
+	c.Inc()
+	c.Add(4)
+	g.Set(7)
+	g.Add(-2)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+
+	r.SetEnabled(false)
+	c.Inc()
+	g.Set(99)
+	if c.Value() != 5 || g.Value() != 5 {
+		t.Fatalf("disabled registry still recorded: counter=%d gauge=%d", c.Value(), g.Value())
+	}
+
+	var nilC *Counter
+	var nilG *Gauge
+	var nilH *Histogram
+	nilC.Inc()
+	nilG.Set(1)
+	nilH.Observe(1)
+	if nilC.Value() != 0 || nilG.Value() != 0 || nilH.Count() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+}
+
+// TestRegistryIdempotent checks that re-registering a series returns
+// the same instrument, and that distinct label sets get distinct ones.
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("lobster_test_total", "h", "node", "0")
+	b := r.Counter("lobster_test_total", "h", "node", "0")
+	c := r.Counter("lobster_test_total", "h", "node", "1")
+	if a != b {
+		t.Fatal("same series must return the same counter")
+	}
+	if a == c {
+		t.Fatal("distinct label sets must return distinct counters")
+	}
+}
+
+// TestRegistryTypeMismatchPanics checks the misuse guard.
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lobster_test_total", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("lobster_test_total", "h")
+}
+
+// TestLabelEscaping checks the exposition format's label-value escaping
+// of backslash, double quote and newline.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lobster_test_total", "h", "path", "a\\b\"c\nd").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `lobster_test_total{path="a\\b\"c\nd"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("scrape missing escaped label line %q:\n%s", want, sb.String())
+	}
+}
+
+// TestHelpEscaping checks HELP text escaping of backslash and newline.
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lobster_test_total", "line1\nline2\\end")
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP lobster_test_total line1\nline2\\end`
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("scrape missing escaped HELP line %q:\n%s", want, sb.String())
+	}
+}
+
+// TestHistogramBuckets checks bucket assignment, cumulative
+// monotonicity, and the sum/count lines.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lobster_test_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5, -1} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	cum, count, sum := h.snapshot()
+	if count != 5 {
+		t.Fatalf("snapshot count = %d, want 5", count)
+	}
+	// -1 clamps into the first bucket alongside 0.005.
+	want := []uint64{2, 3, 4}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cum[%d] = %d, want %d (full: %v)", i, cum[i], w, cum)
+		}
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("cumulative buckets not monotonic: %v", cum)
+		}
+	}
+	if cum[len(cum)-1] > count {
+		t.Fatalf("last finite bucket %d exceeds count %d", cum[len(cum)-1], count)
+	}
+	if math.Abs(sum-4.555) > 1e-9 {
+		t.Fatalf("sum = %v, want 4.555", sum)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines
+// and checks nothing is lost (the stripes must merge exactly).
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lobster_test_seconds", "latency", []float64{1, 10})
+	const goroutines, per = 16, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Fatalf("count = %d, want %d", h.Count(), goroutines*per)
+	}
+	cum, _, sum := h.snapshot()
+	if cum[0] != goroutines*per {
+		t.Fatalf("bucket[le=1] = %d, want %d", cum[0], goroutines*per)
+	}
+	if math.Abs(sum-0.5*goroutines*per) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", sum, 0.5*goroutines*per)
+	}
+}
+
+// TestExpBuckets checks the generated bounds are strictly increasing
+// and span the requested range.
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1e-6, 10, 24)
+	if len(b) != 24 {
+		t.Fatalf("got %d buckets, want 24", len(b))
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %v", i, b)
+		}
+	}
+	if b[len(b)-1] < 10 {
+		t.Fatalf("last bound %v does not cover the range top 10", b[len(b)-1])
+	}
+}
+
+// TestGoldenScrape locks the full exposition format for a small fixed
+// registry: HELP/TYPE headers, families in name order, histogram
+// expansion with +Inf, counter/gauge/func samples.
+func TestGoldenScrape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lobster_kv_hits_total", "Cache hits.", "shard", "0").Add(3)
+	r.Gauge("lobster_rt_depth", "Queue depth.", "gpu", "1").Set(-2)
+	r.GaugeFunc("lobster_rt_workers", "Workers.", func() float64 { return 4 })
+	h := r.Histogram("lobster_io_seconds", "IO latency.", []float64{0.5, 2})
+	h.Observe(0.25)
+	h.Observe(1)
+	h.Observe(100)
+
+	const golden = `# HELP lobster_io_seconds IO latency.
+# TYPE lobster_io_seconds histogram
+lobster_io_seconds_bucket{le="0.5"} 1
+lobster_io_seconds_bucket{le="2"} 2
+lobster_io_seconds_bucket{le="+Inf"} 3
+lobster_io_seconds_sum 101.25
+lobster_io_seconds_count 3
+# HELP lobster_kv_hits_total Cache hits.
+# TYPE lobster_kv_hits_total counter
+lobster_kv_hits_total{shard="0"} 3
+# HELP lobster_rt_depth Queue depth.
+# TYPE lobster_rt_depth gauge
+lobster_rt_depth{gpu="1"} -2
+# HELP lobster_rt_workers Workers.
+# TYPE lobster_rt_workers gauge
+lobster_rt_workers 4
+`
+	var first strings.Builder
+	if err := r.WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != golden {
+		t.Fatalf("scrape does not match golden output.\ngot:\n%s\nwant:\n%s", first.String(), golden)
+	}
+	// Unchanged registry => byte-identical second scrape.
+	var second strings.Builder
+	if err := r.WritePrometheus(&second); err != nil {
+		t.Fatal(err)
+	}
+	if second.String() != first.String() {
+		t.Fatal("second scrape of unchanged registry differs from the first")
+	}
+}
+
+// TestFormatFloat covers the special values Prometheus spells out.
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		0.25:         "0.25",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Fatalf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := formatFloat(math.NaN()); got != "NaN" {
+		t.Fatalf("formatFloat(NaN) = %q, want NaN", got)
+	}
+}

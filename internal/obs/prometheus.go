@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered instrument in the Prometheus
+// text exposition format (version 0.0.4): # HELP / # TYPE headers per
+// family, one sample line per series, histogram families expanded into
+// cumulative _bucket{le=...} series plus _sum and _count. Families are
+// emitted in name order and series in registration order, so scrapes of
+// an unchanged registry are byte-identical — the golden-scrape test
+// relies on that.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			ws(bw, "# HELP ", f.name, " ", escapeHelp(f.help), "\n")
+		}
+		ws(bw, "# TYPE ", f.name, " ", f.typ, "\n")
+		for _, s := range f.series {
+			writeSeries(bw, f, s)
+		}
+	}
+	return bw.Flush()
+}
+
+// ws writes string parts to a bufio.Writer; bufio errors are sticky and
+// surface at the caller's Flush.
+func ws(bw *bufio.Writer, parts ...string) {
+	for _, p := range parts {
+		_, _ = bw.WriteString(p)
+	}
+}
+
+// writeSeries renders one series' sample line(s).
+func writeSeries(bw *bufio.Writer, f *family, s *series) {
+	switch {
+	case s.hist != nil:
+		writeHistogram(bw, f.name, s)
+	case s.fn != nil:
+		writeSample(bw, f.name, s.labels, formatFloat(s.fn()))
+	case s.counter != nil:
+		writeSample(bw, f.name, s.labels, strconv.FormatUint(s.counter.Value(), 10))
+	case s.gauge != nil:
+		writeSample(bw, f.name, s.labels, strconv.FormatInt(s.gauge.Value(), 10))
+	}
+}
+
+// writeHistogram expands one histogram series into its bucket, sum and
+// count lines. The le label is appended to the series' pre-rendered
+// label set.
+func writeHistogram(bw *bufio.Writer, name string, s *series) {
+	cum, count, sum := s.hist.snapshot()
+	for i, bound := range s.hist.bounds {
+		writeSample(bw, name+"_bucket", mergeLabels(s.labels, "le", formatFloat(bound)),
+			strconv.FormatUint(cum[i], 10))
+	}
+	writeSample(bw, name+"_bucket", mergeLabels(s.labels, "le", "+Inf"),
+		strconv.FormatUint(count, 10))
+	writeSample(bw, name+"_sum", s.labels, formatFloat(sum))
+	writeSample(bw, name+"_count", s.labels, strconv.FormatUint(count, 10))
+}
+
+func writeSample(bw *bufio.Writer, name, labels, value string) {
+	ws(bw, name, labels, " ", value, "\n")
+}
+
+// mergeLabels appends one extra label to a pre-rendered label set.
+func mergeLabels(rendered, key, value string) string {
+	extra := key + `="` + escapeLabelValue(value) + `"`
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+// formatFloat renders a float the way Prometheus clients expect:
+// shortest round-trip decimal, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value: backslash, double quote and
+// newline.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}

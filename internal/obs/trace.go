@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceRing is a bounded, lock-striped span recorder. Writers claim a
+// slot with one atomic add and fill it under that slot's own mutex, so
+// recording never allocates, never blocks on other writers (different
+// slots), and wraps silently when full — the ring always holds the most
+// recent spans, which is what a live "why is iteration time spiking
+// right now" scrape wants. WriteJSON renders the contents as Chrome
+// trace-event JSON, loadable in Perfetto or chrome://tracing.
+//
+// Timestamps are monotonic nanoseconds since the ring's creation
+// (time.Time.Sub uses the monotonic clock), so spans from different
+// goroutines line up even across wall-clock adjustments.
+//
+// All methods are safe on a nil *TraceRing and do nothing, so
+// un-instrumented code paths need no conditionals.
+type TraceRing struct {
+	slots []spanSlot
+	mask  uint64
+	head  atomic.Uint64
+	epoch time.Time
+
+	tidSeq  atomic.Int64
+	nameMu  sync.Mutex
+	threads map[int64]string
+}
+
+// spanSlot is one recorded event. Strings stored here are the caller's
+// (by convention compile-time constants), so filling a slot allocates
+// nothing.
+type spanSlot struct {
+	mu   sync.Mutex
+	used bool
+	ph   byte // 'X' complete span, 'i' instant
+	tid  int64
+	name string
+	cat  string
+	ts   int64 // ns since epoch
+	dur  int64 // ns ('X' only)
+	a1n  string
+	a1   int64
+	a2n  string
+	a2   int64
+}
+
+// Event is one exported ring entry (tests and programmatic consumers;
+// WriteJSON is the interchange path).
+type Event struct {
+	Ph       byte
+	Name     string
+	Cat      string
+	TID      int64
+	TsNs     int64
+	DurNs    int64
+	Arg1Name string
+	Arg1     int64
+	Arg2Name string
+	Arg2     int64
+}
+
+// NewTraceRing creates a ring holding the most recent `capacity` events
+// (rounded up to a power of two, minimum 64).
+func NewTraceRing(capacity int) *TraceRing {
+	n := 64
+	for n < capacity {
+		n <<= 1
+	}
+	return &TraceRing{
+		slots:   make([]spanSlot, n),
+		mask:    uint64(n - 1),
+		epoch:   time.Now(),
+		threads: make(map[int64]string),
+	}
+}
+
+// NewThread allocates a trace thread ID and names its track. Not a hot
+// path (one call per worker goroutine spawned); the name may be built
+// with fmt.
+func (t *TraceRing) NewThread(name string) int64 {
+	if t == nil {
+		return 0
+	}
+	tid := t.tidSeq.Add(1)
+	t.nameMu.Lock()
+	t.threads[tid] = name
+	t.nameMu.Unlock()
+	return tid
+}
+
+// ThreadName returns the track name registered for tid ("" if none).
+func (t *TraceRing) ThreadName(tid int64) string {
+	if t == nil {
+		return ""
+	}
+	t.nameMu.Lock()
+	defer t.nameMu.Unlock()
+	return t.threads[tid]
+}
+
+// Span records a complete ('X') span that started at start and lasted
+// dur, on track tid. Allocation-free: name and cat should be constants.
+func (t *TraceRing) Span(name, cat string, tid int64, start time.Time, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.record('X', name, cat, tid, start.Sub(t.epoch).Nanoseconds(), dur.Nanoseconds(), "", 0, "", 0)
+}
+
+// SpanArgs is Span with up to two integer arguments attached (pass ""
+// to skip an argument slot).
+func (t *TraceRing) SpanArgs(name, cat string, tid int64, start time.Time, dur time.Duration,
+	a1n string, a1 int64, a2n string, a2 int64) {
+	if t == nil {
+		return
+	}
+	t.record('X', name, cat, tid, start.Sub(t.epoch).Nanoseconds(), dur.Nanoseconds(), a1n, a1, a2n, a2)
+}
+
+// Instant records a zero-duration instant event ('i') at now — e.g. a
+// thread-controller resize decision.
+func (t *TraceRing) Instant(name, cat string, tid int64, a1n string, a1 int64, a2n string, a2 int64) {
+	if t == nil {
+		return
+	}
+	t.record('i', name, cat, tid, time.Since(t.epoch).Nanoseconds(), 0, a1n, a1, a2n, a2)
+}
+
+func (t *TraceRing) record(ph byte, name, cat string, tid int64, ts, dur int64,
+	a1n string, a1 int64, a2n string, a2 int64) {
+	i := t.head.Add(1) - 1
+	s := &t.slots[i&t.mask]
+	s.mu.Lock()
+	s.used, s.ph, s.name, s.cat, s.tid = true, ph, name, cat, tid
+	s.ts, s.dur = ts, dur
+	s.a1n, s.a1, s.a2n, s.a2 = a1n, a1, a2n, a2
+	s.mu.Unlock()
+}
+
+// Len returns the number of events currently held (capped at capacity).
+func (t *TraceRing) Len() int {
+	if t == nil {
+		return 0
+	}
+	n := t.head.Load()
+	if n > uint64(len(t.slots)) {
+		return len(t.slots)
+	}
+	return int(n)
+}
+
+// Events snapshots the ring's contents, oldest first.
+func (t *TraceRing) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(t.slots))
+	for i := range t.slots {
+		s := &t.slots[i]
+		s.mu.Lock()
+		if s.used {
+			out = append(out, Event{
+				Ph: s.ph, Name: s.name, Cat: s.cat, TID: s.tid,
+				TsNs: s.ts, DurNs: s.dur,
+				Arg1Name: s.a1n, Arg1: s.a1, Arg2Name: s.a2n, Arg2: s.a2,
+			})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TsNs != out[j].TsNs {
+			return out[i].TsNs < out[j].TsNs
+		}
+		return out[i].TID < out[j].TID
+	})
+	return out
+}
+
+// traceEvent is the Chrome trace-event JSON shape (ts/dur in
+// microseconds).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteJSON dumps the ring as a Chrome trace-event file: thread-name
+// metadata first, then the events oldest-first. Load the output in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. Scrape-time code:
+// allocates freely.
+func (t *TraceRing) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: nil trace ring")
+	}
+	events := []traceEvent{{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]any{"name": "lobster"},
+	}}
+	t.nameMu.Lock()
+	tids := make([]int64, 0, len(t.threads))
+	for tid := range t.threads {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, tid := range tids {
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: tid,
+			Args: map[string]any{"name": t.threads[tid]},
+		})
+	}
+	t.nameMu.Unlock()
+	for _, e := range t.Events() {
+		te := traceEvent{
+			Name: e.Name, Cat: e.Cat, Pid: 0, Tid: e.TID,
+			Ts: float64(e.TsNs) / 1e3,
+		}
+		switch e.Ph {
+		case 'i':
+			te.Ph, te.S = "i", "t"
+		default:
+			te.Ph, te.Dur = "X", float64(e.DurNs)/1e3
+		}
+		if e.Arg1Name != "" || e.Arg2Name != "" {
+			te.Args = make(map[string]any, 2)
+			if e.Arg1Name != "" {
+				te.Args[e.Arg1Name] = e.Arg1
+			}
+			if e.Arg2Name != "" {
+				te.Args[e.Arg2Name] = e.Arg2
+			}
+		}
+		events = append(events, te)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{events, "ms"})
+}

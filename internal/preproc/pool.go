@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
 )
 
 // Job is one preprocessing work item: a raw payload to decode and augment.
@@ -38,7 +40,67 @@ type Pool struct {
 
 	processed atomic.Uint64
 	wg        sync.WaitGroup
+
+	// ins is the optional live instrumentation (SetInstruments); an
+	// atomic pointer so attaching mid-run cannot race the workers. The
+	// nil fast path costs one pointer load per job.
+	ins atomic.Pointer[Instruments]
+	// tidFree recycles trace thread IDs across worker generations so a
+	// thread-controller resizing every iteration does not mint
+	// unbounded trace tracks.
+	tidMu   sync.Mutex
+	tidFree []int64
+	tidSeq  int
 }
+
+// Instruments is the pool's optional observability hookup. JobSeconds
+// gets one observation per preprocessing job; Trace (with TraceLabel as
+// the track-name prefix) gets one "preproc" span per job on a
+// per-worker track. Attach with SetInstruments before or during a run.
+type Instruments struct {
+	JobSeconds *obs.Histogram
+	Trace      *obs.TraceRing
+	TraceLabel string
+}
+
+// active reports whether recording would do anything right now — the
+// pre-check that keeps the disabled path free of clock reads.
+func (ins *Instruments) active() bool {
+	return ins != nil && (ins.Trace != nil || ins.JobSeconds.On())
+}
+
+// SetInstruments attaches (or replaces, or with nil detaches) the
+// pool's instrumentation. Safe to call concurrently with Submit.
+func (p *Pool) SetInstruments(ins *Instruments) { p.ins.Store(ins) }
+
+// takeTID leases a trace track for one worker, reusing returned IDs
+// before minting new ones.
+func (p *Pool) takeTID(ins *Instruments) int64 {
+	p.tidMu.Lock()
+	if n := len(p.tidFree); n > 0 {
+		tid := p.tidFree[n-1]
+		p.tidFree = p.tidFree[:n-1]
+		p.tidMu.Unlock()
+		return tid
+	}
+	p.tidSeq++
+	seq := p.tidSeq
+	p.tidMu.Unlock()
+	return ins.Trace.NewThread(fmt.Sprintf("%s/worker%d", ins.TraceLabel, seq))
+}
+
+func (p *Pool) putTID(tid int64) {
+	if tid == 0 {
+		return
+	}
+	p.tidMu.Lock()
+	p.tidFree = append(p.tidFree, tid)
+	p.tidMu.Unlock()
+}
+
+// QueueLen returns the number of jobs waiting in the queue (for
+// scrape-time gauge callbacks).
+func (p *Pool) QueueLen() int { return len(p.jobs) }
 
 // NewPool starts a pool with the given number of workers.
 func NewPool(workers, queueDepth int) (*Pool, error) {
@@ -69,6 +131,8 @@ func (p *Pool) spawn() {
 
 func (p *Pool) worker() {
 	defer p.wg.Done()
+	var tid int64
+	defer func() { p.putTID(tid) }()
 	for {
 		select {
 		case <-p.stops:
@@ -77,17 +141,33 @@ func (p *Pool) worker() {
 			if !ok {
 				return
 			}
-			p.run(job)
+			ins := p.ins.Load()
+			if tid == 0 && ins != nil && ins.Trace != nil {
+				tid = p.takeTID(ins)
+			}
+			p.run(job, ins, tid)
 		}
 	}
 }
 
-func (p *Pool) run(job Job) {
+func (p *Pool) run(job Job, ins *Instruments, tid int64) {
+	var start time.Time
+	rec := ins.active()
+	if rec {
+		start = time.Now()
+	}
 	t, err := Decode(job.Payload, job.ID)
 	if err == nil {
 		Augment(t, job.Seed)
 	}
 	p.processed.Add(1)
+	if rec {
+		d := time.Since(start)
+		ins.JobSeconds.Observe(d.Seconds())
+		if ins.Trace != nil && tid != 0 {
+			ins.Trace.Span("preproc", "cpu", tid, start, d)
+		}
+	}
 	job.Done <- Result{Tensor: t, Err: err}
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/dataset"
 	"repro/internal/loader"
+	"repro/internal/obs"
 	"repro/internal/preproc"
 )
 
@@ -117,22 +118,55 @@ type loadRequest struct {
 type gpuQueue struct {
 	reqs    chan loadRequest
 	node    *nodeRuntime
+	label   string // trace track-name prefix, "node<n>/gpu<j>"
 	mu      sync.Mutex
 	target  int
 	stops   chan struct{}
 	wg      *sync.WaitGroup
 	pending atomic.Int64
+
+	// tidFree recycles trace thread IDs across worker generations so
+	// per-iteration resizing does not mint unbounded trace tracks.
+	tidMu   sync.Mutex
+	tidFree []int64
+	tidSeq  int
 }
 
-func newGPUQueue(node *nodeRuntime, workers int, wg *sync.WaitGroup) *gpuQueue {
+func newGPUQueue(node *nodeRuntime, gpu, workers int, wg *sync.WaitGroup) *gpuQueue {
 	q := &gpuQueue{
 		reqs:  make(chan loadRequest, 1024),
 		node:  node,
+		label: fmt.Sprintf("node%d/gpu%d", node.node, gpu),
 		stops: make(chan struct{}, 256),
 		wg:    wg,
 	}
 	q.resize(workers)
 	return q
+}
+
+// takeTID leases a trace track for one loading worker, reusing
+// returned IDs before minting new ones.
+func (q *gpuQueue) takeTID(tr *obs.TraceRing) int64 {
+	q.tidMu.Lock()
+	if n := len(q.tidFree); n > 0 {
+		tid := q.tidFree[n-1]
+		q.tidFree = q.tidFree[:n-1]
+		q.tidMu.Unlock()
+		return tid
+	}
+	q.tidSeq++
+	seq := q.tidSeq
+	q.tidMu.Unlock()
+	return tr.NewThread(fmt.Sprintf("%s/loader%d", q.label, seq))
+}
+
+func (q *gpuQueue) putTID(tid int64) {
+	if tid == 0 {
+		return
+	}
+	q.tidMu.Lock()
+	q.tidFree = append(q.tidFree, tid)
+	q.tidMu.Unlock()
 }
 
 func (q *gpuQueue) submit(r loadRequest) {
@@ -171,6 +205,8 @@ func (q *gpuQueue) workers() int {
 
 func (q *gpuQueue) worker() {
 	defer q.wg.Done()
+	var tid int64
+	defer func() { q.putTID(tid) }()
 	for {
 		select {
 		case <-q.stops:
@@ -179,7 +215,12 @@ func (q *gpuQueue) worker() {
 			if !ok {
 				return
 			}
-			q.node.load(r)
+			if tid == 0 {
+				if ro := q.node.rt.ro; ro != nil && ro.trace != nil {
+					tid = q.takeTID(ro.trace)
+				}
+			}
+			q.node.load(r, tid)
 			q.pending.Add(-1)
 		}
 	}
@@ -200,6 +241,10 @@ type nodeRuntime struct {
 	prefetched atomic.Uint64
 	pfsRetries atomic.Uint64
 
+	// loadHist times each sample materialization (runtimeObs; nil when
+	// un-instrumented — nil-safe to observe).
+	loadHist *obs.Histogram
+
 	loadWG   sync.WaitGroup
 	serverWG sync.WaitGroup
 	prefWG   sync.WaitGroup
@@ -208,12 +253,25 @@ type nodeRuntime struct {
 
 // load materializes one sample: local cache, else peer cache, else PFS —
 // then hands it to preprocessing. This is the Equation 1 path, executed
-// for real.
-func (n *nodeRuntime) load(r loadRequest) {
+// for real. tid is the worker's trace track (0 when untraced).
+func (n *nodeRuntime) load(r loadRequest, tid int64) {
+	ro := n.rt.ro
+	rec := ro != nil && (ro.trace != nil || n.loadHist.On())
+	var start time.Time
+	if rec {
+		start = time.Now()
+	}
 	now := cache.Iter(n.iterNow.Load())
 	payload, ok := n.cache.get(r.id, now)
 	if !ok {
 		payload = n.fetchMiss(r.id, now)
+	}
+	if rec {
+		d := time.Since(start)
+		n.loadHist.Observe(d.Seconds())
+		if tid != 0 {
+			ro.trace.SpanArgs("load", "io", tid, start, d, "sample", int64(r.id), "", 0)
+		}
 	}
 	n.pre.Submit(preproc.Job{ID: r.id, Payload: payload, Seed: r.seed, Done: r.out})
 }
@@ -293,9 +351,14 @@ func (n *nodeRuntime) serveRemote() {
 // prefetching does.
 func (n *nodeRuntime) prefetcher(workers, depthIters int) {
 	for w := 0; w < workers; w++ {
+		w := w
 		n.prefWG.Add(1)
 		go func() {
 			defer n.prefWG.Done()
+			var ptid int64
+			if ro := n.rt.ro; ro != nil && ro.trace != nil {
+				ptid = ro.trace.NewThread(fmt.Sprintf("node%d/prefetch%d", n.node, w))
+			}
 			cursor := access.Iter(0)
 			var batch []dataset.SampleID
 			for {
@@ -320,6 +383,11 @@ func (n *nodeRuntime) prefetcher(workers, depthIters int) {
 				epoch := int(cursor) / n.rt.itersPerEpoch
 				it := int(cursor) % n.rt.itersPerEpoch
 				batch = n.rt.sched.NodeBatch(batch[:0], epoch, it, n.node, n.rt.gpus)
+				var wstart time.Time
+				var before uint64
+				if ptid != 0 {
+					wstart, before = time.Now(), n.prefetched.Load()
+				}
 				if n.rt.kv != nil {
 					n.prefetchWindowKV(batch)
 				} else {
@@ -339,6 +407,11 @@ func (n *nodeRuntime) prefetcher(workers, depthIters int) {
 						}
 						n.prefetched.Add(1)
 					}
+				}
+				if ptid != 0 {
+					n.rt.ro.trace.SpanArgs("prefetch_window", "io", ptid,
+						wstart, time.Since(wstart),
+						"iter", int64(cursor), "fetched", int64(n.prefetched.Load()-before))
 				}
 				cursor++
 			}

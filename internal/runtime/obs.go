@@ -1,0 +1,156 @@
+package runtime
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/preproc"
+)
+
+// runtimeObs is one run's observability wiring: the latency histograms
+// fed from the iteration hot paths, the trace tracks the per-stage
+// spans land on, and (at registration time only) the scrape-time
+// callbacks that surface the runtime's existing atomics as gauges and
+// counters. Built by newRuntimeObs when Options.Obs or Options.Trace is
+// set; a nil *runtimeObs means the run is un-instrumented and every hot
+// path pays exactly one pointer check.
+//
+// Per-stage span layout (what a /trace.json dump shows in Perfetto):
+//
+//	rank<r>                 "stall" (GPU waiting on its batch) and
+//	                        "train" (compute + allreduce) spans
+//	node<n>/gpu<j>/loader<k> "load" spans, one per sample materialized
+//	node<n>/preproc/worker<k> "preproc" spans (via preproc.Instruments)
+//	node<n>/prefetch<w>     "prefetch_window" spans, one per plan window
+//	node<n>/controller      "thread_resize" instants (decision events)
+type runtimeObs struct {
+	reg   *obs.Registry
+	trace *obs.TraceRing
+
+	// Per-rank GPU-loop instruments, indexed by global rank.
+	stallSeconds []*obs.Histogram
+	trainSeconds []*obs.Histogram
+	rankTID      []int64
+
+	// Per-node thread-controller instant track, indexed by node.
+	ctrlTID []int64
+}
+
+// newRuntimeObs builds the run's wiring; nil when the run is
+// un-instrumented. reg and trace are each optional.
+func newRuntimeObs(reg *obs.Registry, trace *obs.TraceRing, world, nodes int) *runtimeObs {
+	if reg == nil && trace == nil {
+		return nil
+	}
+	ro := &runtimeObs{
+		reg:          reg,
+		trace:        trace,
+		stallSeconds: make([]*obs.Histogram, world),
+		trainSeconds: make([]*obs.Histogram, world),
+		rankTID:      make([]int64, world),
+		ctrlTID:      make([]int64, nodes),
+	}
+	for r := 0; r < world; r++ {
+		if reg != nil {
+			rank := strconv.Itoa(r)
+			ro.stallSeconds[r] = reg.Histogram("lobster_runtime_stall_seconds",
+				"Time each GPU spent waiting for its batch (data stall).",
+				obs.LatencyBuckets(), "rank", rank)
+			ro.trainSeconds[r] = reg.Histogram("lobster_runtime_train_seconds",
+				"Modeled per-iteration compute plus allreduce time per GPU.",
+				obs.LatencyBuckets(), "rank", rank)
+		}
+		ro.rankTID[r] = trace.NewThread("rank" + strconv.Itoa(r))
+	}
+	for n := 0; n < nodes; n++ {
+		ro.ctrlTID[n] = trace.NewThread("node" + strconv.Itoa(n) + "/controller")
+	}
+	return ro
+}
+
+// instrumentNode registers one node's instruments: the load-latency
+// histogram fed from the demand path, scrape-time gauges over the
+// queues and pools, scrape-time counters over the node's existing
+// atomics, and the preprocessing pool's own instruments. Must run
+// before the node receives load requests (the histogram field is
+// published to the loading workers by the request channel send).
+func (ro *runtimeObs) instrumentNode(node *nodeRuntime) {
+	n := strconv.Itoa(node.node)
+	if ro.trace != nil || ro.reg != nil {
+		ins := &preproc.Instruments{Trace: ro.trace, TraceLabel: "node" + n + "/preproc"}
+		if ro.reg != nil {
+			ins.JobSeconds = ro.reg.Histogram("lobster_preproc_job_seconds",
+				"Decode+augment time per preprocessing job.",
+				obs.LatencyBuckets(), "node", n)
+		}
+		node.pre.SetInstruments(ins)
+	}
+	if ro.reg == nil {
+		return
+	}
+	node.loadHist = ro.reg.Histogram("lobster_runtime_load_seconds",
+		"Time to materialize one sample (local cache, peer/KV tier, or PFS).",
+		obs.LatencyBuckets(), "node", n)
+
+	for j, q := range node.queues {
+		q := q
+		g := strconv.Itoa(j)
+		ro.reg.GaugeFunc("lobster_runtime_queue_depth",
+			"Load requests pending in each per-GPU queue.",
+			func() float64 { return float64(q.pending.Load()) }, "node", n, "gpu", g)
+		ro.reg.GaugeFunc("lobster_runtime_load_threads",
+			"Loading workers currently assigned to each per-GPU queue.",
+			func() float64 { return float64(q.workers()) }, "node", n, "gpu", g)
+	}
+	pre := node.pre
+	ro.reg.GaugeFunc("lobster_preproc_threads",
+		"Preprocessing workers currently assigned per node.",
+		func() float64 { return float64(pre.Workers()) }, "node", n)
+	ro.reg.GaugeFunc("lobster_preproc_queue_depth",
+		"Jobs waiting in the preprocessing queue.",
+		func() float64 { return float64(pre.QueueLen()) }, "node", n)
+	ro.reg.CounterFunc("lobster_preproc_jobs_total",
+		"Preprocessing jobs completed.",
+		func() float64 { return float64(pre.Processed()) }, "node", n)
+
+	nc := node.cache
+	ro.reg.CounterFunc("lobster_runtime_cache_hits_total",
+		"Local cache hits on the demand path.",
+		func() float64 { return float64(nc.stats().Hits) }, "node", n)
+	ro.reg.CounterFunc("lobster_runtime_cache_misses_total",
+		"Local cache misses on the demand path.",
+		func() float64 { return float64(nc.stats().Misses) }, "node", n)
+	ro.reg.CounterFunc("lobster_runtime_remote_hits_total",
+		"Misses served by the shared tier (peer caches or KV cluster).",
+		func() float64 { return float64(node.remoteHits.Load()) }, "node", n)
+	ro.reg.CounterFunc("lobster_runtime_pfs_reads_total",
+		"Samples read from the parallel file system.",
+		func() float64 { return float64(node.pfsReads.Load()) }, "node", n)
+	ro.reg.CounterFunc("lobster_runtime_pfs_retries_total",
+		"Transient PFS read failures retried.",
+		func() float64 { return float64(node.pfsRetries.Load()) }, "node", n)
+	ro.reg.CounterFunc("lobster_runtime_prefetched_total",
+		"Samples staged into the cache by the background prefetcher.",
+		func() float64 { return float64(node.prefetched.Load()) }, "node", n)
+}
+
+// resizeInstant records one thread-controller decision as an instant
+// event on the node's controller track.
+func (ro *runtimeObs) resizeInstant(node, preThreads, loadTotal int) {
+	if ro == nil || ro.trace == nil {
+		return
+	}
+	ro.trace.Instant("thread_resize", "ctrl", ro.ctrlTID[node],
+		"preproc", int64(preThreads), "load_total", int64(loadTotal))
+}
+
+// gpuSpan records one GPU-loop stage ("stall" or "train") into both the
+// histogram and the rank's trace track.
+func (ro *runtimeObs) gpuSpan(name string, h *obs.Histogram, tid int64, iter int, start time.Time) {
+	d := time.Since(start)
+	h.Observe(d.Seconds())
+	if ro.trace != nil {
+		ro.trace.SpanArgs(name, "gpu", tid, start, d, "iter", int64(iter), "", 0)
+	}
+}

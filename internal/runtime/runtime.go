@@ -16,6 +16,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/kvstore"
 	"repro/internal/loader"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/plan"
 	"repro/internal/preproc"
@@ -68,6 +69,16 @@ type Options struct {
 	// of every iteration (from the barrier's last arriver). Keep the
 	// callback cheap; it runs on the training critical path.
 	OnProgress func(Progress)
+	// Obs, when non-nil, is the instrument registry the run records into:
+	// per-stage latency histograms (stall/load/preproc), per-GPU queue
+	// depths, cache/PFS counters — everything a monitor.Server serves at
+	// /metrics. When the run uses a KVCache, its shard clients are
+	// instrumented into the same registry.
+	Obs *obs.Registry
+	// Trace, when non-nil, receives per-stage spans (stall/train per
+	// rank, load per loading worker, preproc per pool worker, prefetch
+	// windows, thread-resize instants) for /trace.json dumps.
+	Trace *obs.TraceRing
 	// KVCache, when non-nil, replaces the node-to-node distribution
 	// manager with a shared KV-store cluster as the middle cache tier
 	// (the "alternatives to distributed caching like for example
@@ -133,6 +144,7 @@ type Runtime struct {
 	kv    *kvstore.Cluster
 	nodes []*nodeRuntime
 	mgrs  []*threadmgr.Manager
+	ro    *runtimeObs // nil when the run is un-instrumented
 
 	gpus          int
 	itersPerEpoch int
@@ -255,6 +267,10 @@ func RunContext(ctx context.Context, opts Options) (*Stats, error) {
 		runDone:       make(chan struct{}),
 	}
 	rt.totalIters = opts.Epochs * rt.itersPerEpoch
+	rt.ro = newRuntimeObs(opts.Obs, opts.Trace, top.WorldSize(), top.Nodes)
+	if rt.kv != nil && opts.Obs != nil {
+		rt.kv.Instrument(opts.Obs)
+	}
 	if fileReader, err := openDataFile(opts, rt.pfs); err != nil {
 		return nil, err
 	} else if fileReader != nil {
@@ -292,7 +308,10 @@ func RunContext(ctx context.Context, opts Options) (*Stats, error) {
 		}
 		node.queues = make([]*gpuQueue, rt.gpus)
 		for j := 0; j < rt.gpus; j++ {
-			node.queues[j] = newGPUQueue(node, loadWorkers[j], &node.loadWG)
+			node.queues[j] = newGPUQueue(node, j, loadWorkers[j], &node.loadWG)
+		}
+		if rt.ro != nil {
+			rt.ro.instrumentNode(node)
 		}
 		node.serverWG.Add(1)
 		go node.serveRemote()
@@ -391,6 +410,13 @@ func RunContext(ctx context.Context, opts Options) (*Stats, error) {
 			if ring != nil {
 				grad = make([]float64, opts.GradientSize)
 			}
+			ro := rt.ro
+			var stallH, trainH *obs.Histogram
+			var rankTID int64
+			if ro != nil {
+				stallH, trainH = ro.stallSeconds[rank], ro.trainSeconds[rank]
+				rankTID = ro.rankTID[rank]
+			}
 			for h := 0; h < rt.totalIters; h++ {
 				if stopIter.Load() >= 0 && h >= int(stopIter.Load()) {
 					break
@@ -401,6 +427,14 @@ func RunContext(ctx context.Context, opts Options) (*Stats, error) {
 				for _, id := range batch {
 					expect[id] = true
 					q.submit(loadRequest{id: id, seed: opts.Seed ^ uint64(h)<<20 ^ uint64(id), out: out})
+				}
+				// The data-stall stage: everything between dispatching the
+				// batch and holding every tensor. The pre-check keeps the
+				// un-instrumented (and disabled-registry) path clock-free.
+				rec := ro != nil && (ro.trace != nil || stallH.On())
+				var stallStart time.Time
+				if rec {
+					stallStart = time.Now()
 				}
 				var batchFold uint64
 				for range batch {
@@ -425,6 +459,11 @@ func RunContext(ctx context.Context, opts Options) (*Stats, error) {
 				verifyMu.Lock()
 				stats.SamplesLoaded += uint64(len(batch))
 				verifyMu.Unlock()
+				var trainStart time.Time
+				if rec {
+					ro.gpuSpan("stall", stallH, rankTID, h, stallStart)
+					trainStart = time.Now()
+				}
 				// The training stage: compute, then average the
 				// pseudo-gradient with every other GPU — the collective
 				// that makes any straggler a global stall.
@@ -449,6 +488,9 @@ func RunContext(ctx context.Context, opts Options) (*Stats, error) {
 						gradFolds[rank] = gradFolds[rank]*31 + fold
 						allreduceRounds[rank]++
 					}
+				}
+				if rec {
+					ro.gpuSpan("train", trainH, rankTID, h, trainStart)
 				}
 				bar.wait()
 			}
@@ -625,9 +667,12 @@ func (rt *Runtime) decideThreads(h int) {
 		for n, node := range rt.nodes {
 			th := rt.opts.ThreadPlan.ThreadsAt(h)[n]
 			if err := node.pre.Resize(th.Preproc); err == nil {
+				total := 0
 				for j, q := range node.queues {
 					q.resize(th.Loading[j])
+					total += th.Loading[j]
 				}
+				rt.ro.resizeInstant(n, th.Preproc, total)
 			}
 		}
 		return
@@ -679,9 +724,12 @@ func (rt *Runtime) decideThreads(h int) {
 		}
 		dec := mgr.Decide(demands, rt.opts.Model.IterTime, rt.opts.Topology.Nodes)
 		if err := node.pre.Resize(dec.PreprocThreads); err == nil {
+			total := 0
 			for j, q := range node.queues {
 				q.resize(dec.Loading[j])
+				total += dec.Loading[j]
 			}
+			rt.ro.resizeInstant(n, dec.PreprocThreads, total)
 		}
 	}
 }

@@ -11,6 +11,10 @@
 #                        benchmark harness (full run: make bench-kv)
 #   6. sim bench smoke — BENCH_sim.json schema validation
 #                        (full regeneration: make bench-sim)
+#   7. obs bench smoke — BENCH_obs.json schema + overhead-budget
+#                        validation (full regeneration: make bench-obs)
+#   8. monitor smoke   — boot lobster-kv with its monitor attached and
+#                        scrape the live /metrics and /healthz endpoints
 #
 # Run from anywhere: the script cds to the repo root. `make check` is an
 # alias for this script.
@@ -38,5 +42,40 @@ echo "==> sim bench smoke"
 # Schema validation of the committed BENCH_sim.json (the full run is
 # `make bench-sim`, which regenerates it).
 go test . -run TestBenchSimJSON -count=1
+
+echo "==> obs bench smoke"
+# Schema + disabled-overhead-budget validation of the committed
+# BENCH_obs.json (the full run is `make bench-obs`, which regenerates it).
+go test . -run TestBenchObsJSON -count=1
+
+echo "==> monitor scrape smoke"
+# End-to-end over real TCP: boot lobster-kv with its monitor sidecar and
+# scrape the live endpoints the way an operator's Prometheus would.
+kv_bin="$(mktemp -d)/lobster-kv"
+kv_log="$(mktemp)"
+go build -o "$kv_bin" ./cmd/lobster-kv
+"$kv_bin" -addr 127.0.0.1:0 -capacity 4MiB -stats-interval 1 -monitor 127.0.0.1:0 >"$kv_log" 2>&1 &
+kv_pid=$!
+trap 'kill "$kv_pid" 2>/dev/null || true' EXIT
+mon_url=""
+for _ in $(seq 1 100); do
+  mon_url="$(sed -n 's#^monitor at \(http://[^/]*\)/metrics$#\1#p' "$kv_log")"
+  [ -n "$mon_url" ] && break
+  sleep 0.1
+done
+if [ -z "$mon_url" ]; then
+  echo "monitor never came up; lobster-kv log:" >&2
+  cat "$kv_log" >&2
+  exit 1
+fi
+curl -fsS "$mon_url/metrics" | grep -q '^lobster_kvstore_shard_items ' \
+  || { echo "live /metrics scrape missing lobster_kvstore_shard_items" >&2; exit 1; }
+curl -fsS "$mon_url/metrics" | grep -q '^# TYPE lobster_kvstore_shard_hits_total counter' \
+  || { echo "live /metrics scrape missing kvstore counter metadata" >&2; exit 1; }
+curl -fsS "$mon_url/healthz" | grep -qx 'ok' \
+  || { echo "live /healthz is not healthy" >&2; exit 1; }
+kill "$kv_pid"
+wait "$kv_pid" 2>/dev/null || true
+trap - EXIT
 
 echo "ALL CHECKS PASSED"
