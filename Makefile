@@ -21,9 +21,10 @@ test:
 race:
 	$(GO) test -race ./...
 
-## lint: the project-specific static analysis suite
+## lint: the project-specific static analysis suite (analyzers run
+## concurrently; -time prints per-analyzer wall time)
 lint:
-	$(GO) run ./cmd/lobster-lint ./...
+	$(GO) run ./cmd/lobster-lint -time ./...
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -162,6 +162,7 @@ func TestConcurrentReads(t *testing.T) {
 	done := make(chan error, 8)
 	for g := 0; g < 8; g++ {
 		g := g
+		//lint:allow goroutine each worker sends exactly one result on the buffered done channel, which the loop below drains
 		go func() {
 			for i := g; i < ds.Len(); i += 8 {
 				p, err := r.Read(dataset.SampleID(i))

@@ -445,6 +445,8 @@ func (p *pipeConn) connErr() error {
 }
 
 // writeV2Request encodes one request frame (layout in store.go).
+//
+//lint:hotpath one frame encode per op; the write loop must not allocate between pooled calls
 func writeV2Request(w *bufio.Writer, c *call) {
 	// bufio errors are sticky; the writeLoop's Flush surfaces the first.
 	_ = w.WriteByte(frameV2Magic)
@@ -519,7 +521,12 @@ func (p *pipeConn) readLoop() {
 	}
 }
 
-// readV2Body parses a response frame's op-specific body into c.
+// readV2Body parses a response frame's op-specific body into c. The
+// only allocations are the response values themselves (they escape to
+// the caller, so pooled scratch cannot hold them) and cold
+// protocol-error formatting; the framing reads are allocation-free.
+//
+//lint:hotpath one frame decode per op; anything beyond the escaping response values is per-op garbage
 func readV2Body(r *bufio.Reader, op byte, c *call) error {
 	switch op {
 	case opMultiGet:
@@ -528,8 +535,10 @@ func readV2Body(r *bufio.Reader, op byte, c *call) error {
 			return err
 		}
 		if int(count) != len(c.keys) {
+			//lint:allow hotpath cold protocol-error path; the connection is dropped right after
 			return fmt.Errorf("kvstore: MultiGet response has %d entries, want %d", count, len(c.keys))
 		}
+		//lint:allow hotpath response values escape to the caller and cannot come from the pool
 		c.outs = make([][]byte, count)
 		for i := uint32(0); i < count; i++ {
 			st, err := r.ReadByte()
@@ -540,6 +549,7 @@ func readV2Body(r *bufio.Reader, op byte, c *call) error {
 			if err != nil {
 				return err
 			}
+			//lint:allow hotpath response values escape to the caller and cannot come from the pool
 			v := make([]byte, n)
 			if _, err := io.ReadFull(r, v); err != nil {
 				return err
@@ -555,8 +565,10 @@ func readV2Body(r *bufio.Reader, op byte, c *call) error {
 			return err
 		}
 		if int(count) != len(c.keys) {
+			//lint:allow hotpath cold protocol-error path; the connection is dropped right after
 			return fmt.Errorf("kvstore: MultiPut response has %d entries, want %d", count, len(c.keys))
 		}
+		//lint:allow hotpath per-key status vector escapes to the caller and cannot come from the pool
 		c.statuses = make([]byte, count)
 		if _, err := io.ReadFull(r, c.statuses); err != nil {
 			return err
@@ -567,6 +579,7 @@ func readV2Body(r *bufio.Reader, op byte, c *call) error {
 		if err != nil {
 			return err
 		}
+		//lint:allow hotpath response values escape to the caller and cannot come from the pool
 		out := make([]byte, n)
 		if _, err := io.ReadFull(r, out); err != nil {
 			return err

@@ -55,6 +55,8 @@ var errFrame = errors.New("kvstore: malformed frame")
 // readLen and friends move u32 length fields byte-at-a-time through
 // bufio: unlike an io.ReadFull/Write with a stack array, nothing
 // escapes, so the frame hot path stays allocation-free.
+//
+//lint:hotpath length fields move byte-at-a-time exactly so the per-frame path stays allocation-free
 func readLen(r *bufio.Reader, max uint32) (uint32, error) {
 	n, err := readU32(r)
 	if err != nil {
@@ -66,6 +68,7 @@ func readLen(r *bufio.Reader, max uint32) (uint32, error) {
 	return n, nil
 }
 
+//lint:hotpath length fields move byte-at-a-time exactly so the per-frame path stays allocation-free
 func writeU32(w *bufio.Writer, v uint32) {
 	// bufio errors are sticky; the eventual Flush surfaces the first.
 	_ = w.WriteByte(byte(v >> 24))
@@ -74,6 +77,7 @@ func writeU32(w *bufio.Writer, v uint32) {
 	_ = w.WriteByte(byte(v))
 }
 
+//lint:hotpath length fields move byte-at-a-time exactly so the per-frame path stays allocation-free
 func readU32(r *bufio.Reader) (uint32, error) {
 	var v uint32
 	for i := 0; i < 4; i++ {

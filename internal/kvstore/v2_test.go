@@ -315,6 +315,7 @@ func TestV2FailureUnderLoad(t *testing.T) {
 	}
 	stop.Store(true)
 	done := make(chan struct{})
+	//lint:allow goroutine exits when wg.Wait returns; the select below bounds the wait at 30s
 	go func() { wg.Wait(); close(done) }()
 	select {
 	case <-done:
@@ -332,6 +333,7 @@ func TestV2MismatchedResponseErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { ln.Close() })
+	//lint:allow goroutine serves exactly one connection and exits; Cleanup closing the listener unblocks a pending Accept
 	go func() {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -353,6 +355,7 @@ func TestV2MismatchedResponseErrors(t *testing.T) {
 	}
 	t.Cleanup(c.Close)
 	errc := make(chan error, 1)
+	//lint:allow goroutine one-shot Get whose result lands in the buffered errc; Cleanup(c.Close) fails it if the server never answers
 	go func() {
 		_, _, err := c.Get("k")
 		errc <- err

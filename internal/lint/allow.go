@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"go/token"
 	"strings"
 )
 
@@ -12,27 +13,51 @@ import (
 // on the line directly below (so it works both as an end-of-line comment
 // and as a comment above the offending statement). The justification is
 // mandatory: an exception whose reason nobody wrote down is a bug
-// waiting to be re-discovered.
+// waiting to be re-discovered. A directive that suppresses nothing is
+// itself a finding — stale allows are how disabled checks quietly come
+// back to life.
 const allowPrefix = "//lint:allow"
 
-// allowSet maps filename -> line -> set of allowed check IDs.
-type allowSet map[string]map[int]map[string]bool
-
-func (s allowSet) permits(f Finding) bool {
-	lines := s[f.Pos.Filename]
-	if lines == nil {
-		return false
-	}
-	return lines[f.Pos.Line][f.Check]
+// allowDirective is one parsed, well-formed directive. `used` is set
+// when the directive actually suppresses a finding, so the run can
+// report stale directives afterwards.
+type allowDirective struct {
+	check string
+	pos   token.Position // of the comment itself
+	test  bool           // lives in a _test.go file
+	used  bool
 }
 
-// collectAllows scans every comment in the package for allow directives.
-// It returns the resulting suppression set plus findings for malformed
-// directives (missing check ID or justification).
-func collectAllows(p *Package) (allowSet, []Finding) {
-	set := allowSet{}
+// allowSet indexes the directives of one analysis run:
+// filename -> line -> directives covering that line.
+type allowSet struct {
+	byLine map[string]map[int][]*allowDirective
+	all    []*allowDirective
+}
+
+func newAllowSet() *allowSet {
+	return &allowSet{byLine: map[string]map[int][]*allowDirective{}}
+}
+
+// permits reports whether a directive covers the finding, marking the
+// first matching directive as used.
+func (s *allowSet) permits(f Finding) bool {
+	for _, d := range s.byLine[f.Pos.Filename][f.Pos.Line] {
+		if d.check == f.Check {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// collect scans every comment of the package — test files included,
+// since the goroutine/mutex checks run there too — for allow
+// directives, recording findings for malformed ones (missing check ID
+// or justification).
+func (s *allowSet) collect(p *Package) []Finding {
 	var bad []Finding
-	for _, file := range p.Files {
+	for _, file := range p.allFiles() {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
 				rest, isAllow := strings.CutPrefix(c.Text, allowPrefix)
@@ -42,30 +67,72 @@ func collectAllows(p *Package) (allowSet, []Finding) {
 				rest = strings.TrimSpace(rest)
 				id, why, _ := strings.Cut(rest, " ")
 				if id == "" {
-					bad = append(bad, p.finding("directive", c, "lint:allow directive names no check ID"))
+					bad = append(bad, p.finding(idDirective, c, "lint:allow directive names no check ID"))
 					continue
 				}
 				if strings.TrimSpace(why) == "" {
-					bad = append(bad, p.finding("directive",
+					bad = append(bad, p.finding(idDirective,
 						c, "lint:allow %s has no justification; write why the exception is safe", id))
 					continue
 				}
 				pos := p.position(c)
-				lines := set[pos.Filename]
+				d := &allowDirective{
+					check: id,
+					pos:   pos,
+					test:  strings.HasSuffix(pos.Filename, "_test.go"),
+				}
+				s.all = append(s.all, d)
+				lines := s.byLine[pos.Filename]
 				if lines == nil {
-					lines = map[int]map[string]bool{}
-					set[pos.Filename] = lines
+					lines = map[int][]*allowDirective{}
+					s.byLine[pos.Filename] = lines
 				}
 				for _, line := range []int{pos.Line, pos.Line + 1} {
-					ids := lines[line]
-					if ids == nil {
-						ids = map[string]bool{}
-						lines[line] = ids
-					}
-					ids[id] = true
+					lines[line] = append(lines[line], d)
 				}
 			}
 		}
 	}
-	return set, bad
+	return bad
+}
+
+// staleFindings reports directives that cannot or did not suppress
+// anything: unknown check IDs (against the full registry, so a typo is
+// caught even when running a subset), and directives whose check ran
+// over their file yet suppressed no finding. Directives for checks that
+// were not part of this run are left alone — a fixture test running one
+// analyzer must not declare every other directive stale.
+func (s *allowSet) staleFindings(ran []*Analyzer) []Finding {
+	known := map[string]bool{idDirective: true}
+	for _, a := range Analyzers() {
+		known[a.ID] = true
+	}
+	ranProd := map[string]bool{}
+	ranTest := map[string]bool{}
+	for _, a := range ran {
+		ranProd[a.ID] = true
+		if a.Tests {
+			ranTest[a.ID] = true
+		}
+	}
+	var out []Finding
+	for _, d := range s.all {
+		switch {
+		case !known[d.check]:
+			out = append(out, Finding{Check: idDirective, Pos: d.pos,
+				Message: "lint:allow names unknown check " + d.check + "; fix the ID or remove the directive"})
+		case d.used:
+		case d.test && !ranTest[d.check]:
+			// The check does not run on test files; the directive can
+			// never fire there.
+			if ranProd[d.check] {
+				out = append(out, Finding{Check: idDirective, Pos: d.pos,
+					Message: "lint:allow " + d.check + " in a test file, but that check does not run on test files; remove the stale directive"})
+			}
+		case ranProd[d.check]:
+			out = append(out, Finding{Check: idDirective, Pos: d.pos,
+				Message: "lint:allow " + d.check + " suppresses nothing; the exception is stale, remove the directive"})
+		}
+	}
+	return out
 }

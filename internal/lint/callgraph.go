@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Module is the unit of interprocedural analysis: every type-checked
+// package of the module plus a static call graph over the function
+// declarations found in their non-test files. Per-package analyzers see
+// one *Package at a time; module analyzers (lockorder, hotpath) see the
+// whole graph, which is what lets them follow a lock or an allocation
+// through call chains that cross package boundaries.
+//
+// The graph is deliberately static and syntactic: an edge exists for a
+// direct call to a declared function or method (generic calls resolve
+// to their origin declaration). Calls through interfaces, function
+// values, and function fields are not resolved — the analyzers built on
+// top document that blind spot. Call sites inside `go` statements and
+// function literals are excluded: they execute on another goroutine or
+// at another time, so they are not part of the caller's own execution.
+type Module struct {
+	Pkgs []*Package
+
+	// funcs indexes every function/method declaration with a body.
+	funcs map[*types.Func]*moduleFunc
+	// order lists the declared functions deterministically (package
+	// path, then file position), so module analyzers iterate and report
+	// independently of map order.
+	order []*types.Func
+}
+
+// moduleFunc is one declared function with its package context and the
+// static calls its body makes (excluding go statements and function
+// literals).
+type moduleFunc struct {
+	fn    *types.Func
+	pkg   *Package
+	decl  *ast.FuncDecl
+	calls []callSite
+}
+
+// callSite is one direct call to a module-declared function.
+type callSite struct {
+	callee *types.Func
+	call   *ast.CallExpr
+	// recv renders the receiver expression for method calls ("s",
+	// "p.pool"), "" for package-level calls. Lockorder uses it to tell
+	// "re-locks the same receiver" from "locks a sibling instance".
+	recv string
+}
+
+// NewModule builds the call graph over the packages' non-test files.
+func NewModule(pkgs []*Package) *Module {
+	m := &Module{Pkgs: pkgs, funcs: make(map[*types.Func]*moduleFunc)}
+	for _, p := range pkgs {
+		for _, file := range p.Files {
+			for _, d := range file.Decls {
+				decl, ok := d.(*ast.FuncDecl)
+				if !ok || decl.Body == nil {
+					continue
+				}
+				fn, ok := p.Info.Defs[decl.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				m.funcs[fn] = &moduleFunc{fn: fn, pkg: p, decl: decl}
+			}
+		}
+	}
+	for fn, mf := range m.funcs {
+		mf.calls = collectCalls(mf.pkg, mf.decl.Body)
+		m.order = append(m.order, fn)
+	}
+	sort.Slice(m.order, func(i, j int) bool {
+		a, b := m.funcs[m.order[i]], m.funcs[m.order[j]]
+		if a.pkg.Path != b.pkg.Path {
+			return a.pkg.Path < b.pkg.Path
+		}
+		return a.decl.Pos() < b.decl.Pos()
+	})
+	return m
+}
+
+// declOf returns the module declaration for fn (nil if fn is external,
+// body-less, or dynamic). Generic instantiations resolve to the origin.
+func (m *Module) declOf(fn *types.Func) *moduleFunc {
+	if fn == nil {
+		return nil
+	}
+	if mf := m.funcs[fn]; mf != nil {
+		return mf
+	}
+	return m.funcs[fn.Origin()]
+}
+
+// collectCalls walks body for direct calls, skipping go statements and
+// function literals (their bodies run elsewhere; the analyzers account
+// for the constructs themselves separately).
+func collectCalls(p *Package, body *ast.BlockStmt) []callSite {
+	var out []callSite
+	walkSameFlow(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := calleeFunc(p.Info, call)
+		if fn == nil {
+			return
+		}
+		recv := ""
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			recv = types.ExprString(sel.X)
+		}
+		out = append(out, callSite{callee: fn, call: call, recv: recv})
+	})
+	return out
+}
+
+// walkSameFlow visits every node of root that executes on the caller's
+// own goroutine as part of the enclosing function's body: function
+// literals and go statements are not descended into.
+func walkSameFlow(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// funcDisplay renders fn for findings: "pkg.F" or "(pkg.T).M".
+func funcDisplay(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		return "(" + typeString(sig.Recv().Type()) + ")." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// lockAcquire decodes call as x.Lock()/x.RLock() on a sync primitive
+// and resolves a stable cross-function lock identity:
+//
+//	pkg.Type.field  for mutex fields (including promoted embedded
+//	                mutexes, keyed by the embedding path), the common
+//	                case — every instance of the type shares the
+//	                identity, which is exactly the granularity a
+//	                lock-ordering discipline is stated at;
+//	pkg.var         for package-level mutex variables.
+//
+// base is the rendered receiver expression owning the lock ("s" for
+// s.mu.Lock() or s.Lock()). Locks held in local variables get no
+// identity (ok=false): they cannot participate in cross-function
+// ordering by construction.
+func lockAcquire(p *Package, call *ast.CallExpr) (id, base, unlockName string, ok bool) {
+	fn := calleeFunc(p.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", "", false
+	}
+	switch fn.Name() {
+	case "Lock":
+		unlockName = "Unlock"
+	case "RLock":
+		unlockName = "RUnlock"
+	default:
+		return "", "", "", false
+	}
+	sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", "", false
+	}
+	id, base, ok = lockIdentity(p, sel)
+	return id, base, unlockName, ok
+}
+
+// lockIdentity resolves the identity of the lock addressed by methodSel
+// (the `x.mu.Lock` / `x.Lock` selector). See lockAcquire.
+func lockIdentity(p *Package, methodSel *ast.SelectorExpr) (id, base string, ok bool) {
+	holder := ast.Unparen(methodSel.X)
+	switch e := holder.(type) {
+	case *ast.SelectorExpr:
+		// x.mu — a mutex field, or a qualified package-level var.
+		if selinfo := p.Info.Selections[e]; selinfo != nil {
+			fld, isVar := selinfo.Obj().(*types.Var)
+			if !isVar {
+				return "", "", false
+			}
+			named, isNamed := deref(selinfo.Recv()).(*types.Named)
+			if !isNamed || named.Obj().Pkg() == nil {
+				return "", "", false
+			}
+			return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + fld.Name(),
+				types.ExprString(e.X), true
+		}
+		if v, isVar := p.Info.Uses[e.Sel].(*types.Var); isVar && isPackageLevelVar(v) {
+			return v.Pkg().Name() + "." + v.Name(), types.ExprString(e), true
+		}
+		return "", "", false
+	case *ast.Ident:
+		v, isVar := p.Info.Uses[e].(*types.Var)
+		if !isVar {
+			return "", "", false
+		}
+		if isPackageLevelVar(v) {
+			return v.Pkg().Name() + "." + v.Name(), e.Name, true
+		}
+		// x.Lock() on a value embedding the mutex: key by the embedding
+		// path (T.Mutex for an anonymous sync.Mutex field).
+		if selinfo := p.Info.Selections[methodSel]; selinfo != nil && len(selinfo.Index()) > 1 {
+			named, isNamed := deref(selinfo.Recv()).(*types.Named)
+			if !isNamed || named.Obj().Pkg() == nil {
+				return "", "", false
+			}
+			id := named.Obj().Pkg().Name() + "." + named.Obj().Name()
+			t := deref(selinfo.Recv())
+			for _, fi := range selinfo.Index()[:len(selinfo.Index())-1] {
+				st, isStruct := t.Underlying().(*types.Struct)
+				if !isStruct || fi >= st.NumFields() {
+					return "", "", false
+				}
+				f := st.Field(fi)
+				id += "." + f.Name()
+				t = deref(f.Type())
+			}
+			return id, e.Name, true
+		}
+		return "", "", false
+	}
+	return "", "", false
+}
+
+func isPackageLevelVar(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// chainString renders a call chain "a → b → c" for findings.
+func chainString(names []string) string {
+	return strings.Join(names, " → ")
+}

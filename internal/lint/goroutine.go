@@ -19,27 +19,33 @@ var Goroutine = &Analyzer{
 	ID: idGoroutine,
 	Doc: "goroutine literals must carry a termination signal: WaitGroup.Done, " +
 		"a context, a struct{} done channel, or a range over a closable channel",
-	Run: runGoroutine,
+	Run:   runGoroutine,
+	Tests: true,
 }
 
 func runGoroutine(p *Package) []Finding {
 	var out []Finding
-	for _, file := range p.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			gs, ok := n.(*ast.GoStmt)
-			if !ok {
+	// Test files included (the second view): a race test that leaks its
+	// workers keeps polluting the race detector's view of every later
+	// test in the binary.
+	for _, v := range p.views() {
+		for _, file := range v.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				if !hasTerminationSignal(v.Info, lit) {
+					out = append(out, v.finding(idGoroutine, gs,
+						"goroutine literal has no termination signal; add sync.WaitGroup accounting, a context, or a done channel"))
+				}
 				return true
-			}
-			lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
-			if !ok {
-				return true
-			}
-			if !hasTerminationSignal(p.Info, lit) {
-				out = append(out, p.finding(idGoroutine, gs,
-					"goroutine literal has no termination signal; add sync.WaitGroup accounting, a context, or a done channel"))
-			}
-			return true
-		})
+			})
+		}
 	}
 	return out
 }

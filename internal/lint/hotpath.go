@@ -1,0 +1,266 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotPathPrefix marks a function whose whole static call tree must stay
+// allocation-free:
+//
+//	//lint:hotpath <why this path must not allocate>
+//
+// in the function's doc comment. The benchmarks assert 0 allocs/op on
+// these paths once; this analyzer asserts it on every commit, for every
+// call chain the benchmarks don't happen to cover.
+const hotPathPrefix = "//lint:hotpath"
+
+// HotPath transitively forbids heap-allocating constructs in every
+// function reachable (through the static call graph) from a
+// //lint:hotpath-annotated function:
+//
+//   - make, new, and append (append can grow the backing array)
+//   - slice and map composite literals
+//   - string concatenation (+ and +=) and allocating string conversions
+//     (string<->[]byte/[]rune, integer-to-string)
+//   - interface boxing: passing a non-pointer-shaped concrete value as
+//     an interface argument
+//   - function literals (closure capture) and go statements
+//   - any call into fmt (formats into fresh buffers and boxes operands)
+//
+// Each offending construct is its own finding, tagged with the call
+// chain from the annotated root. Known exceptions — amortized slice
+// growth, cold error paths — are annotated //lint:allow hotpath at the
+// site. Blind spots: calls through interfaces and function values, and
+// non-module callees other than fmt, are not checked.
+var HotPath = &Analyzer{
+	ID: idHotPath,
+	Doc: "//lint:hotpath functions and everything they statically call must not " +
+		"allocate: no make/new/append, string concat/conversion, interface boxing, " +
+		"closures, go statements, or fmt calls",
+	RunModule: runHotPath,
+}
+
+func runHotPath(m *Module) []Finding {
+	type workItem struct {
+		mf    *moduleFunc
+		chain []string
+	}
+	var queue []workItem
+	visited := map[*moduleFunc]bool{}
+	for _, fn := range m.order {
+		mf := m.funcs[fn]
+		if hotPathAnnotated(mf.decl) && !visited[mf] {
+			visited[mf] = true
+			queue = append(queue, workItem{mf, []string{funcDisplay(fn)}})
+		}
+	}
+
+	var out []Finding
+	for len(queue) > 0 {
+		item := queue[0]
+		queue = queue[1:]
+		out = append(out, hotPathScan(item.mf, item.chain)...)
+		for _, c := range item.mf.calls {
+			cf := m.declOf(c.callee)
+			if cf == nil || visited[cf] {
+				continue
+			}
+			visited[cf] = true
+			queue = append(queue, workItem{cf, append(append([]string{}, item.chain...), funcDisplay(cf.fn))})
+		}
+	}
+	return out
+}
+
+func hotPathAnnotated(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if c.Text == hotPathPrefix || strings.HasPrefix(c.Text, hotPathPrefix+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// hotPathScan reports every allocating construct in one function on a
+// hot path. chain is the call path from the annotated root to mf.
+func hotPathScan(mf *moduleFunc, chain []string) []Finding {
+	p := mf.pkg
+	at := chainString(chain)
+	var out []Finding
+	report := func(n ast.Node, format string, args ...any) {
+		f := p.finding(idHotPath, n, format, args...)
+		f.Message = "hot path " + at + ": " + f.Message
+		out = append(out, f)
+	}
+	ast.Inspect(mf.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n, "function literal captures its environment (closure allocation); hoist it or pass state explicitly")
+			return false
+		case *ast.GoStmt:
+			report(n, "go statement allocates a goroutine and escapes its arguments; hot paths must not spawn")
+			return false
+		case *ast.CallExpr:
+			hotPathCallFindings(p, n, report)
+		case *ast.CompositeLit:
+			t := p.Info.TypeOf(n)
+			if t == nil {
+				break
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				report(n, "slice literal allocates its backing array; reuse a buffer or predeclare it")
+			case *types.Map:
+				report(n, "map literal allocates; hoist the map out of the hot path")
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(p, n) && !isConstExpr(p, n) {
+				report(n, "string concatenation allocates the result; format outside the hot path or use a reused buffer")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(p, n.Lhs[0]) {
+				report(n, "string += allocates a new string each time; build outside the hot path")
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// hotPathCallFindings classifies one call expression on a hot path:
+// allocating builtins, allocating conversions, fmt calls, and interface
+// boxing of arguments.
+func hotPathCallFindings(p *Package, call *ast.CallExpr, report func(ast.Node, string, ...any)) {
+	switch {
+	case isBuiltin(p.Info, call, "make"):
+		report(call, "make allocates; preallocate outside the hot path and reuse")
+		return
+	case isBuiltin(p.Info, call, "new"):
+		report(call, "new allocates; keep hot-path state in preallocated structs")
+		return
+	case isBuiltin(p.Info, call, "append"):
+		report(call, "append may grow the backing array (heap allocation); preallocate capacity or reuse a buffer")
+		return
+	}
+	if tv, ok := p.Info.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() {
+		if len(call.Args) == 1 && conversionAllocates(tv.Type, p.Info.TypeOf(call.Args[0])) {
+			report(call, "conversion %s allocates a copy", types.ExprString(call))
+		}
+		return
+	}
+	if fn := calleeFunc(p.Info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		report(call, "fmt.%s formats into fresh buffers and boxes its operands; hot paths must not call fmt", fn.Name())
+		return
+	}
+	// Interface boxing of arguments: a concrete, non-pointer-shaped
+	// value passed as an interface parameter is copied to the heap.
+	sig, ok := p.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	if call.Ellipsis != token.NoPos {
+		return // f(xs...) passes the slice through, no per-arg boxing
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			last := sig.Params().At(sig.Params().Len() - 1).Type()
+			sl, ok := last.Underlying().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = sl.Elem()
+		case i < sig.Params().Len():
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if _, isTP := pt.(*types.TypeParam); isTP {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := p.Info.TypeOf(arg)
+		if at == nil || pointerShaped(at) {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue // nil fills the interface word directly
+		}
+		if tv, ok := p.Info.Types[arg]; ok && tv.Value != nil {
+			// Constants convert at compile time; small ints and constant
+			// strings may still allocate an interface word, but flagging
+			// every literal argument would drown the signal.
+			continue
+		}
+		report(arg, "passing %s as interface %s boxes it onto the heap; take a concrete type or a pointer",
+			typeString(at), typeString(pt))
+	}
+}
+
+// pointerShaped reports whether values of t fit an interface word
+// without allocating: pointers, channels, maps, funcs, unsafe pointers,
+// and values that are already interfaces.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// conversionAllocates reports whether converting from -> to copies data
+// onto the heap: string <-> []byte/[]rune and integer -> string.
+func conversionAllocates(to, from types.Type) bool {
+	if from == nil {
+		return false
+	}
+	toB, toBasic := to.Underlying().(*types.Basic)
+	fromB, fromBasic := from.Underlying().(*types.Basic)
+	if toBasic && toB.Info()&types.IsString != 0 {
+		if fromBasic && fromB.Info()&types.IsInteger != 0 {
+			return true // string(rune) builds a fresh string
+		}
+		return byteOrRuneSlice(from)
+	}
+	if fromBasic && fromB.Info()&types.IsString != 0 {
+		return byteOrRuneSlice(to)
+	}
+	return false
+}
+
+func byteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isStringExpr(p *Package, e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isConstExpr reports whether the expression folds to a compile-time
+// constant (constant string concatenation does not allocate at run
+// time).
+func isConstExpr(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,305 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// hotpathFixture runs the hotpath analyzer over one fixture package.
+type hotpathFixture struct {
+	name string
+	src  string
+	want int
+	grep string // substring expected in the first finding's message
+}
+
+func TestHotPathConstructs(t *testing.T) {
+	tests := []hotpathFixture{
+		{
+			name: "make",
+			src: `package hot
+
+//lint:hotpath test fixture
+func bad() {
+	_ = make([]int, 4)
+}
+`,
+			want: 1, grep: "make allocates",
+		},
+		{
+			name: "new",
+			src: `package hot
+
+//lint:hotpath test fixture
+func bad() {
+	_ = new(int)
+}
+`,
+			want: 1, grep: "new allocates",
+		},
+		{
+			name: "append_growth",
+			src: `package hot
+
+//lint:hotpath test fixture
+func bad(s []int, v int) []int {
+	return append(s, v)
+}
+`,
+			want: 1, grep: "append may grow the backing array",
+		},
+		{
+			name: "slice_literal",
+			src: `package hot
+
+//lint:hotpath test fixture
+func bad() []int {
+	return []int{1, 2, 3}
+}
+`,
+			want: 1, grep: "slice literal allocates",
+		},
+		{
+			name: "map_literal",
+			src: `package hot
+
+//lint:hotpath test fixture
+func bad() map[int]int {
+	return map[int]int{}
+}
+`,
+			want: 1, grep: "map literal allocates",
+		},
+		{
+			name: "string_concat",
+			src: `package hot
+
+//lint:hotpath test fixture
+func bad(a, b string) string {
+	return a + b
+}
+`,
+			want: 1, grep: "string concatenation allocates",
+		},
+		{
+			name: "string_plus_equals",
+			src: `package hot
+
+//lint:hotpath test fixture
+func bad(parts []string) string {
+	out := ""
+	for _, p := range parts {
+		out += p
+	}
+	return out
+}
+`,
+			want: 1, grep: "string += allocates",
+		},
+		{
+			name: "string_conversion",
+			src: `package hot
+
+//lint:hotpath test fixture
+func bad(b []byte) string {
+	return string(b)
+}
+`,
+			want: 1, grep: "allocates a copy",
+		},
+		{
+			name: "fmt_call",
+			src: `package hot
+
+import "fmt"
+
+//lint:hotpath test fixture
+func bad() {
+	fmt.Println("x")
+}
+`,
+			want: 1, grep: "must not call fmt",
+		},
+		{
+			name: "closure",
+			src: `package hot
+
+//lint:hotpath test fixture
+func bad() {
+	f := func() {}
+	f()
+}
+`,
+			want: 1, grep: "function literal",
+		},
+		{
+			name: "go_stmt",
+			src: `package hot
+
+//lint:hotpath test fixture
+func bad(done chan struct{}) {
+	go close(done)
+}
+`,
+			want: 1, grep: "go statement",
+		},
+		{
+			name: "interface_boxing",
+			src: `package hot
+
+//lint:hotpath test fixture
+func bad(v int) {
+	sink(v)
+}
+
+func sink(x interface{}) {}
+`,
+			want: 1, grep: "boxes it onto the heap",
+		},
+		{
+			name: "boxing_skips_pointers_and_constants",
+			src: `package hot
+
+//lint:hotpath test fixture
+func ok(v *int) {
+	sink(v)
+	sink(nil)
+	sink("literal")
+}
+
+func sink(x interface{}) {}
+`,
+			want: 0,
+		},
+		{
+			name: "allow_suppresses",
+			src: `package hot
+
+//lint:hotpath test fixture
+func grown(s []int, n int) []int {
+	//lint:allow hotpath amortized doubling growth
+	out := make([]int, n)
+	copy(out, s)
+	return out
+}
+`,
+			want: 0,
+		},
+		{
+			name: "clean_negative",
+			src: `package hot
+
+//lint:hotpath test fixture
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+`,
+			want: 0,
+		},
+		{
+			name: "unannotated_function_ignored",
+			src: `package hot
+
+func coldPath() []int {
+	return make([]int, 64)
+}
+`,
+			want: 0,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			pkgs := checkFixtureModule(t, fixtureSrc{path: "fix/hot", src: tc.src})
+			got := moduleFindings(t, HotPath, pkgs)
+			if len(got) != tc.want {
+				t.Fatalf("got %d hotpath findings, want %d:\n%s", len(got), tc.want, renderFindings(got))
+			}
+			if tc.grep != "" && !strings.Contains(got[0].Message, tc.grep) {
+				t.Fatalf("first finding does not contain %q:\n%s", tc.grep, renderFindings(got))
+			}
+		})
+	}
+}
+
+func TestHotPathTransitiveChain(t *testing.T) {
+	pkgs := checkFixtureModule(t, fixtureSrc{path: "fix/hot", src: `package hot
+
+//lint:hotpath test fixture
+func root() {
+	middle()
+}
+
+func middle() {
+	leaf()
+}
+
+func leaf() {
+	_ = make([]int, 4)
+}
+`})
+	got := moduleFindings(t, HotPath, pkgs)
+	if len(got) != 1 {
+		t.Fatalf("got %d hotpath findings, want 1:\n%s", len(got), renderFindings(got))
+	}
+	msg := got[0].Message
+	// The finding must spell out the call chain from the annotated root
+	// to the allocating function.
+	if !strings.Contains(msg, "hot path hot.root → hot.middle → hot.leaf") {
+		t.Fatalf("chain not reported: %s", msg)
+	}
+}
+
+func TestHotPathCrossPackageReach(t *testing.T) {
+	pkgs := checkFixtureModule(t,
+		fixtureSrc{path: "fix/inner", src: `package inner
+
+func Alloc() []byte {
+	return make([]byte, 16)
+}
+`},
+		fixtureSrc{path: "fix/outer", src: `package outer
+
+import "fix/inner"
+
+//lint:hotpath test fixture
+func Root() []byte {
+	return inner.Alloc()
+}
+`})
+	got := moduleFindings(t, HotPath, pkgs)
+	if len(got) != 1 {
+		t.Fatalf("got %d hotpath findings, want 1:\n%s", len(got), renderFindings(got))
+	}
+	if !strings.Contains(got[0].Message, "outer.Root → inner.Alloc") {
+		t.Fatalf("cross-package chain not reported: %s", got[0].Message)
+	}
+}
+
+func TestHotPathVisitedOnce(t *testing.T) {
+	// Two annotated roots reaching the same allocating helper: the helper
+	// is scanned once (first chain wins), so exactly one finding.
+	pkgs := checkFixtureModule(t, fixtureSrc{path: "fix/hot", src: `package hot
+
+//lint:hotpath test fixture
+func rootA() {
+	leaf()
+}
+
+//lint:hotpath test fixture
+func rootB() {
+	leaf()
+}
+
+func leaf() {
+	_ = make([]int, 4)
+}
+`})
+	got := moduleFindings(t, HotPath, pkgs)
+	if len(got) != 1 {
+		t.Fatalf("got %d hotpath findings, want 1 (helper scanned once):\n%s", len(got), renderFindings(got))
+	}
+}

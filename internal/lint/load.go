@@ -14,14 +14,25 @@ import (
 	"strings"
 )
 
-// LoadModule parses and type-checks every non-test package under the
-// module rooted at root (the directory containing go.mod) and returns
-// them sorted by import path. It is a small stdlib-only substitute for
+// LoadModule parses and type-checks every package under the module
+// rooted at root (the directory containing go.mod) and returns them
+// sorted by import path. It is a small stdlib-only substitute for
 // golang.org/x/tools/go/packages: module-local imports are resolved by
 // walking the tree, standard-library imports are type-checked from
-// GOROOT source via go/importer's source compiler. Test files are
-// excluded — the gates police production code; tests legitimately use
-// wall clocks and ad-hoc goroutines.
+// GOROOT source via go/importer's source compiler.
+//
+// Test files are loaded too, but kept apart, in two extra passes that
+// run after every production package is cached (test files may import
+// production packages in ways that would look like import cycles
+// mid-load — e.g. package a's tests importing b while b's tests import
+// a, which Go permits): in-package _test.go files are type-checked
+// together with their production sources into Package.TestFiles and
+// Package.TestInfo, so the checks that extend to tests (goroutine,
+// mutex) see fully typed test code while the production-only checks —
+// and the call graph, which must keep production object identity —
+// keep using Package.Info. External test packages (package foo_test)
+// become their own *Package with Path "<importpath>_test" and no
+// production Files.
 func LoadModule(root string) ([]*Package, error) {
 	modPath, err := modulePath(filepath.Join(root, "go.mod"))
 	if err != nil {
@@ -34,6 +45,8 @@ func LoadModule(root string) ([]*Package, error) {
 		fset:    fset,
 		std:     importer.ForCompiler(fset, "source", nil),
 		loaded:  map[string]*loadResult{},
+		intests: map[string][]*ast.File{},
+		xtests:  map[string][]*ast.File{},
 	}
 
 	var dirs []string
@@ -83,8 +96,54 @@ func LoadModule(root string) ([]*Package, error) {
 	if len(errs) > 0 {
 		return nil, errors.Join(errs...)
 	}
+
+	// In-package test pass: re-type-check production + test files as one
+	// augmented package. Every production package is cached now, so test
+	// imports that would have looked like cycles mid-load resolve.
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	for _, ipath := range sortedKeys(ld.intests) {
+		p := byPath[ipath]
+		if p == nil {
+			continue
+		}
+		all := append(append([]*ast.File{}, p.Files...), ld.intests[ipath]...)
+		pkg, info, err := typecheck(ipath, fset, all, ld)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		p.TestFiles = ld.intests[ipath]
+		p.TestPkg, p.TestInfo = pkg, info
+	}
+
+	// External test packages: they import the (cached) production
+	// packages, including the one under test.
+	for _, ipath := range sortedKeys(ld.xtests) {
+		files := ld.xtests[ipath]
+		pkg, info, err := typecheck(ipath+"_test", fset, files, ld)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		pkgs = append(pkgs, &Package{Path: ipath + "_test", Fset: fset, TestFiles: files, Pkg: pkg, Info: info})
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
 	return pkgs, nil
+}
+
+func sortedKeys(m map[string][]*ast.File) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // FindModuleRoot walks upward from dir to the nearest directory
@@ -148,6 +207,11 @@ type loader struct {
 	fset    *token.FileSet
 	std     types.Importer
 	loaded  map[string]*loadResult
+	// intests and xtests stash in-package and external (package
+	// foo_test) test files by the import path of the package under
+	// test, for the post-passes in LoadModule.
+	intests map[string][]*ast.File
+	xtests  map[string][]*ast.File
 }
 
 type loadResult struct {
@@ -191,10 +255,10 @@ func (ld *loader) check(ipath string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	var files []*ast.File
+	var files, testFiles, xtestFiles []*ast.File
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
 			continue
 		}
 		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil,
@@ -202,10 +266,23 @@ func (ld *loader) check(ipath string) (*Package, error) {
 		if err != nil {
 			return nil, err
 		}
-		files = append(files, f)
+		switch {
+		case !strings.HasSuffix(name, "_test.go"):
+			files = append(files, f)
+		case strings.HasSuffix(f.Name.Name, "_test"):
+			xtestFiles = append(xtestFiles, f)
+		default:
+			testFiles = append(testFiles, f)
+		}
 	}
 	if len(files) == 0 {
 		return nil, fmt.Errorf("lint: no Go sources in %s", dir)
+	}
+	if len(testFiles) > 0 {
+		ld.intests[ipath] = testFiles
+	}
+	if len(xtestFiles) > 0 {
+		ld.xtests[ipath] = xtestFiles
 	}
 	pkg, info, err := typecheck(ipath, ld.fset, files, ld)
 	if err != nil {

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module under a temp dir:
+// files maps module-relative paths to contents.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestLoadModuleUnparseableFile(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module fix\n\ngo 1.22\n",
+		"bad.go": "package fix\n\nfunc broken( {\n",
+	})
+	_, err := LoadModule(root)
+	if err == nil {
+		t.Fatal("LoadModule succeeded on an unparseable file")
+	}
+	if !strings.Contains(err.Error(), "bad.go") {
+		t.Fatalf("error does not name the broken file: %v", err)
+	}
+}
+
+func TestLoadModuleTypeError(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module fix\n\ngo 1.22\n",
+		"a.go":   "package fix\n\nfunc F() int { return undefinedIdent }\n",
+	})
+	_, err := LoadModule(root)
+	if err == nil {
+		t.Fatal("LoadModule succeeded on a type error")
+	}
+	if !strings.Contains(err.Error(), "type errors in fix") ||
+		!strings.Contains(err.Error(), "undefinedIdent") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestLoadModuleTestFileTypeError(t *testing.T) {
+	// Production code is clean; only the in-package test file is broken.
+	// The augmented test pass must surface the error rather than drop it.
+	root := writeModule(t, map[string]string{
+		"go.mod":    "module fix\n\ngo 1.22\n",
+		"a.go":      "package fix\n\nfunc F() int { return 1 }\n",
+		"a_test.go": "package fix\n\nfunc TestF() { missingTestingImport(F()) }\n",
+	})
+	_, err := LoadModule(root)
+	if err == nil {
+		t.Fatal("LoadModule succeeded with a broken test file")
+	}
+	if !strings.Contains(err.Error(), "missingTestingImport") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestLoadModuleMissingModuleDirective(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "go 1.22\n",
+		"a.go":   "package fix\n",
+	})
+	if _, err := LoadModule(root); err == nil || !strings.Contains(err.Error(), "no module directive") {
+		t.Fatalf("want missing-module-directive error, got %v", err)
+	}
+}
+
+func TestLoadModuleImportCycle(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module fix\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nimport \"fix/b\"\n\nvar X = b.Y\n",
+		"b/b.go": "package b\n\nimport \"fix/a\"\n\nvar Y = a.X\n",
+	})
+	_, err := LoadModule(root)
+	if err == nil || !strings.Contains(err.Error(), "import cycle") {
+		t.Fatalf("want import-cycle error, got %v", err)
+	}
+}
+
+func TestFindModuleRootNotFound(t *testing.T) {
+	// A bare temp dir has no go.mod anywhere above it.
+	if root, err := FindModuleRoot(t.TempDir()); err == nil {
+		t.Fatalf("FindModuleRoot found %q for a dir outside any module", root)
+	}
+}
+
+func TestLoadModuleTestPackages(t *testing.T) {
+	// One package with production code, an in-package test file, and an
+	// external (package foo_test) test file: the loader must keep the
+	// three universes apart.
+	root := writeModule(t, map[string]string{
+		"go.mod": "module fix\n\ngo 1.22\n",
+		"p/p.go": "package p\n\nfunc F() int { return 1 }\n",
+		"p/in_test.go": `package p
+
+func helperUsingInternals() int { return F() }
+`,
+		"p/ext_test.go": `package p_test
+
+import "fix/p"
+
+var _ = p.F
+`,
+	})
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	prod := byPath["fix/p"]
+	if prod == nil {
+		t.Fatal("package fix/p not loaded")
+	}
+	if len(prod.Files) != 1 {
+		t.Fatalf("production file set polluted: %d files", len(prod.Files))
+	}
+	if len(prod.TestFiles) != 1 || prod.TestPkg == nil || prod.TestInfo == nil {
+		t.Fatalf("in-package test universe not loaded: %d test files", len(prod.TestFiles))
+	}
+	// The augmented type-check must not replace the production universe:
+	// the call graph depends on production object identity.
+	if prod.TestPkg == prod.Pkg || prod.TestInfo == prod.Info {
+		t.Fatal("test type-check aliased into the production universe")
+	}
+	xt := byPath["fix/p_test"]
+	if xt == nil {
+		t.Fatal("external test package fix/p_test not loaded")
+	}
+	if len(xt.Files) != 0 || len(xt.TestFiles) != 1 {
+		t.Fatalf("xtest package shape wrong: %d prod files, %d test files", len(xt.Files), len(xt.TestFiles))
+	}
+}

@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func lockorderFindings(t *testing.T, srcs ...fixtureSrc) []Finding {
+	t.Helper()
+	return moduleFindings(t, LockOrder, checkFixtureModule(t, srcs...))
+}
+
+func TestLockOrderSamePackageCycle(t *testing.T) {
+	got := lockorderFindings(t, fixtureSrc{path: "fix/cycle", src: `package cycle
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+func takeBoth(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	lockB(b) // A.mu -> B.mu
+}
+
+func lockB(b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}
+
+func takeBothReversed(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // B.mu -> A.mu: closes the cycle
+	a.mu.Unlock()
+}
+`})
+	if len(got) != 1 {
+		t.Fatalf("got %d lockorder findings, want 1:\n%s", len(got), renderFindings(got))
+	}
+	msg := got[0].Message
+	if !strings.Contains(msg, "potential deadlock: lock-order cycle among 2 locks") {
+		t.Fatalf("unexpected message: %s", msg)
+	}
+	// Both lock identities and at least one interprocedural witness chain
+	// must be named so the report is actionable.
+	for _, want := range []string{"cycle.A.mu", "cycle.B.mu", "via"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("message missing %q: %s", want, msg)
+		}
+	}
+}
+
+func TestLockOrderCrossPackageCycle(t *testing.T) {
+	got := lockorderFindings(t,
+		fixtureSrc{path: "fix/a", src: `package a
+
+import "sync"
+
+type Table struct{ Mu sync.Mutex }
+
+var Shared Table
+
+// Poke acquires the shared table lock.
+func Poke() {
+	Shared.Mu.Lock()
+	defer Shared.Mu.Unlock()
+}
+`},
+		fixtureSrc{path: "fix/b", src: `package b
+
+import (
+	"sync"
+
+	"fix/a"
+)
+
+var mu sync.Mutex
+
+func outer() {
+	mu.Lock()
+	defer mu.Unlock()
+	a.Poke() // b.mu -> a.Table.Mu
+}
+
+func reversed() {
+	a.Shared.Mu.Lock()
+	defer a.Shared.Mu.Unlock()
+	lockLocal() // a.Table.Mu -> b.mu
+}
+
+func lockLocal() {
+	mu.Lock()
+	mu.Unlock()
+}
+`})
+	if len(got) != 1 {
+		t.Fatalf("got %d lockorder findings, want 1:\n%s", len(got), renderFindings(got))
+	}
+	msg := got[0].Message
+	if !strings.Contains(msg, "lock-order cycle") ||
+		!strings.Contains(msg, "a.Table.Mu") || !strings.Contains(msg, "b.mu") {
+		t.Fatalf("cross-package cycle not reported with both identities: %s", msg)
+	}
+}
+
+func TestLockOrderBlockingOpUnderLock(t *testing.T) {
+	got := lockorderFindings(t, fixtureSrc{path: "fix/blocking", src: `package blocking
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (s *S) deliver() {
+	s.ch <- 1 // unbuffered send: blocks until a receiver shows up
+}
+
+func (s *S) locked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.deliver()
+}
+`})
+	if len(got) != 1 {
+		t.Fatalf("got %d lockorder findings, want 1:\n%s", len(got), renderFindings(got))
+	}
+	msg := got[0].Message
+	if !strings.Contains(msg, "reaches a blocking channel op") ||
+		!strings.Contains(msg, "deliver") {
+		t.Fatalf("blocking-op chain not reported: %s", msg)
+	}
+}
+
+func TestLockOrderReLockSameReceiver(t *testing.T) {
+	got := lockorderFindings(t, fixtureSrc{path: "fix/relock", src: `package relock
+
+import "sync"
+
+type S struct{ mu sync.Mutex }
+
+func (s *S) poke() {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+func (s *S) bad() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.poke()
+}
+`})
+	if len(got) != 1 {
+		t.Fatalf("got %d lockorder findings, want 1:\n%s", len(got), renderFindings(got))
+	}
+	if !strings.Contains(got[0].Message, "not reentrant") {
+		t.Fatalf("re-lock not reported: %s", got[0].Message)
+	}
+}
+
+func TestLockOrderDirectDoubleLock(t *testing.T) {
+	got := lockorderFindings(t, fixtureSrc{path: "fix/dlock", src: `package dlock
+
+import "sync"
+
+type S struct{ mu sync.Mutex }
+
+func (s *S) bad() {
+	s.mu.Lock()
+	s.mu.Lock() // self-deadlock
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+`})
+	if len(got) != 1 {
+		t.Fatalf("got %d lockorder findings, want 1:\n%s", len(got), renderFindings(got))
+	}
+	if !strings.Contains(got[0].Message, "already holds it") {
+		t.Fatalf("double-lock not reported: %s", got[0].Message)
+	}
+}
+
+func TestLockOrderCleanCases(t *testing.T) {
+	// Each function here is a pattern lockorder must NOT flag.
+	got := lockorderFindings(t, fixtureSrc{path: "fix/clean", src: `package clean
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// Consistent ordering: A then B everywhere — edges but no cycle.
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+func ordered1(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+func ordered2(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	lockB(b)
+}
+
+func lockB(b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}
+
+// Non-blocking send in the callee: select with default never blocks.
+func (s *S) tryDeliver() {
+	select {
+	case s.ch <- 1:
+	default:
+	}
+}
+
+func (s *S) lockedTry() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tryDeliver()
+}
+
+// The blocking send runs on a NEW goroutine, which does not hold the lock.
+func (s *S) lockedSpawn() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() { s.ch <- 1 }()
+}
+
+// Call made AFTER an early unlock in a guard clause is not under the lock.
+func (s *S) guarded(cond bool) {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		s.deliverClean()
+		return
+	}
+	s.mu.Unlock()
+}
+
+func (s *S) deliverClean() {
+	s.ch <- 1
+}
+`})
+	if len(got) != 0 {
+		t.Fatalf("clean fixture produced findings:\n%s", renderFindings(got))
+	}
+}

@@ -23,25 +23,31 @@ var Mutex = &Analyzer{
 	ID: idMutex,
 	Doc: "Lock must pair with defer Unlock or a same-block Unlock with no early return; " +
 		"no lock values copied by value; no blocking channel ops under a lock",
-	Run: runMutex,
+	Run:   runMutex,
+	Tests: true,
 }
 
 func runMutex(p *Package) []Finding {
 	var out []Finding
-	for _, file := range p.Files {
-		funcBodies(file, func(body *ast.BlockStmt, decl *ast.FuncDecl) {
-			if decl != nil {
-				out = append(out, lockCopyFindings(p, decl)...)
-			}
-		})
-		ast.Inspect(file, func(n ast.Node) bool {
-			block, ok := n.(*ast.BlockStmt)
-			if !ok {
+	// Test files included (the second view): tests hold the same
+	// production locks, and a test that leaks one wedges the whole race
+	// run.
+	for _, v := range p.views() {
+		for _, file := range v.Files {
+			funcBodies(file, func(body *ast.BlockStmt, decl *ast.FuncDecl) {
+				if decl != nil {
+					out = append(out, lockCopyFindings(v, decl)...)
+				}
+			})
+			ast.Inspect(file, func(n ast.Node) bool {
+				block, ok := n.(*ast.BlockStmt)
+				if !ok {
+					return true
+				}
+				out = append(out, lockPairingFindings(v, block)...)
 				return true
-			}
-			out = append(out, lockPairingFindings(p, block)...)
-			return true
-		})
+			})
+		}
 	}
 	return out
 }

@@ -83,4 +83,19 @@ func TestLoadModulePackages(t *testing.T) {
 			}
 		}
 	}
+	// In-package test files load into their own universe...
+	lintPkg := byPath[modPath+"/internal/lint"]
+	if len(lintPkg.TestFiles) == 0 || lintPkg.TestPkg == nil || lintPkg.TestInfo == nil {
+		t.Fatal("internal/lint test files not loaded into the test universe")
+	}
+	// ...and external test packages (package foo_test) load as their own
+	// *Package with no production files.
+	xt := byPath[modPath+"/internal/cache_test"]
+	if xt == nil {
+		t.Fatal("external test package internal/cache_test not loaded")
+	}
+	if len(xt.Files) != 0 || len(xt.TestFiles) == 0 {
+		t.Fatalf("xtest package shape wrong: %d prod files, %d test files",
+			len(xt.Files), len(xt.TestFiles))
+	}
 }

@@ -179,7 +179,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 			return
 		}
 	}
-	fmt.Fprintln(w, "ok") //lint:allow errcheck best-effort health probe; client disconnects are not actionable
+	// Best-effort health probe; client disconnects are not actionable.
+	_, _ = fmt.Fprintln(w, "ok")
 }
 
 func (s *Server) handleText(w http.ResponseWriter, _ *http.Request) {
@@ -187,16 +188,17 @@ func (s *Server) handleText(w http.ResponseWriter, _ *http.Request) {
 	snap, updated := s.snapshot, s.updated
 	s.mu.RUnlock()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	//lint:allow errcheck best-effort text dashboard; client disconnects are not actionable
-	fmt.Fprintf(w, "lobster monitor — %d updates, last at %s\n\n",
+	// Best-effort text dashboard; client disconnects are not actionable.
+	_, _ = fmt.Fprintf(w, "lobster monitor — %d updates, last at %s\n\n",
 		s.updates.Load(), updated.Format(time.RFC3339Nano))
 	if snap == nil {
-		fmt.Fprintln(w, "(no snapshot published yet)") //lint:allow errcheck best-effort text dashboard
+		_, _ = fmt.Fprintln(w, "(no snapshot published yet)")
 		return
 	}
 	// Render the snapshot as indented JSON; a text template would need to
 	// know the concrete type.
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(snap) //lint:allow errcheck best-effort dashboard; a failed render is visible to the client
+	// A failed render is visible to the client; nothing to do here.
+	_ = enc.Encode(snap)
 }

@@ -74,6 +74,7 @@ func TestServerConcurrentUpdates(t *testing.T) {
 	}
 	defer s.Close()
 	done := make(chan struct{})
+	//lint:allow goroutine runs a fixed 200 updates, closes done, and the test blocks on <-done before asserting
 	go func() {
 		defer close(done)
 		for i := 0; i < 200; i++ {

@@ -137,6 +137,7 @@ func TestGracefulClose(t *testing.T) {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
+	//lint:allow goroutine one-shot Close whose result lands in the buffered done channel the test receives from
 	go func() { done <- s.Close() }()
 	buf := make([]byte, 1024)
 	n, _ := resp.Body.Read(buf)

@@ -230,10 +230,14 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//lint:hotpath recording must stay allocation-free (BENCH_obs.json asserts 0 allocs/op)
 func (c *Counter) Inc() { c.Add(1) }
 
 // Add increments the counter. No-op when nil or the registry is
 // disabled.
+//
+//lint:hotpath recording must stay allocation-free (BENCH_obs.json asserts 0 allocs/op)
 func (c *Counter) Add(n uint64) {
 	if c == nil || !c.en.Load() {
 		return
@@ -257,6 +261,8 @@ type Gauge struct {
 }
 
 // Set stores an absolute value.
+//
+//lint:hotpath recording must stay allocation-free (BENCH_obs.json asserts 0 allocs/op)
 func (g *Gauge) Set(v int64) {
 	if g == nil || !g.en.Load() {
 		return
@@ -265,6 +271,8 @@ func (g *Gauge) Set(v int64) {
 }
 
 // Add moves the gauge by delta (use negative deltas to decrement).
+//
+//lint:hotpath recording must stay allocation-free (BENCH_obs.json asserts 0 allocs/op)
 func (g *Gauge) Add(delta int64) {
 	if g == nil || !g.en.Load() {
 		return

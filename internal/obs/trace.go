@@ -109,6 +109,8 @@ func (t *TraceRing) ThreadName(tid int64) string {
 
 // Span records a complete ('X') span that started at start and lasted
 // dur, on track tid. Allocation-free: name and cat should be constants.
+//
+//lint:hotpath span recording runs inside the training iteration; it must not allocate
 func (t *TraceRing) Span(name, cat string, tid int64, start time.Time, dur time.Duration) {
 	if t == nil {
 		return
@@ -118,6 +120,8 @@ func (t *TraceRing) Span(name, cat string, tid int64, start time.Time, dur time.
 
 // SpanArgs is Span with up to two integer arguments attached (pass ""
 // to skip an argument slot).
+//
+//lint:hotpath span recording runs inside the training iteration; it must not allocate
 func (t *TraceRing) SpanArgs(name, cat string, tid int64, start time.Time, dur time.Duration,
 	a1n string, a1 int64, a2n string, a2 int64) {
 	if t == nil {
@@ -128,6 +132,8 @@ func (t *TraceRing) SpanArgs(name, cat string, tid int64, start time.Time, dur t
 
 // Instant records a zero-duration instant event ('i') at now — e.g. a
 // thread-controller resize decision.
+//
+//lint:hotpath span recording runs inside the training iteration; it must not allocate
 func (t *TraceRing) Instant(name, cat string, tid int64, a1n string, a1 int64, a2n string, a2 int64) {
 	if t == nil {
 		return

@@ -112,6 +112,7 @@ func TestBoundedConcurrency(t *testing.T) {
 func TestNestedFanOutCompletes(t *testing.T) {
 	p := NewPool(2)
 	done := make(chan struct{})
+	//lint:allow goroutine closes done when the bounded fan-out returns; the select below times out at 30s if it deadlocks
 	go func() {
 		defer close(done)
 		_ = p.ForEach(8, func(i int) error {

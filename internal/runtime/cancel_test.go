@@ -12,6 +12,7 @@ func TestRunContextCancellation(t *testing.T) {
 	opts := testOptions(t, loader.NoPFS(2, 8), 1, 50) // far more epochs than we will run
 	opts.TimeScale = 0.05                             // slow enough to cancel mid-run
 	ctx, cancel := context.WithCancel(context.Background())
+	//lint:allow goroutine sleeps a fixed 300ms, cancels, and exits; nothing outlives the test body
 	go func() {
 		time.Sleep(300 * time.Millisecond)
 		cancel()

@@ -6,7 +6,10 @@
 #   2. go vet          — the stock correctness checks
 #   3. go test -race   — the full suite, module-wide, under the race detector
 #   4. lobster-lint    — the project's own static analysis (determinism,
-#                        goroutine/mutex hygiene, errcheck, bounded queues)
+#                        goroutine/mutex hygiene, errcheck, bounded
+#                        queues, lock-order deadlocks, zero-alloc hot
+#                        paths), analyzers fanned out across cores with
+#                        per-analyzer wall time printed
 #   5. bench smoke     — quick protocol sanity pass of the kvstore
 #                        benchmark harness (full run: make bench-kv)
 #   6. sim bench smoke — BENCH_sim.json schema validation
@@ -30,8 +33,8 @@ go vet ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> lobster-lint ./..."
-go run ./cmd/lobster-lint ./...
+echo "==> lobster-lint -time ./..."
+go run ./cmd/lobster-lint -time ./...
 
 echo "==> kvstore bench smoke"
 # Short protocol sanity pass of the bench harness (the full run is
