@@ -6,9 +6,15 @@
 // round trips and the pipelined/batched v2 — classifying each frame by
 // its first byte, so old and new clients can share a deployment.
 //
+// Overload control (DESIGN.md §11) is off by default; arm it with the
+// -max-inflight / -max-queue / -quota-rate / -quota-burst flags to make
+// the shard shed excess load cheaply (statusRetryLater) instead of
+// queueing without bound.
+//
 // Example:
 //
-//	lobster-kv -addr 127.0.0.1:7001 -capacity 512MiB -stripes 16 -monitor 127.0.0.1:7101
+//	lobster-kv -addr 127.0.0.1:7001 -capacity 512MiB -stripes 16 -monitor 127.0.0.1:7101 \
+//	  -max-inflight 256 -quota-rate 50000
 package main
 
 import (
@@ -33,6 +39,12 @@ func main() {
 		statsSec = flag.Int("stats-interval", 30, "seconds between stats log lines (0 = silent)")
 		stripes  = flag.Int("stripes", 0, "LRU lock stripes (0 = auto-size from capacity)")
 		monAddr  = flag.String("monitor", "", "serve /metrics, /healthz, /trace.json and pprof on this address (empty = off)")
+
+		maxInflight = flag.Int("max-inflight", 0, "max requests executing concurrently (0 = unlimited)")
+		maxQueue    = flag.Int("max-queue", 0, "max requests waiting for an in-flight slot (0 = 4x max-inflight)")
+		maxWait     = flag.Duration("max-wait", 0, "max slot wait for deadline-less requests (0 = 50ms)")
+		quotaRate   = flag.Float64("quota-rate", 0, "per-connection sustained requests/sec (0 = no quota)")
+		quotaBurst  = flag.Float64("quota-burst", 0, "per-connection token-bucket depth (0 = quota-rate)")
 	)
 	flag.Parse()
 
@@ -40,7 +52,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv, err := kvstore.NewServerStriped(*addr, bytes, *stripes)
+	srv, err := kvstore.NewServerOptions(*addr, kvstore.ServerOptions{
+		Capacity: bytes,
+		Stripes:  *stripes,
+		Admission: kvstore.AdmissionConfig{
+			MaxInFlight: *maxInflight,
+			MaxQueue:    *maxQueue,
+			MaxWait:     *maxWait,
+			QuotaRate:   *quotaRate,
+			QuotaBurst:  *quotaBurst,
+		},
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -79,8 +101,9 @@ func main() {
 			}
 			if *statsSec > 0 && now.Sub(lastLog) >= time.Duration(*statsSec)*time.Second {
 				lastLog = now
-				fmt.Printf("items=%d used=%.1fMB hits=%d misses=%d evictions=%d toolarge=%d\n",
-					st.Items, float64(st.UsedBytes)/1e6, st.Hits, st.Misses, st.Evictions, st.TooLarge)
+				fmt.Printf("items=%d used=%.1fMB hits=%d misses=%d evictions=%d toolarge=%d shed=%d/%d/%d\n",
+					st.Items, float64(st.UsedBytes)/1e6, st.Hits, st.Misses, st.Evictions, st.TooLarge,
+					st.ShedDeadline, st.ShedQuota, st.ShedQueue)
 			}
 		case <-stop:
 			fmt.Println("shutting down")

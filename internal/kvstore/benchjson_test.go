@@ -18,16 +18,25 @@ import (
 // protocol error — enough to catch a broken frame encoder without
 // burning benchmark time in `go test ./...`.
 //
+// With LOBSTER_BENCH_KV=tiny it runs the sustained-overload and hedged
+// MultiGet benches at verify.sh scale, writes their JSON to a temp
+// file, and schema-checks both that file and the committed
+// BENCH_kv.json for the goodput/shed/p999 fields.
+//
 // With LOBSTER_BENCH_KV=1 it runs the kvstore micro-benchmarks via
-// testing.Benchmark and writes the results (ops/sec, B/op, allocs/op,
-// p99) to BENCH_kv.json at the repository root, including the
-// v1-vs-v2 headline comparison at 16 concurrent clients.
+// testing.Benchmark plus the full-size overload/hedge phases and
+// writes the results (ops/sec, B/op, allocs/op, p99, goodput, shed
+// rates, tail quantiles) to BENCH_kv.json at the repository root,
+// including the v1-vs-v2 headline comparison at 16 concurrent clients.
 func TestBenchKVJSON(t *testing.T) {
-	if os.Getenv("LOBSTER_BENCH_KV") == "" {
+	switch os.Getenv("LOBSTER_BENCH_KV") {
+	case "":
 		benchSmoke(t)
-		return
+	case "tiny":
+		benchTiny(t)
+	default:
+		benchFull(t)
 	}
-	benchFull(t)
 }
 
 func benchSmoke(t *testing.T) {
@@ -80,6 +89,105 @@ func benchSmoke(t *testing.T) {
 		}
 		c.Close()
 	}
+}
+
+// benchTiny runs the overload and hedge benches at smoke scale, writes
+// their JSON to a temp file, and schema-checks it alongside the
+// committed BENCH_kv.json. This is the verify.sh gate for the
+// tail-latency sections: it proves the bench runs end to end and that
+// the recorded schema carries the goodput/shed/p999 fields.
+func benchTiny(t *testing.T) {
+	overload, env := runOverloadBench(t, overloadTiny)
+	hedged := runHedgeBench(t, overloadTiny)
+	out := struct {
+		Generated string         `json:"generated"`
+		GoVersion string         `json:"go_version"`
+		Overload  overloadReport `json:"sustained_overload"`
+		Hedged    hedgeReport    `json:"hedged_multiget"`
+		Env       benchEnv       `json:"env"`
+	}{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Overload:  overload,
+		Hedged:    hedged,
+		Env:       env,
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_kv_tiny.json")
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	schemaCheckBenchKV(t, path)
+	root, err := repoRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemaCheckBenchKV(t, filepath.Join(root, "BENCH_kv.json"))
+}
+
+// schemaCheckBenchKV asserts the tail-latency fields this PR adds are
+// present and sane in a BENCH_kv.json-shaped file.
+func schemaCheckBenchKV(t *testing.T, path string) {
+	t.Helper()
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("schema check: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatalf("schema check %s: %v", path, err)
+	}
+	num := func(keypath ...string) float64 {
+		var cur any = doc
+		for _, k := range keypath {
+			m, ok := cur.(map[string]any)
+			if !ok {
+				t.Fatalf("schema check %s: %v is not an object at %q", path, keypath, k)
+			}
+			cur, ok = m[k]
+			if !ok {
+				t.Fatalf("schema check %s: missing field %v", path, keypath)
+			}
+			if k == "phases" {
+				arr, ok := cur.([]any)
+				if !ok || len(arr) == 0 {
+					t.Fatalf("schema check %s: %v has no phases", path, keypath)
+				}
+				cur = arr[0]
+			}
+		}
+		v, ok := cur.(float64)
+		if !ok {
+			t.Fatalf("schema check %s: %v is not a number", path, keypath)
+		}
+		return v
+	}
+	if v := num("sustained_overload", "saturation_ops_per_sec"); v <= 0 {
+		t.Fatalf("schema check %s: saturation_ops_per_sec = %v, want > 0", path, v)
+	}
+	if v := num("sustained_overload", "goodput_ratio_at_10x"); v < 0.8 {
+		t.Fatalf("schema check %s: goodput_ratio_at_10x = %v, want >= 0.8", path, v)
+	}
+	num("sustained_overload", "phases", "goodput_ops_per_sec")
+	num("sustained_overload", "phases", "shed_rate_per_sec")
+	num("sustained_overload", "phases", "shed_deadline")
+	num("sustained_overload", "phases", "p99_ms")
+	num("sustained_overload", "phases", "p999_ms")
+	num("sustained_overload", "phases", "hist_p999_ms")
+	if v := num("hedged_multiget", "p99_improvement"); v < 2 {
+		t.Fatalf("schema check %s: hedged p99_improvement = %v, want >= 2", path, v)
+	}
+	num("hedged_multiget", "unhedged_p99_ms")
+	num("hedged_multiget", "hedged_p99_ms")
+	num("hedged_multiget", "hedge_fired")
+	if v := num("env", "gomaxprocs"); v < 1 {
+		t.Fatalf("schema check %s: gomaxprocs = %v", path, v)
+	}
+	num("env", "goroutines_overload")
+	num("env", "histogram_samples")
 }
 
 // benchEntry is one benchmark row in BENCH_kv.json.
@@ -206,6 +314,9 @@ func benchFull(t *testing.T) {
 	t.Logf("headline: v2 %.0f ops/sec vs v1 %.0f ops/sec at 16 clients = %.2fx",
 		v2at16.OpsPerSec, v1at16.OpsPerSec, speedup)
 
+	overload, env := runOverloadBench(t, overloadFull)
+	hedged := runHedgeBench(t, overloadFull)
+
 	out := struct {
 		Generated string `json:"generated"`
 		GoVersion string `json:"go_version"`
@@ -222,6 +333,12 @@ func benchFull(t *testing.T) {
 			Speedup     float64 `json:"speedup_v2_over_v1"`
 		} `json:"headline_get_16_clients"`
 		Results []benchEntry `json:"results"`
+		// Overload and Hedged are the tail-latency sections (DESIGN.md
+		// §11): sustained-overload goodput vs saturation and the hedged
+		// MultiGet comparison against one artificially slow shard.
+		Overload overloadReport `json:"sustained_overload"`
+		Hedged   hedgeReport    `json:"hedged_multiget"`
+		Env      benchEnv       `json:"env"`
 	}{
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
@@ -232,7 +349,10 @@ func benchFull(t *testing.T) {
 			Name: "get-seed-dd14fa7", Proto: "v1-seed", Clients: 16,
 			NsPerOp: 12008, OpsPerSec: 83278, BytesPerOp: 4162, AllocsPerOp: 9,
 		},
-		Results: entries,
+		Results:  entries,
+		Overload: overload,
+		Hedged:   hedged,
+		Env:      env,
 	}
 	out.Headline.V1OpsPerSec = v1at16.OpsPerSec
 	out.Headline.V2OpsPerSec = v2at16.OpsPerSec

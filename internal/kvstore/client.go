@@ -149,6 +149,8 @@ func (cl *Client) Get(key string) (val []byte, found bool, err error) {
 		return out, true, nil
 	case statusNotFound:
 		return nil, false, nil
+	case statusRetryLater:
+		return nil, false, fmt.Errorf("kvstore: Get(%q): %w", key, ErrRetryLater)
 	default:
 		return nil, false, fmt.Errorf("kvstore: server error on Get(%q)", key)
 	}
@@ -171,6 +173,8 @@ func putStatusErr(status byte, key string) error {
 		return nil
 	case statusTooLarge:
 		return fmt.Errorf("kvstore: Put(%q): %w", key, ErrTooLarge)
+	case statusRetryLater:
+		return fmt.Errorf("kvstore: Put(%q): %w", key, ErrRetryLater)
 	default:
 		return fmt.Errorf("kvstore: server error on Put(%q)", key)
 	}
@@ -202,12 +206,15 @@ func (cl *Client) Stats() (Stats, error) {
 
 func decodeStats(out []byte) Stats {
 	return Stats{
-		Items:     int(binary.BigEndian.Uint64(out[0:])),
-		UsedBytes: int64(binary.BigEndian.Uint64(out[8:])),
-		Hits:      binary.BigEndian.Uint64(out[16:]),
-		Misses:    binary.BigEndian.Uint64(out[24:]),
-		Evictions: binary.BigEndian.Uint64(out[32:]),
-		TooLarge:  binary.BigEndian.Uint64(out[40:]),
+		Items:        int(binary.BigEndian.Uint64(out[0:])),
+		UsedBytes:    int64(binary.BigEndian.Uint64(out[8:])),
+		Hits:         binary.BigEndian.Uint64(out[16:]),
+		Misses:       binary.BigEndian.Uint64(out[24:]),
+		Evictions:    binary.BigEndian.Uint64(out[32:]),
+		TooLarge:     binary.BigEndian.Uint64(out[40:]),
+		ShedDeadline: binary.BigEndian.Uint64(out[48:]),
+		ShedQuota:    binary.BigEndian.Uint64(out[56:]),
+		ShedQueue:    binary.BigEndian.Uint64(out[64:]),
 	}
 }
 

@@ -2,9 +2,12 @@ package kvstore
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"math/rand/v2"
 	"net"
 	"runtime"
 	"sync"
@@ -26,11 +29,12 @@ const writeQueueDepth = 512
 // their waiters — so one connection sustains many concurrent ops
 // instead of one per round trip. Safe for concurrent use.
 type ClientV2 struct {
-	addr  string
-	mu    sync.Mutex
-	conns []*pipeConn
-	rr    atomic.Uint32
-	shut  bool
+	addr   string
+	window int
+	mu     sync.Mutex
+	conns  []*pipeConn
+	rr     atomic.Uint32
+	shut   bool
 
 	// ins is the optional observability hookup (SetInstruments); an
 	// atomic pointer so it can be attached while ops are in flight. The
@@ -68,12 +72,33 @@ func opDone(h *obs.Histogram, g *obs.Gauge, start time.Time) {
 // connections (a handful is plenty; each carries hundreds of in-flight
 // ops).
 func NewClientV2(addr string, conns int) (*ClientV2, error) {
-	if conns < 1 {
-		conns = 1
+	return NewClientV2Options(addr, ClientV2Options{Conns: conns})
+}
+
+// ClientV2Options configures the pipelined client beyond its connection
+// count.
+type ClientV2Options struct {
+	// Conns is the number of multiplexed connections (min 1).
+	Conns int
+	// Window caps requests in flight per connection — registered but not
+	// yet completed. An op arriving at a full window blocks (respecting
+	// its context), which is the client half of the kv tier's
+	// backpressure: callers slow down instead of piling unbounded work
+	// onto an overloaded shard. 0 defaults to writeQueueDepth.
+	Window int
+}
+
+// NewClientV2Options connects to a shard with explicit options.
+func NewClientV2Options(addr string, opts ClientV2Options) (*ClientV2, error) {
+	if opts.Conns < 1 {
+		opts.Conns = 1
 	}
-	cl := &ClientV2{addr: addr}
-	for i := 0; i < conns; i++ {
-		p, err := dialPipe(addr)
+	if opts.Window <= 0 {
+		opts.Window = writeQueueDepth
+	}
+	cl := &ClientV2{addr: addr, window: opts.Window}
+	for i := 0; i < opts.Conns; i++ {
+		p, err := dialPipe(addr, opts.Window)
 		if err != nil {
 			cl.Close()
 			return nil, err
@@ -104,7 +129,7 @@ func (cl *ClientV2) conn() (*pipeConn, error) {
 
 // replace redials slot i if it still holds the dead connection old.
 func (cl *ClientV2) replace(i int, old *pipeConn) (*pipeConn, error) {
-	fresh, err := dialPipe(cl.addr)
+	fresh, err := dialPipe(cl.addr, cl.window)
 	if err != nil {
 		return nil, err
 	}
@@ -163,6 +188,20 @@ type call struct {
 	outs     [][]byte // per-key values (opMultiGet), nil = not found
 	err      error
 	done     chan *call
+	// expiry is the op's context deadline; non-zero sends the 0xA3
+	// deadline frame so the server can shed the request once its budget
+	// is gone. The remaining budget is computed at serialization time,
+	// after any window/queue wait on the client.
+	expiry time.Time
+	// window, when non-nil, holds one slot of the connection's
+	// backpressure semaphore; whoever completes the call returns it
+	// (completeCall), so the window tracks true in-flight work even when
+	// the original caller abandoned the op on context cancellation.
+	window chan struct{}
+	// skipped marks a call withdrawn by abandon() before serialization;
+	// the writer discards it instead of framing it. Guarded by the
+	// owning pipeConn's mu.
+	skipped bool
 	// wrote is released by the writer goroutine once the request frame
 	// is fully serialized and acquired by the reader before it completes
 	// the call, ordering the writer's reads of the request fields before
@@ -188,8 +227,31 @@ func putCall(c *call) {
 	c.keys, c.vals = nil, nil
 	c.status, c.out, c.statuses, c.outs = 0, nil, nil, nil
 	c.err = nil
+	c.expiry = time.Time{}
+	c.window, c.skipped = nil, false
 	c.wrote.Store(false)
 	callPool.Put(c)
+}
+
+// completeCall wakes c's waiter and returns its backpressure window
+// slot. The slot is captured before the done send: a successful waiter
+// may recycle c the instant it wakes, so c must not be touched after.
+func completeCall(c *call) {
+	w := c.window
+	c.window = nil
+	c.done <- c
+	if w != nil {
+		<-w
+	}
+}
+
+// releaseWindow returns c's window slot when no completer ever will
+// (the call was refused or withdrawn before it became in-flight).
+func releaseWindow(c *call) {
+	if w := c.window; w != nil {
+		c.window = nil
+		<-w
+	}
 }
 
 // pipeConn is one multiplexed connection: a writer goroutine drains wq
@@ -199,6 +261,9 @@ type pipeConn struct {
 	c    net.Conn
 	wq   chan *call
 	stop chan struct{}
+	// window is the connection's backpressure semaphore: one slot per
+	// registered-but-uncompleted call (see call.window).
+	window chan struct{}
 
 	stopOnce sync.Once
 	dead     atomic.Bool
@@ -216,15 +281,19 @@ type pipeConn struct {
 	wg sync.WaitGroup
 }
 
-func dialPipe(addr string) (*pipeConn, error) {
+func dialPipe(addr string, window int) (*pipeConn, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: dial %s: %w", addr, err)
+	}
+	if window <= 0 {
+		window = writeQueueDepth
 	}
 	p := &pipeConn{
 		c:       c,
 		wq:      make(chan *call, writeQueueDepth),
 		stop:    make(chan struct{}),
+		window:  make(chan struct{}, window),
 		pending: make(map[uint32]*call),
 	}
 	p.wg.Add(2)
@@ -271,7 +340,7 @@ func (p *pipeConn) fail(err error) {
 	p.mu.Unlock()
 	for _, c := range drained {
 		c.err = failErr
-		c.done <- c
+		completeCall(c)
 	}
 }
 
@@ -303,7 +372,7 @@ func (p *pipeConn) take(id uint32) *call {
 func (p *pipeConn) failCall(c *call, err error) {
 	if got := p.take(c.id); got != nil {
 		got.err = err
-		got.done <- got
+		completeCall(got)
 	}
 }
 
@@ -324,21 +393,93 @@ func (p *pipeConn) failDesync(c *call, err error) {
 	}
 	p.mu.Unlock()
 	c.err = err
-	c.done <- c
+	completeCall(c)
 }
 
-// roundTrip runs one pipelined op to completion.
-func (p *pipeConn) roundTrip(c *call) error {
+// abandon withdraws a context-cancelled call before serialization. On
+// success the call was never written — it is removed from pending (its
+// ID will never appear on the wire, so a late response cannot desync
+// the connection), marked for the writer to discard, and its window
+// slot is returned here. On failure the writer already claimed (or
+// finished) the frame; the eventual response or connection failure
+// completes the call and returns the slot.
+func (p *pipeConn) abandon(c *call) bool {
+	p.mu.Lock()
+	if p.pending[c.id] != c || p.held == c || c.wrote.Load() {
+		p.mu.Unlock()
+		return false
+	}
+	delete(p.pending, c.id)
+	c.skipped = true
+	p.mu.Unlock()
+	releaseWindow(c)
+	return true
+}
+
+// roundTrip runs one pipelined op to completion, bounded by ctx. A
+// cancelled op returns ctx.Err() immediately; if its frame could not be
+// withdrawn before serialization the request still reaches the server,
+// whose response completes the (now abandoned, never recycled) call.
+// Callers must treat a mutable value buffer handed to a cancelled Put
+// as borrowed until the op would have completed.
+func (p *pipeConn) roundTrip(ctx context.Context, c *call) error {
+	// Backpressure: one window slot per in-flight call, held from here
+	// until completion. A deadlined call spends at most 3/4 of its
+	// remaining budget waiting here, reserving the rest for wire and
+	// server time — without the reservation, a FIFO window under
+	// sustained overload self-selects waiters that acquire a slot just
+	// before their deadline and whose frames can only buy the server
+	// zombie work (see DESIGN.md §11).
+	var windowTimeout <-chan time.Time
+	if !c.expiry.IsZero() {
+		d := time.Until(c.expiry)
+		if d <= 0 {
+			return context.DeadlineExceeded
+		}
+		timer := time.NewTimer(d - d/4)
+		defer timer.Stop()
+		windowTimeout = timer.C
+	}
+	select {
+	case p.window <- struct{}{}:
+		c.window = p.window
+	case <-p.stop:
+		return p.connErr()
+	case <-windowTimeout:
+		return context.DeadlineExceeded
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 	if err := p.register(c); err != nil {
+		releaseWindow(c)
 		return err
 	}
 	select {
 	case p.wq <- c:
 	case <-p.stop:
 		p.failCall(c, ErrClientClosed)
+	case <-ctx.Done():
+		// Registered but never queued: the withdrawal cannot lose a race
+		// with the writer, though fail() may have completed c already.
+		if !p.abandon(c) {
+			<-c.done
+		}
+		return ctx.Err()
 	}
-	<-c.done
-	return c.err
+	select {
+	case <-c.done:
+		return c.err
+	case <-ctx.Done():
+		if !p.abandon(c) {
+			// In flight (or just completed): the completer owns cleanup.
+			select {
+			case <-c.done:
+				return c.err
+			default:
+			}
+		}
+		return ctx.Err()
+	}
 }
 
 // writeLoop serializes queued requests onto the socket, flushing only
@@ -354,6 +495,9 @@ func (p *pipeConn) writeLoop() {
 			return
 		case c := <-p.wq:
 			if !p.beginWrite(c) {
+				continue
+			}
+			if p.dropExpired(c) {
 				continue
 			}
 			writeV2Request(w, c)
@@ -375,11 +519,17 @@ func (p *pipeConn) writeLoop() {
 }
 
 // beginWrite claims c for serialization, so that until endWrite
-// releases the claim no one else completes it. On a failed connection
-// it refuses the claim: c must not be serialized, and is completed here
-// unless fail() already did (c gone from pending).
+// releases the claim no one else completes it. A call withdrawn by
+// abandon() is discarded unserialized (its waiter already returned and
+// released the window slot). On a failed connection it refuses the
+// claim: c must not be serialized, and is completed here unless fail()
+// already did (c gone from pending).
 func (p *pipeConn) beginWrite(c *call) bool {
 	p.mu.Lock()
+	if c.skipped {
+		p.mu.Unlock()
+		return false
+	}
 	err := p.err
 	ours := false
 	if err != nil {
@@ -395,9 +545,29 @@ func (p *pipeConn) beginWrite(c *call) bool {
 	}
 	if ours {
 		c.err = err
-		c.done <- c
+		completeCall(c)
 	}
 	return false
+}
+
+// dropExpired discards a writer-claimed call whose deadline budget is
+// already spent at serialization time: the frame could only buy the
+// server zombie work (a response nobody is waiting for), so the call
+// is completed locally with the context error instead of written.
+// Exclusivity holds because beginWrite set p.held: fail() skips held
+// calls, abandon() refuses them, and the reader only completes calls
+// after endWrite publishes wrote.
+func (p *pipeConn) dropExpired(c *call) bool {
+	if c.expiry.IsZero() || time.Now().Before(c.expiry) {
+		return false
+	}
+	p.mu.Lock()
+	delete(p.pending, c.id)
+	p.held = nil
+	p.mu.Unlock()
+	c.err = context.DeadlineExceeded
+	completeCall(c)
+	return true
 }
 
 // endWrite publishes that c's frame is fully serialized (the release
@@ -419,7 +589,7 @@ func (p *pipeConn) endWrite(c *call) {
 	p.mu.Unlock()
 	if err != nil {
 		c.err = err
-		c.done <- c
+		completeCall(c)
 	}
 }
 
@@ -444,14 +614,34 @@ func (p *pipeConn) connErr() error {
 	return ErrClientClosed
 }
 
-// writeV2Request encodes one request frame (layout in store.go).
+// writeV2Request encodes one request frame (layout in store.go). A call
+// with a deadline gets the 0xA3 extension carrying its remaining budget
+// in microseconds — computed here, at serialization time, so client-side
+// window and queue waits have already been charged against it. An
+// already-expired budget is clamped to 1µs: the frame still goes out
+// (withdrawing it would desync the stream) and the server sheds it at
+// its cheapest gate.
 //
 //lint:hotpath one frame encode per op; the write loop must not allocate between pooled calls
 func writeV2Request(w *bufio.Writer, c *call) {
 	// bufio errors are sticky; the writeLoop's Flush surfaces the first.
-	_ = w.WriteByte(frameV2Magic)
+	if c.expiry.IsZero() {
+		_ = w.WriteByte(frameV2Magic)
+	} else {
+		_ = w.WriteByte(frameV2DeadlineMagic)
+	}
 	_ = w.WriteByte(c.op)
 	writeU32(w, c.id)
+	if !c.expiry.IsZero() {
+		budget := int64(time.Until(c.expiry) / time.Microsecond)
+		if budget < 1 {
+			budget = 1
+		}
+		if budget > math.MaxUint32 {
+			budget = math.MaxUint32
+		}
+		writeU32(w, uint32(budget))
+	}
 	switch c.op {
 	case opMultiGet:
 		writeU32(w, uint32(len(c.keys)))
@@ -513,11 +703,11 @@ func (p *pipeConn) readLoop() {
 		c.status = status
 		if err := readV2Body(r, op, c); err != nil {
 			c.err = err
-			c.done <- c
+			completeCall(c)
 			p.fail(err)
 			return
 		}
-		c.done <- c
+		completeCall(c)
 	}
 }
 
@@ -535,6 +725,11 @@ func readV2Body(r *bufio.Reader, op byte, c *call) error {
 			return err
 		}
 		if int(count) != len(c.keys) {
+			// A shed batch legitimately answers with count 0: the server
+			// drained the request and did none of the work.
+			if count == 0 && c.status == statusRetryLater {
+				return nil
+			}
 			//lint:allow hotpath cold protocol-error path; the connection is dropped right after
 			return fmt.Errorf("kvstore: MultiGet response has %d entries, want %d", count, len(c.keys))
 		}
@@ -565,6 +760,10 @@ func readV2Body(r *bufio.Reader, op byte, c *call) error {
 			return err
 		}
 		if int(count) != len(c.keys) {
+			// count 0 on a shed batch: see opMultiGet above.
+			if count == 0 && c.status == statusRetryLater {
+				return nil
+			}
 			//lint:allow hotpath cold protocol-error path; the connection is dropped right after
 			return fmt.Errorf("kvstore: MultiPut response has %d entries, want %d", count, len(c.keys))
 		}
@@ -589,26 +788,94 @@ func readV2Body(r *bufio.Reader, op byte, c *call) error {
 	}
 }
 
+// Retry policy for the context ops: jittered exponential backoff on
+// statusRetryLater, bounded by the context and by retryAttempts.
+const (
+	retryBase     = time.Millisecond
+	retryMax      = 50 * time.Millisecond
+	retryAttempts = 8
+)
+
+// retryDelay is the backoff before retry number attempt (0-based):
+// exponential from retryBase, capped at retryMax, uniformly jittered
+// over [d/2, d) so synchronized clients shed by the same overload spike
+// do not stampede back in lockstep.
+func retryDelay(attempt int) time.Duration {
+	d := retryBase
+	for i := 0; i < attempt && d < retryMax; i++ {
+		d *= 2
+	}
+	if d > retryMax {
+		d = retryMax
+	}
+	return d/2 + time.Duration(rand.Int64N(int64(d/2)))
+}
+
+// sleepCtx sleeps d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// noteRetry counts one absorbed shed on the retry counter.
+func (cl *ClientV2) noteRetry() {
+	if ins := cl.ins.Load(); ins != nil {
+		ins.RetryLater.Inc()
+	}
+}
+
 // do runs one single-key op on some connection, timing it when
 // instruments are attached (inline rather than deferred — this is the
 // per-sample hot path and a defer closure would allocate).
 func (cl *ClientV2) do(op byte, key string, val []byte) (byte, []byte, error) {
 	h, g, start := cl.opStart(op)
-	status, out, err := cl.doRaw(op, key, val)
+	status, out, err := cl.doRaw(context.Background(), op, key, val)
 	if h != nil {
 		opDone(h, g, start)
 	}
 	return status, out, err
 }
 
-func (cl *ClientV2) doRaw(op byte, key string, val []byte) (byte, []byte, error) {
+// doCtx is do with cancellation, deadline propagation and shed retry.
+func (cl *ClientV2) doCtx(ctx context.Context, op byte, key string, val []byte) (byte, []byte, error) {
+	h, g, start := cl.opStart(op)
+	status, out, err := cl.doRawRetry(ctx, op, key, val)
+	if h != nil {
+		opDone(h, g, start)
+	}
+	return status, out, err
+}
+
+func (cl *ClientV2) doRawRetry(ctx context.Context, op byte, key string, val []byte) (byte, []byte, error) {
+	for attempt := 0; ; attempt++ {
+		status, out, err := cl.doRaw(ctx, op, key, val)
+		if err != nil || status != statusRetryLater || attempt >= retryAttempts {
+			return status, out, err
+		}
+		cl.noteRetry()
+		if err := sleepCtx(ctx, retryDelay(attempt)); err != nil {
+			return 0, nil, err
+		}
+	}
+}
+
+func (cl *ClientV2) doRaw(ctx context.Context, op byte, key string, val []byte) (byte, []byte, error) {
 	p, err := cl.conn()
 	if err != nil {
 		return 0, nil, err
 	}
 	c := getCall(op)
 	c.key, c.val = key, val
-	if err := p.roundTrip(c); err != nil {
+	if d, ok := ctx.Deadline(); ok {
+		c.expiry = d
+	}
+	if err := p.roundTrip(ctx, c); err != nil {
 		// Failed calls may still be referenced by the writer goroutine;
 		// drop them for the GC rather than recycling (see call).
 		return 0, nil, err
@@ -618,25 +885,60 @@ func (cl *ClientV2) doRaw(op byte, key string, val []byte) (byte, []byte, error)
 	return status, out, nil
 }
 
+// getStatus maps a Get response status to the public return triple.
+func getStatus(status byte, out []byte, key string) ([]byte, bool, error) {
+	switch status {
+	case statusOK:
+		return out, true, nil
+	case statusNotFound:
+		return nil, false, nil
+	case statusRetryLater:
+		return nil, false, fmt.Errorf("kvstore: Get(%q): %w", key, ErrRetryLater)
+	default:
+		return nil, false, fmt.Errorf("kvstore: server error on Get(%q)", key)
+	}
+}
+
 // Get fetches a value; found=false when the key is absent.
 func (cl *ClientV2) Get(key string) ([]byte, bool, error) {
 	status, out, err := cl.do(opGet, key, nil)
 	if err != nil {
 		return nil, false, err
 	}
-	switch status {
-	case statusOK:
-		return out, true, nil
-	case statusNotFound:
-		return nil, false, nil
-	default:
-		return nil, false, fmt.Errorf("kvstore: server error on Get(%q)", key)
+	return getStatus(status, out, key)
+}
+
+// GetContext is Get with context cancellation, deadline propagation
+// (the 0xA3 frame extension lets the server shed the request once its
+// budget is spent) and jittered-backoff retry on server sheds.
+func (cl *ClientV2) GetContext(ctx context.Context, key string) ([]byte, bool, error) {
+	status, out, err := cl.doCtx(ctx, opGet, key, nil)
+	if err != nil {
+		return nil, false, err
 	}
+	return getStatus(status, out, key)
 }
 
 // Put stores a value; ErrTooLarge when the shard can never admit it.
 func (cl *ClientV2) Put(key string, val []byte) error {
 	status, _, err := cl.do(opPut, key, val)
+	if err != nil {
+		return err
+	}
+	if status == statusTooLarge {
+		if ins := cl.ins.Load(); ins != nil {
+			ins.TooLarge.Inc()
+		}
+	}
+	return putStatusErr(status, key)
+}
+
+// PutContext is Put with cancellation, deadline propagation and shed
+// retry (see GetContext). The value buffer is borrowed until the op
+// completes: after a cancellation it may still be serialized onto the
+// wire, so callers must not mutate it on the error path.
+func (cl *ClientV2) PutContext(ctx context.Context, key string, val []byte) error {
+	status, _, err := cl.doCtx(ctx, opPut, key, val)
 	if err != nil {
 		return err
 	}
@@ -654,10 +956,29 @@ func (cl *ClientV2) Delete(key string) error {
 	if err != nil {
 		return err
 	}
-	if status != statusOK {
+	return deleteStatusErr(status, key)
+}
+
+// DeleteContext is Delete with cancellation, deadline propagation and
+// shed retry (see GetContext).
+func (cl *ClientV2) DeleteContext(ctx context.Context, key string) error {
+	status, _, err := cl.doCtx(ctx, opDelete, key, nil)
+	if err != nil {
+		return err
+	}
+	return deleteStatusErr(status, key)
+}
+
+// deleteStatusErr maps a Delete response status to the client error.
+func deleteStatusErr(status byte, key string) error {
+	switch status {
+	case statusOK:
+		return nil
+	case statusRetryLater:
+		return fmt.Errorf("kvstore: Delete(%q): %w", key, ErrRetryLater)
+	default:
 		return fmt.Errorf("kvstore: server error on Delete(%q)", key)
 	}
-	return nil
 }
 
 // Stats fetches the shard's counters.
@@ -682,31 +1003,67 @@ func (cl *ClientV2) MultiGet(keys []string) ([][]byte, error) {
 		return nil, fmt.Errorf("kvstore: MultiGet batch %d exceeds %d keys", len(keys), maxBatchLen)
 	}
 	h, g, start := cl.opStart(opMultiGet)
-	outs, err := cl.multiGetRaw(keys)
+	outs, err := cl.multiGetRaw(context.Background(), keys)
 	if h != nil {
 		opDone(h, g, start)
 	}
 	return outs, err
 }
 
-func (cl *ClientV2) multiGetRaw(keys []string) ([][]byte, error) {
+// MultiGetContext is MultiGet with cancellation, deadline propagation
+// and jittered-backoff retry on server sheds (see GetContext).
+func (cl *ClientV2) MultiGetContext(ctx context.Context, keys []string) ([][]byte, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	if len(keys) > maxBatchLen {
+		return nil, fmt.Errorf("kvstore: MultiGet batch %d exceeds %d keys", len(keys), maxBatchLen)
+	}
+	h, g, start := cl.opStart(opMultiGet)
+	var outs [][]byte
+	var err error
+	for attempt := 0; ; attempt++ {
+		outs, err = cl.multiGetRaw(ctx, keys)
+		if !errors.Is(err, ErrRetryLater) || attempt >= retryAttempts {
+			break
+		}
+		cl.noteRetry()
+		if serr := sleepCtx(ctx, retryDelay(attempt)); serr != nil {
+			err = serr
+			break
+		}
+	}
+	if h != nil {
+		opDone(h, g, start)
+	}
+	return outs, err
+}
+
+func (cl *ClientV2) multiGetRaw(ctx context.Context, keys []string) ([][]byte, error) {
 	p, err := cl.conn()
 	if err != nil {
 		return nil, err
 	}
 	c := getCall(opMultiGet)
 	c.keys = keys
-	if err := p.roundTrip(c); err != nil {
+	if d, ok := ctx.Deadline(); ok {
+		c.expiry = d
+	}
+	if err := p.roundTrip(ctx, c); err != nil {
 		// Drop, don't recycle: the writer may still hold the call.
 		return nil, err
 	}
 	outs := c.outs
 	status := c.status
 	putCall(c)
-	if status != statusOK {
+	switch status {
+	case statusOK:
+		return outs, nil
+	case statusRetryLater:
+		return nil, fmt.Errorf("kvstore: MultiGet(%d keys): %w", len(keys), ErrRetryLater)
+	default:
 		return nil, fmt.Errorf("kvstore: server error on MultiGet(%d keys)", len(keys))
 	}
-	return outs, nil
 }
 
 // MultiPut stores a whole batch of key/value pairs in one round trip.
@@ -723,28 +1080,66 @@ func (cl *ClientV2) MultiPut(keys []string, vals [][]byte) error {
 		return fmt.Errorf("kvstore: MultiPut batch %d exceeds %d keys", len(keys), maxBatchLen)
 	}
 	h, g, start := cl.opStart(opMultiPut)
-	err := cl.multiPutRaw(keys, vals)
+	err := cl.multiPutRaw(context.Background(), keys, vals)
 	if h != nil {
 		opDone(h, g, start)
 	}
 	return err
 }
 
-func (cl *ClientV2) multiPutRaw(keys []string, vals [][]byte) error {
+// MultiPutContext is MultiPut with cancellation, deadline propagation
+// and shed retry (see GetContext and PutContext's buffer caveat).
+func (cl *ClientV2) MultiPutContext(ctx context.Context, keys []string, vals [][]byte) error {
+	if len(keys) != len(vals) {
+		return fmt.Errorf("kvstore: MultiPut got %d keys, %d values", len(keys), len(vals))
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	if len(keys) > maxBatchLen {
+		return fmt.Errorf("kvstore: MultiPut batch %d exceeds %d keys", len(keys), maxBatchLen)
+	}
+	h, g, start := cl.opStart(opMultiPut)
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = cl.multiPutRaw(ctx, keys, vals)
+		if !errors.Is(err, ErrRetryLater) || attempt >= retryAttempts {
+			break
+		}
+		cl.noteRetry()
+		if serr := sleepCtx(ctx, retryDelay(attempt)); serr != nil {
+			err = serr
+			break
+		}
+	}
+	if h != nil {
+		opDone(h, g, start)
+	}
+	return err
+}
+
+func (cl *ClientV2) multiPutRaw(ctx context.Context, keys []string, vals [][]byte) error {
 	p, err := cl.conn()
 	if err != nil {
 		return err
 	}
 	c := getCall(opMultiPut)
 	c.keys, c.vals = keys, vals
-	if err := p.roundTrip(c); err != nil {
+	if d, ok := ctx.Deadline(); ok {
+		c.expiry = d
+	}
+	if err := p.roundTrip(ctx, c); err != nil {
 		// Drop, don't recycle: the writer may still hold the call.
 		return err
 	}
 	statuses := c.statuses
 	status := c.status
 	putCall(c)
-	if status != statusOK {
+	switch status {
+	case statusOK:
+	case statusRetryLater:
+		return fmt.Errorf("kvstore: MultiPut(%d keys): %w", len(keys), ErrRetryLater)
+	default:
 		return fmt.Errorf("kvstore: server error on MultiPut(%d keys)", len(keys))
 	}
 	var firstErr error

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // shardClient is the per-shard surface Cluster runs on; both the v1
@@ -25,9 +27,27 @@ type shardClient interface {
 type Cluster struct {
 	clients []shardClient
 
+	// repl is the read-replica count: each key's value is written
+	// through to the repl shards after its primary in ring order, and
+	// reads may hedge to the first replica (hedge.go). 0 = no
+	// replication.
+	repl  int
+	hedge *hedgeTracker
+
+	// hedgeFired counts hedge requests actually sent; hedgeWon counts
+	// races the hedge arm won. fired >> won means the delay is too
+	// aggressive; won ≈ fired means the primary is genuinely slow.
+	hedgeFired atomic.Uint64
+	hedgeWon   atomic.Uint64
+
 	// scratch pools the per-shard grouping state MultiGet/MultiPut
 	// rebuild on every call, so the prefetch hot path stops allocating.
 	scratch sync.Pool
+}
+
+// HedgeCounters snapshots the cluster's hedged-read counters.
+func (c *Cluster) HedgeCounters() (fired, won uint64) {
+	return c.hedgeFired.Load(), c.hedgeWon.Load()
 }
 
 // clusterScratch is one batch op's reusable grouping state.
@@ -41,9 +61,49 @@ type clusterScratch struct {
 // protocol (conns multiplexed connections per shard). Use NewClusterV1
 // for v1-only peers.
 func NewCluster(addrs []string, conns int) (*Cluster, error) {
-	return newCluster(addrs, func(addr string) (shardClient, error) {
-		return NewClientV2(addr, conns)
+	return NewClusterConfig(addrs, ClusterConfig{Conns: conns})
+}
+
+// ClusterConfig configures a v2 cluster beyond its shard addresses.
+type ClusterConfig struct {
+	// Conns is the number of multiplexed connections per shard (min 1).
+	Conns int
+	// Window is the per-connection in-flight cap (see ClientV2Options).
+	Window int
+	// Replicas is the read-replica count per key: writes go through to
+	// this many extra shards (ring order after the primary) and reads
+	// may hedge to the first replica. Clamped to Shards-1; 0 disables
+	// replication and hedging.
+	Replicas int
+	// HedgeDelay, when > 0, fixes the hedge delay. 0 selects the
+	// adaptive policy: a tracked quantile of recent primary-read
+	// latencies, clamped to [HedgeMin, HedgeMax].
+	HedgeDelay time.Duration
+	// HedgeQuantile is the tracked latency quantile the adaptive delay
+	// follows (default 0.95).
+	HedgeQuantile float64
+	// HedgeMin and HedgeMax clamp the adaptive delay (defaults 200µs
+	// and 5ms).
+	HedgeMin, HedgeMax time.Duration
+}
+
+// NewClusterConfig connects a v2 cluster with explicit options,
+// including read replication and hedged reads (hedge.go).
+func NewClusterConfig(addrs []string, cfg ClusterConfig) (*Cluster, error) {
+	c, err := newCluster(addrs, func(addr string) (shardClient, error) {
+		return NewClientV2Options(addr, ClientV2Options{Conns: cfg.Conns, Window: cfg.Window})
 	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Replicas >= len(addrs) {
+		cfg.Replicas = len(addrs) - 1
+	}
+	if cfg.Replicas > 0 {
+		c.repl = cfg.Replicas
+		c.hedge = newHedgeTracker(cfg.HedgeDelay, cfg.HedgeQuantile, cfg.HedgeMin, cfg.HedgeMax)
+	}
+	return c, nil
 }
 
 // NewClusterV1 connects with the legacy one-op-per-round-trip protocol
@@ -92,22 +152,56 @@ func (c *Cluster) shard(key string) shardClient {
 	return c.clients[c.shardIndex(key)]
 }
 
-// Get fetches a key from its shard.
-func (c *Cluster) Get(key string) ([]byte, bool, error) { return c.shard(key).Get(key) }
+// Get fetches a key from its shard, hedging to the first replica when
+// replication is configured.
+func (c *Cluster) Get(key string) ([]byte, bool, error) {
+	s := c.shardIndex(key)
+	if pc, rc := c.hedgePair(s); rc != nil {
+		return c.hedgedGet(pc, rc, key)
+	}
+	return c.clients[s].Get(key)
+}
 
-// Put stores a key on its shard.
-func (c *Cluster) Put(key string, val []byte) error { return c.shard(key).Put(key, val) }
+// Put stores a key on its shard and writes through to its replicas.
+// Replica writes are best-effort: a failed replica degrades a future
+// hedge to a cache miss, it does not fail the write.
+func (c *Cluster) Put(key string, val []byte) error {
+	s := c.shardIndex(key)
+	err := c.clients[s].Put(key, val)
+	for r := 1; r <= c.repl; r++ {
+		_ = c.clients[(s+r)%len(c.clients)].Put(key, val)
+	}
+	return err
+}
 
-// Delete removes a key from its shard.
-func (c *Cluster) Delete(key string) error { return c.shard(key).Delete(key) }
+// Delete removes a key from its shard and its replicas.
+func (c *Cluster) Delete(key string) error {
+	s := c.shardIndex(key)
+	err := c.clients[s].Delete(key)
+	for r := 1; r <= c.repl; r++ {
+		_ = c.clients[(s+r)%len(c.clients)].Delete(key)
+	}
+	return err
+}
 
 // Shards returns the number of shards.
 func (c *Cluster) Shards() int { return len(c.clients) }
 
+// shardMultiGet runs one shard's batch, hedged to the first replica
+// when replication is configured.
+func (c *Cluster) shardMultiGet(s int, keys []string) ([][]byte, error) {
+	if pc, rc := c.hedgePair(s); rc != nil {
+		return c.hedgedMultiGet(pc, rc, keys)
+	}
+	return c.clients[s].MultiGet(keys)
+}
+
 // MultiGet fetches a batch of keys: grouped by shard, fanned out
 // concurrently (one round trip per shard on v2 clients), reassembled in
 // request order. vals[i] is nil when keys[i] is absent and non-nil
-// (possibly empty) when present.
+// (possibly empty) when present. When some — but not all — shard
+// batches fail, the healthy shards' values are returned alongside a
+// *PartialError, so tolerant callers keep what arrived.
 func (c *Cluster) MultiGet(keys []string) ([][]byte, error) {
 	if len(keys) == 0 {
 		return nil, nil
@@ -125,15 +219,15 @@ func (c *Cluster) MultiGet(keys []string) ([][]byte, error) {
 	out := make([][]byte, len(keys))
 	var wg sync.WaitGroup
 	errs := make([]error, len(c.clients))
-	for s, cl := range c.clients {
+	for s := range c.clients {
 		if len(sc.keys[s]) == 0 {
 			continue
 		}
-		s, cl := s, cl
+		s := s
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			vals, err := cl.MultiGet(sc.keys[s])
+			vals, err := c.shardMultiGet(s, sc.keys[s])
 			if err != nil {
 				errs[s] = err
 				return
@@ -144,17 +238,34 @@ func (c *Cluster) MultiGet(keys []string) ([][]byte, error) {
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	var firstErr error
+	attempted, failed := 0, 0
+	for s := range c.clients {
+		if len(sc.keys[s]) == 0 {
+			continue
+		}
+		attempted++
+		if errs[s] != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = errs[s]
+			}
 		}
 	}
-	return out, nil
+	switch {
+	case failed == 0:
+		return out, nil
+	case failed == attempted:
+		return nil, firstErr
+	default:
+		return out, &PartialError{Failed: failed, Attempted: attempted, Err: firstErr}
+	}
 }
 
 // MultiPut stores a batch of key/value pairs, grouped by shard and
-// fanned out concurrently. Storage is best-effort per key; the first
-// error is returned after every shard's batch completes.
+// fanned out concurrently; with replication each pair is written
+// through to its replicas' batches too. Storage is best-effort per key;
+// the first error is returned after every shard's batch completes.
 func (c *Cluster) MultiPut(keys []string, vals [][]byte) error {
 	if len(keys) != len(vals) {
 		return fmt.Errorf("kvstore: MultiPut got %d keys, %d values", len(keys), len(vals))
@@ -169,8 +280,11 @@ func (c *Cluster) MultiPut(keys []string, vals [][]byte) error {
 	defer c.putScratch(sc)
 	for i, key := range keys {
 		s := c.shardIndex(key)
-		sc.keys[s] = append(sc.keys[s], key)
-		sc.vals[s] = append(sc.vals[s], vals[i])
+		for r := 0; r <= c.repl; r++ {
+			t := (s + r) % len(c.clients)
+			sc.keys[t] = append(sc.keys[t], key)
+			sc.vals[t] = append(sc.vals[t], vals[i])
+		}
 	}
 	var wg sync.WaitGroup
 	errs := make([]error, len(c.clients))
@@ -222,6 +336,9 @@ func (c *Cluster) Stats() (Stats, error) {
 		total.Misses += st.Misses
 		total.Evictions += st.Evictions
 		total.TooLarge += st.TooLarge
+		total.ShedDeadline += st.ShedDeadline
+		total.ShedQuota += st.ShedQuota
+		total.ShedQueue += st.ShedQueue
 	}
 	return total, nil
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"io"
 	"testing"
+	"time"
 )
 
 // fuzzStore builds a small striped store for decoder fuzzing.
@@ -38,7 +39,7 @@ func FuzzHandleV1(f *testing.F) {
 		}
 		r := bufio.NewReader(bytes.NewReader(data[1:]))
 		w := bufio.NewWriter(io.Discard)
-		if err := st.handleV1(data[0], r, w); err != nil {
+		if err := st.handleV1(data[0], r, w, nil); err != nil {
 			return
 		}
 		if err := w.Flush(); err != nil {
@@ -83,7 +84,51 @@ func FuzzHandleV2(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bufio.NewReader(bytes.NewReader(data))
 		w := bufio.NewWriter(io.Discard)
-		if err := st.handleV2(r, w); err != nil {
+		if err := st.handleV2(r, w, nil, false); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatalf("discard writer failed: %v", err)
+		}
+	})
+}
+
+// FuzzHandleV2Deadline drives the 0xA3 deadline frame extension decoder
+// against a store with every admission gate armed, so the shed/drain
+// paths (drainChunk, writeV2Shed) see hostile bytes too.
+func FuzzHandleV2Deadline(f *testing.F) {
+	u32 := func(v uint32) []byte {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], v)
+		return b[:]
+	}
+	frame := func(op byte, id, budget uint32, body ...[]byte) []byte {
+		var buf bytes.Buffer
+		buf.WriteByte(op)
+		buf.Write(u32(id))
+		buf.Write(u32(budget))
+		for _, b := range body {
+			buf.Write(b)
+		}
+		return buf.Bytes()
+	}
+	chunk := func(b []byte) []byte { return append(u32(uint32(len(b))), b...) }
+	// Seeds: deadlined single ops with generous and with ~expired
+	// budgets, a deadlined MultiGet, truncation after the budget field.
+	f.Add(frame(opGet, 1, 1_000_000, chunk([]byte("key")), u32(0)))
+	f.Add(frame(opPut, 2, 1, chunk([]byte("key")), chunk([]byte("value"))))
+	f.Add(frame(opMultiGet, 3, 500_000, u32(2), chunk([]byte("a")), chunk([]byte("b"))))
+	f.Add(frame(opMultiPut, 4, 0, u32(1), chunk([]byte("a")), chunk([]byte("1"))))
+	f.Add(frame(opStats, 5, 250, u32(0), u32(0)))
+	f.Add([]byte{opGet, 0, 0})
+	f.Add([]byte{})
+	st := fuzzStore()
+	st.adm = newAdmitter(AdmissionConfig{MaxInFlight: 1, MaxQueue: 1, QuotaRate: 1e6})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q := st.adm.newConnQuota(time.Now())
+		r := bufio.NewReader(bytes.NewReader(data))
+		w := bufio.NewWriter(io.Discard)
+		if err := st.handleV2(r, w, q, true); err != nil {
 			return
 		}
 		if err := w.Flush(); err != nil {

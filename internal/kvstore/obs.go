@@ -23,15 +23,28 @@ type ClientInstruments struct {
 	InFlight        *obs.Gauge
 	Redials         *obs.Counter
 	TooLarge        *obs.Counter
+	// RetryLater counts server sheds (statusRetryLater) seen by the
+	// context ops' retry loop — each increment is one backoff+retry.
+	RetryLater *obs.Counter
 }
 
 // NewClientInstruments registers one shard's client instruments in reg
 // under the lobster_kvstore_* names, labelled with the shard id.
 func NewClientInstruments(reg *obs.Registry, shard string) *ClientInstruments {
 	hist := func(op string) *obs.Histogram {
-		return reg.Histogram("lobster_kvstore_op_seconds",
+		h := reg.Histogram("lobster_kvstore_op_seconds",
 			"KV client operation latency, per op and shard.",
 			obs.LatencyBuckets(), "op", op, "shard", shard)
+		// Tail gauges computed from the same histogram at scrape time,
+		// so /metrics and the bench harness report identical numbers
+		// (to bucket resolution).
+		reg.GaugeFunc("lobster_kvstore_op_p99_seconds",
+			"KV client p99 operation latency, per op and shard.",
+			func() float64 { return h.Quantile(0.99) }, "op", op, "shard", shard)
+		reg.GaugeFunc("lobster_kvstore_op_p999_seconds",
+			"KV client p999 operation latency, per op and shard.",
+			func() float64 { return h.Quantile(0.999) }, "op", op, "shard", shard)
+		return h
 	}
 	return &ClientInstruments{
 		GetSeconds:      hist("get"),
@@ -46,6 +59,8 @@ func NewClientInstruments(reg *obs.Registry, shard string) *ClientInstruments {
 			"Dead connections transparently replaced by the client.", "shard", shard),
 		TooLarge: reg.Counter("lobster_kvstore_client_toolarge_total",
 			"Puts refused by the shard as exceeding its per-stripe byte budget.", "shard", shard),
+		RetryLater: reg.Counter("lobster_kvstore_client_retries_total",
+			"Server sheds (retry-later) absorbed by the client's backoff loop.", "shard", shard),
 	}
 }
 
@@ -93,11 +108,24 @@ func InstrumentServer(reg *obs.Registry, srv *Server) {
 	reg.CounterFunc("lobster_kvstore_shard_toolarge_total",
 		"Puts refused because the value exceeded the per-stripe byte budget.",
 		func() float64 { return float64(srv.Stats().TooLarge) })
+	reg.CounterFunc("lobster_kvstore_shard_shed_deadline_total",
+		"Requests shed because their client deadline budget expired.",
+		func() float64 { return float64(srv.Stats().ShedDeadline) })
+	reg.CounterFunc("lobster_kvstore_shard_shed_quota_total",
+		"Requests shed by the per-connection token-bucket quota.",
+		func() float64 { return float64(srv.Stats().ShedQuota) })
+	reg.CounterFunc("lobster_kvstore_shard_shed_queue_total",
+		"Requests shed because the admission queue or slot wait ran out.",
+		func() float64 { return float64(srv.Stats().ShedQueue) })
+	reg.GaugeFunc("lobster_kvstore_shard_queue_depth",
+		"Requests executing or waiting at the shard's admission gate.",
+		func() float64 { return float64(srv.QueueDepth()) })
 }
 
 // Instrument attaches per-shard client instruments from reg to every
 // pipelined (v2) shard client; v1 clients are left untouched. Shards
-// are labelled by index in cluster order.
+// are labelled by index in cluster order. Hedged-read counters are
+// surfaced at scrape time.
 func (c *Cluster) Instrument(reg *obs.Registry) {
 	if reg == nil {
 		return
@@ -107,4 +135,10 @@ func (c *Cluster) Instrument(reg *obs.Registry) {
 			v2.SetInstruments(NewClientInstruments(reg, strconv.Itoa(i)))
 		}
 	}
+	reg.CounterFunc("lobster_kvstore_hedge_fired_total",
+		"Hedge requests sent after the primary outlived the hedge delay.",
+		func() float64 { fired, _ := c.HedgeCounters(); return float64(fired) })
+	reg.CounterFunc("lobster_kvstore_hedge_won_total",
+		"Hedged-read races won by the replica arm.",
+		func() float64 { _, won := c.HedgeCounters(); return float64(won) })
 }

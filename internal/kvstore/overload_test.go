@@ -1,0 +1,473 @@
+package kvstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testServerOptions starts a shard with explicit options on an
+// ephemeral port.
+func testServerOptions(t *testing.T, opts ServerOptions) *Server {
+	t.Helper()
+	s, err := NewServerOptions("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestAdmissionQuotaShed arms only the per-connection token bucket and
+// checks the shed surfaces as ErrRetryLater on the plain (retry-free)
+// ops of both protocols, that Stats counts it, and that a shed response
+// leaves the connection healthy for later requests.
+func TestAdmissionQuotaShed(t *testing.T) {
+	s := testServerOptions(t, ServerOptions{
+		Capacity: 1 << 20,
+		// One token, refilled every 10s: the first data op spends it,
+		// the second is shed deterministically.
+		Admission: AdmissionConfig{QuotaRate: 0.1, QuotaBurst: 1},
+	})
+	cl, err := NewClientV2(s.Addr(), 1) // one conn = one bucket
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Put("k", []byte("v")); err != nil {
+		t.Fatalf("first op should be admitted: %v", err)
+	}
+	_, _, err = cl.Get("k")
+	if !errors.Is(err, ErrRetryLater) {
+		t.Fatalf("second op: err = %v, want ErrRetryLater", err)
+	}
+	// Stats is exempt from the quota gate and reports the shed.
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatalf("stats must be exempt from admission: %v", err)
+	}
+	if st.ShedQuota != 1 {
+		t.Fatalf("ShedQuota = %d, want 1", st.ShedQuota)
+	}
+
+	// Same behaviour over the v1 protocol, on a fresh connection (fresh
+	// bucket).
+	c1, err := NewClient(s.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if _, _, err := c1.Get("k"); err != nil {
+		t.Fatalf("v1 first op should be admitted: %v", err)
+	}
+	if err := c1.Put("k2", []byte("v")); !errors.Is(err, ErrRetryLater) {
+		t.Fatalf("v1 second op: err = %v, want ErrRetryLater", err)
+	}
+}
+
+// TestAdmissionQueueShed fills the in-flight gate with slow requests
+// and checks the overflow is shed, not queued without bound.
+func TestAdmissionQueueShed(t *testing.T) {
+	s := testServerOptions(t, ServerOptions{
+		Capacity:  1 << 20,
+		Admission: AdmissionConfig{MaxInFlight: 1, MaxQueue: 1, MaxWait: 5 * time.Millisecond},
+	})
+	s.SetLag(50 * time.Millisecond)
+	cl := testClientV2(t, s)
+	const n = 8
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := cl.Get("missing")
+			errs <- err
+		}()
+	}
+	defer wg.Wait()
+	sheds := 0
+	for i := 0; i < n; i++ {
+		if err := <-errs; errors.Is(err, ErrRetryLater) {
+			sheds++
+		} else if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if sheds == 0 {
+		t.Fatal("no request was shed at a 1-slot gate with 8 concurrent ops")
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ShedQueue == 0 {
+		t.Fatalf("ShedQueue = 0 after %d sheds", sheds)
+	}
+	// The shed path must preserve framing: the connection still works.
+	s.SetLag(0)
+	if err := cl.Put("after", []byte("ok")); err != nil {
+		t.Fatalf("connection unhealthy after sheds: %v", err)
+	}
+}
+
+// TestAdmissionDeadlineShed parks a slow request in the single
+// in-flight slot and sends a deadlined request behind it: the server
+// must shed it at the gate once its budget runs out, and the client's
+// context must expire cleanly.
+func TestAdmissionDeadlineShed(t *testing.T) {
+	s := testServerOptions(t, ServerOptions{
+		Capacity:  1 << 20,
+		Admission: AdmissionConfig{MaxInFlight: 1, MaxQueue: 4, MaxWait: time.Second},
+	})
+	s.SetLag(200 * time.Millisecond)
+	cl := testClientV2(t, s)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _ = cl.Get("occupier") // holds the slot for the lag
+	}()
+	time.Sleep(10 * time.Millisecond) // let the occupier take the slot
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, _, err := cl.GetContext(ctx, "deadlined")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	wg.Wait()
+	s.SetLag(0)
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ShedDeadline == 0 {
+		t.Fatal("ShedDeadline = 0: the deadlined request was never shed at the gate")
+	}
+}
+
+// TestClientV2RetryAfterShed checks the context ops absorb a shed with
+// backoff: a 1-token bucket refilling fast enough sheds the second op
+// once, then the retry succeeds.
+func TestClientV2RetryAfterShed(t *testing.T) {
+	s := testServerOptions(t, ServerOptions{
+		Capacity: 1 << 20,
+		// 200 tokens/sec = one fresh token every 5ms; burst 1.
+		Admission: AdmissionConfig{QuotaRate: 200, QuotaBurst: 1},
+	})
+	cl, err := NewClientV2(s.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	v, found, err := cl.GetContext(ctx, "k")
+	if err != nil || !found || string(v) != "v" {
+		t.Fatalf("GetContext after shed = %q, %v, %v; want v, true, nil", v, found, err)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ShedQuota == 0 {
+		t.Fatal("ShedQuota = 0: the retry path was never exercised")
+	}
+
+	// Batch ops retry too.
+	if err := cl.MultiPutContext(ctx, []string{"a", "b"}, [][]byte{[]byte("1"), []byte("2")}); err != nil {
+		t.Fatalf("MultiPutContext: %v", err)
+	}
+	vals, err := cl.MultiGetContext(ctx, []string{"a", "b", "absent"})
+	if err != nil {
+		t.Fatalf("MultiGetContext: %v", err)
+	}
+	if string(vals[0]) != "1" || string(vals[1]) != "2" || vals[2] != nil {
+		t.Fatalf("MultiGetContext values = %q", vals)
+	}
+}
+
+// TestClientV2ContextCancelMidPipeline hammers a lagged server with
+// short-deadline ops from many goroutines: cancelled calls must leave
+// no stuck waiters and no pool corruption, and afterwards the same
+// client must still round-trip values correctly. Run under -race.
+func TestClientV2ContextCancelMidPipeline(t *testing.T) {
+	s := testServer(t, 1<<20)
+	cl := testClientV2(t, s)
+	if err := cl.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	s.SetLag(2 * time.Millisecond)
+	const goroutines, iters = 8, 40
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Deadlines from already-expired up to ~the lag, so
+				// cancellations land before, during and after the
+				// window wait, the queue and the server round trip.
+				d := time.Duration((g+i)%4) * time.Millisecond
+				ctx, cancel := context.WithTimeout(context.Background(), d)
+				switch i % 3 {
+				case 0:
+					_, _, err := cl.GetContext(ctx, "k")
+					if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+						t.Errorf("GetContext: %v", err)
+					}
+				case 1:
+					key := fmt.Sprintf("w/%d/%d", g, i)
+					err := cl.PutContext(ctx, key, []byte(key))
+					if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+						t.Errorf("PutContext: %v", err)
+					}
+				case 2:
+					_, err := cl.MultiGetContext(ctx, []string{"k", "absent"})
+					if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+						t.Errorf("MultiGetContext: %v", err)
+					}
+				}
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
+	s.SetLag(0)
+	// The pipeline must be fully healthy: every pooled call object
+	// recycles cleanly and values round-trip uncorrupted.
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("post/%d", i)
+		if err := cl.Put(key, []byte(key)); err != nil {
+			t.Fatalf("post-cancel Put: %v", err)
+		}
+		v, found, err := cl.Get(key)
+		if err != nil || !found || string(v) != key {
+			t.Fatalf("post-cancel Get(%q) = %q, %v, %v", key, v, found, err)
+		}
+	}
+}
+
+// testClusterServers starts n shards and returns them with their
+// addresses.
+func testClusterServers(t *testing.T, n int) ([]*Server, []string) {
+	t.Helper()
+	servers := make([]*Server, n)
+	addrs := make([]string, n)
+	for i := range servers {
+		servers[i] = testServer(t, 1<<20)
+		addrs[i] = servers[i].Addr()
+	}
+	return servers, addrs
+}
+
+// clusterKeysFor returns numPer keys routed to each shard of c, so a
+// test can guarantee fan-out coverage of every shard.
+func clusterKeysFor(t *testing.T, c *Cluster, numPer int) []string {
+	t.Helper()
+	per := make([]int, c.Shards())
+	var keys []string
+	for i := 0; len(keys) < numPer*c.Shards(); i++ {
+		key := fmt.Sprintf("sample/%d", i)
+		if s := c.shardIndex(key); per[s] < numPer {
+			per[s]++
+			keys = append(keys, key)
+		}
+		if i > 100000 {
+			t.Fatal("could not route keys to every shard")
+		}
+	}
+	return keys
+}
+
+// TestClusterMultiGetPartialShardDown kills one shard of a
+// replica-less cluster: MultiGet must return the healthy shards'
+// values alongside a *PartialError, not discard the batch.
+func TestClusterMultiGetPartialShardDown(t *testing.T) {
+	servers, addrs := testClusterServers(t, 3)
+	c, err := NewCluster(addrs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	keys := clusterKeysFor(t, c, 4)
+	vals := make([][]byte, len(keys))
+	for i, k := range keys {
+		vals[i] = []byte("v:" + k)
+	}
+	if err := c.MultiPut(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	const down = 1
+	servers[down].Close()
+	got, err := c.MultiGet(keys)
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PartialError", err)
+	}
+	if pe.Failed == 0 || pe.Failed >= pe.Attempted {
+		t.Fatalf("PartialError = %+v, want 0 < Failed < Attempted", pe)
+	}
+	for i, k := range keys {
+		if c.shardIndex(k) == down {
+			if got[i] != nil {
+				t.Fatalf("key %q on dead shard returned %q", k, got[i])
+			}
+			continue
+		}
+		if string(got[i]) != "v:"+k {
+			t.Fatalf("key %q = %q, want %q", k, got[i], "v:"+k)
+		}
+	}
+}
+
+// TestClusterHedgedReadShardDown kills one shard of a replicated
+// cluster: reads whose primary died must fail over to the replica and
+// still succeed, for both Get and MultiGet.
+func TestClusterHedgedReadShardDown(t *testing.T) {
+	servers, addrs := testClusterServers(t, 3)
+	c, err := NewClusterConfig(addrs, ClusterConfig{
+		Conns: 2, Replicas: 1, HedgeDelay: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	keys := clusterKeysFor(t, c, 4)
+	vals := make([][]byte, len(keys))
+	for i, k := range keys {
+		vals[i] = []byte("v:" + k)
+	}
+	if err := c.MultiPut(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	const down = 0
+	servers[down].Close()
+	got, err := c.MultiGet(keys)
+	if err != nil {
+		t.Fatalf("hedged MultiGet with one shard down: %v", err)
+	}
+	for i, k := range keys {
+		if string(got[i]) != "v:"+k {
+			t.Fatalf("key %q = %q, want %q", k, got[i], "v:"+k)
+		}
+	}
+	for _, k := range keys {
+		if c.shardIndex(k) != down {
+			continue
+		}
+		v, found, err := c.Get(k)
+		if err != nil || !found || string(v) != "v:"+k {
+			t.Fatalf("hedged Get(%q) = %q, %v, %v", k, v, found, err)
+		}
+	}
+	if fired, _ := c.HedgeCounters(); fired == 0 {
+		t.Fatal("no hedge fired with the primary shard down")
+	}
+}
+
+// TestClusterHedgedReadSlowShard lags one shard far beyond the fixed
+// hedge delay: reads must complete at replica speed, with the hedge arm
+// winning the race.
+func TestClusterHedgedReadSlowShard(t *testing.T) {
+	servers, addrs := testClusterServers(t, 3)
+	c, err := NewClusterConfig(addrs, ClusterConfig{
+		Conns: 2, Replicas: 1, HedgeDelay: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	keys := clusterKeysFor(t, c, 4)
+	vals := make([][]byte, len(keys))
+	for i, k := range keys {
+		vals[i] = []byte("v:" + k)
+	}
+	if err := c.MultiPut(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	const slow, lag = 0, 300 * time.Millisecond
+	servers[slow].SetLag(lag)
+	start := time.Now()
+	got, err := c.MultiGet(keys)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("hedged MultiGet with one slow shard: %v", err)
+	}
+	for i, k := range keys {
+		if string(got[i]) != "v:"+k {
+			t.Fatalf("key %q = %q, want %q", k, got[i], "v:"+k)
+		}
+	}
+	if elapsed >= lag {
+		t.Fatalf("MultiGet took %v, not hedged around the %v straggler", elapsed, lag)
+	}
+	if _, won := c.HedgeCounters(); won == 0 {
+		t.Fatal("hedge never won against a slow primary")
+	}
+}
+
+// TestHedgeTrackerAdaptiveDelay checks the adaptive policy follows the
+// observed latency quantile and respects its clamps.
+func TestHedgeTrackerAdaptiveDelay(t *testing.T) {
+	tr := newHedgeTracker(0, 0.95, time.Millisecond, 100*time.Millisecond)
+	if d := tr.delay(); d != 100*time.Millisecond {
+		t.Fatalf("cold delay = %v, want the max clamp", d)
+	}
+	for i := 0; i < hedgeRingSize; i++ {
+		tr.observe(10 * time.Millisecond)
+	}
+	if d := tr.delay(); d != 10*time.Millisecond {
+		t.Fatalf("delay = %v, want 10ms after uniform 10ms observations", d)
+	}
+	// Clamped below.
+	for i := 0; i < hedgeRingSize; i++ {
+		tr.observe(10 * time.Microsecond)
+	}
+	if d := tr.delay(); d != time.Millisecond {
+		t.Fatalf("delay = %v, want the 1ms min clamp", d)
+	}
+	// Fixed delay ignores observations.
+	fx := newHedgeTracker(7*time.Millisecond, 0.95, 0, 0)
+	fx.observe(time.Second)
+	if d := fx.delay(); d != 7*time.Millisecond {
+		t.Fatalf("fixed delay = %v, want 7ms", d)
+	}
+}
+
+// TestAdmissionConfigDefaults covers the admitter's defaulting and the
+// nil-admitter fast paths.
+func TestAdmissionConfigDefaults(t *testing.T) {
+	if a := newAdmitter(AdmissionConfig{}); a != nil {
+		t.Fatal("zero config must disable admission")
+	}
+	a := newAdmitter(AdmissionConfig{MaxInFlight: 8})
+	if a.cfg.MaxQueue != 32 {
+		t.Fatalf("MaxQueue default = %d, want 4x in-flight", a.cfg.MaxQueue)
+	}
+	if a.cfg.MaxWait != defaultMaxWait {
+		t.Fatalf("MaxWait default = %v, want %v", a.cfg.MaxWait, defaultMaxWait)
+	}
+	b := newAdmitter(AdmissionConfig{QuotaRate: 10})
+	if b.cfg.QuotaBurst != 10 {
+		t.Fatalf("QuotaBurst default = %v, want QuotaRate", b.cfg.QuotaBurst)
+	}
+	var nilA *admitter
+	if v := nilA.admit(nil, time.Time{}, time.Now()); v != admitOK {
+		t.Fatalf("nil admitter verdict = %v, want admitOK", v)
+	}
+	nilA.release()
+	if d, q, qu := nilA.sheds(); d+q+qu != 0 {
+		t.Fatal("nil admitter sheds non-zero")
+	}
+	if nilA.queueDepth() != 0 {
+		t.Fatal("nil admitter queueDepth non-zero")
+	}
+}

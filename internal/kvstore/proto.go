@@ -24,17 +24,30 @@ const (
 	statusNotFound
 	statusError
 	statusTooLarge
+	// statusRetryLater is the admission layer's cheap rejection: the
+	// request was shed (deadline expired, over quota, or queue full)
+	// without occupying a worker. Clients back off and retry.
+	statusRetryLater
 )
 
-// statsWireLen is the encoded size of a Stats payload: six big-endian
+// statsWireLen is the encoded size of a Stats payload: nine big-endian
 // u64 counters (items, used bytes, hits, misses, evictions, too-large
-// refusals).
-const statsWireLen = 48
+// refusals, and the three admission shed counters).
+const statsWireLen = 72
 
 // frameV2Magic introduces a v2 request frame. It is disjoint from every
 // v1 op byte, so the server classifies each incoming frame by its first
 // byte and one connection can carry either protocol (or both).
 const frameV2Magic byte = 0xA2
+
+// frameV2DeadlineMagic introduces the v2 frame extension that carries a
+// client deadline: the layout is identical to a frameV2Magic frame with
+// one extra u32 after the request ID — the remaining deadline budget in
+// microseconds, measured by the client when the frame is serialized.
+// A relative budget needs no clock synchronization; the server restarts
+// it at parse time, so it bounds the time a request may spend queued
+// behind the admission gate and executing, not time on the wire.
+const frameV2DeadlineMagic byte = 0xA3
 
 // maxKeyLen, maxValLen and maxBatchLen bound request sizes (defense
 // against corrupt or hostile peers).
@@ -47,6 +60,12 @@ const (
 // ErrTooLarge is returned by Put/MultiPut when a value exceeds the
 // receiving shard's capacity and can never be admitted.
 var ErrTooLarge = errors.New("kvstore: value exceeds shard capacity")
+
+// ErrRetryLater is returned when the server sheds a request at
+// admission (statusRetryLater) and the retry budget — if any — is
+// exhausted. The context-carrying client ops retry it internally with
+// jittered exponential backoff; the plain ops surface it immediately.
+var ErrRetryLater = errors.New("kvstore: server overloaded, retry later")
 
 // errFrame is the generic malformed-frame error; connections carrying a
 // malformed frame are dropped, matching v1 behaviour.

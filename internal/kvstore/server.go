@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // connBufSize sizes the per-connection bufio reader/writer. Large
@@ -42,6 +43,9 @@ type Server struct {
 
 	wg     sync.WaitGroup
 	closed chan struct{}
+
+	mu    sync.Mutex // guards conns; never held across handler calls
+	conns map[net.Conn]struct{}
 }
 
 // NewServer starts a shard listening on addr ("127.0.0.1:0" for an
@@ -64,22 +68,54 @@ func NewServer(addr string, capacity int64) (*Server, error) {
 // — and therefore the largest admissible value and the eviction
 // pressure — split evenly per stripe.
 func NewServerStriped(addr string, capacity int64, stripes int) (*Server, error) {
-	if capacity <= 0 {
-		return nil, fmt.Errorf("kvstore: capacity %d <= 0", capacity)
+	return NewServerOptions(addr, ServerOptions{Capacity: capacity, Stripes: stripes})
+}
+
+// ServerOptions configures a shard beyond its capacity: LRU striping
+// and the overload-control gates (admission.go, DESIGN.md §11).
+type ServerOptions struct {
+	// Capacity is the shard's byte budget (required, > 0).
+	Capacity int64
+	// Stripes is the LRU stripe count (<= 0 auto-sizes; see
+	// NewServerStriped).
+	Stripes int
+	// Admission configures deadline-aware load shedding, per-connection
+	// quotas and the bounded in-flight gate. The zero value disables
+	// them all.
+	Admission AdmissionConfig
+}
+
+// NewServerOptions starts a shard with explicit options.
+func NewServerOptions(addr string, opts ServerOptions) (*Server, error) {
+	if opts.Capacity <= 0 {
+		return nil, fmt.Errorf("kvstore: capacity %d <= 0", opts.Capacity)
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: listen: %w", err)
 	}
+	st := newStore(opts.Capacity, opts.Stripes)
+	st.adm = newAdmitter(opts.Admission)
 	s := &Server{
 		ln:     ln,
-		st:     newStore(capacity, stripes),
+		st:     st,
 		closed: make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
 }
+
+// SetLag injects an artificial per-request service delay, applied while
+// the request occupies its in-flight slot — the straggler/chaos
+// fault-injection hook behind the hedged-read tests and the overload
+// benchmark. Zero removes the lag. Safe to call while serving.
+func (s *Server) SetLag(d time.Duration) { s.st.lag.Store(int64(d)) }
+
+// QueueDepth reports requests executing or waiting at the admission
+// gate right now (0 when admission is disabled).
+func (s *Server) QueueDepth() int64 { return s.st.adm.queueDepth() }
 
 // Addr returns the shard's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
@@ -87,7 +123,11 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // Stripes returns the shard's LRU stripe count.
 func (s *Server) Stripes() int { return len(s.st.stripes) }
 
-// Close stops the listener and waits for connection handlers to exit.
+// Close stops the listener, severs every live connection, and waits
+// for connection handlers to exit. Clients see the drop as an I/O
+// error mid-operation — the same failure mode as a crashed shard —
+// which is what the cluster's partial-failure and hedged-read paths
+// are built to absorb.
 func (s *Server) Close() error {
 	select {
 	case <-s.closed:
@@ -96,8 +136,33 @@ func (s *Server) Close() error {
 	}
 	close(s.closed)
 	err := s.ln.Close()
+	s.mu.Lock()
+	for conn := range s.conns {
+		_ = conn.Close() // severing; the handler's own close also races here
+	}
+	s.mu.Unlock()
 	s.wg.Wait()
 	return err
+}
+
+// track registers a live connection for teardown by Close. It refuses
+// connections that race with Close so none slip past the sever loop.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.closed:
+		return false
+	default:
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
 }
 
 // Stats is a shard's counter snapshot.
@@ -115,6 +180,16 @@ type Stats struct {
 	// striped admission bound and the shard needs more capacity or fewer
 	// stripes.
 	TooLarge uint64
+	// ShedDeadline counts requests rejected with statusRetryLater
+	// because their client-supplied deadline budget ran out before an
+	// in-flight slot opened (admission.go gate 1).
+	ShedDeadline uint64
+	// ShedQuota counts requests rejected because their connection's
+	// token bucket was empty (gate 2).
+	ShedQuota uint64
+	// ShedQueue counts deadline-less requests rejected because the
+	// admission queue was full or the MaxWait slot wait expired (gate 3).
+	ShedQueue uint64
 }
 
 // Stats returns a snapshot aggregated across stripes.
@@ -146,17 +221,25 @@ func (s *Server) acceptLoop() {
 func (s *Server) serve(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
+	if !s.track(conn) {
+		return // lost the race with Close
+	}
+	defer s.untrack(conn)
 	r := bufio.NewReaderSize(conn, connBufSize)
 	w := bufio.NewWriterSize(conn, connBufSize)
+	q := s.st.adm.newConnQuota(time.Now())
 	for {
 		first, err := r.ReadByte()
 		if err != nil {
 			return // EOF or protocol error: drop the connection
 		}
-		if first == frameV2Magic {
-			err = s.st.handleV2(r, w)
-		} else {
-			err = s.st.handleV1(first, r, w)
+		switch first {
+		case frameV2Magic:
+			err = s.st.handleV2(r, w, q, false)
+		case frameV2DeadlineMagic:
+			err = s.st.handleV2(r, w, q, true)
+		default:
+			err = s.st.handleV1(first, r, w, q)
 		}
 		if err != nil {
 			return

@@ -6,6 +6,8 @@ import (
 	"hash/maphash"
 	"io"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // minStripeBytes is the smallest per-stripe byte budget worth striping
@@ -27,6 +29,18 @@ var stripeSeed = maphash.MakeSeed()
 type store struct {
 	stripes []*stripe
 	mask    uint64
+
+	// adm is the overload-control layer (admission.go); nil admits
+	// everything. It lives on the store rather than the Server so the
+	// protocol fuzzers can drive admission without a TCP listener.
+	adm *admitter
+
+	// lag is an artificial per-request service delay in nanoseconds,
+	// applied while the request occupies its in-flight slot. It is the
+	// straggler/chaos fault-injection hook (Server.SetLag): a lagged
+	// shard models slow storage or an overloaded peer, which is what
+	// the hedged-read path and the overload benchmark exercise.
+	lag atomic.Int64
 }
 
 // stripe is one lock-striped sub-shard.
@@ -165,6 +179,7 @@ func (st *store) stats() Stats {
 		total.TooLarge += sp.tooLarge
 		sp.mu.Unlock()
 	}
+	total.ShedDeadline, total.ShedQuota, total.ShedQueue = st.adm.sheds()
 	return total
 }
 
@@ -215,15 +230,36 @@ func (sp *stripe) moveToFront(e *entry) {
 // Both handlers live on the store (not the Server) so the fuzzers can
 // drive them over in-memory readers without a TCP listener.
 
+// sleepLag applies the injected service delay (SetLag), if any.
+func (st *store) sleepLag() {
+	if d := st.lag.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+}
+
 // handleV1 serves one v1 request whose op byte has already been
 // consumed. Responses are buffered in w; the serve loop flushes when no
-// further request bytes are pending.
-func (st *store) handleV1(op byte, r *bufio.Reader, w *bufio.Writer) error {
+// further request bytes are pending. The admission gates apply to the
+// data ops (v1 has no deadline extension, so only the quota and queue
+// gates can fire); Stats is exempt so monitoring survives overload.
+func (st *store) handleV1(op byte, r *bufio.Reader, w *bufio.Writer, q *connQuota) error {
 	key, val, err := readKV(r)
 	if err != nil {
 		return err
 	}
 	defer putBuf(key)
+	if op == opStats {
+		writeStats(w, st.stats())
+		return nil
+	}
+	if st.adm != nil {
+		if v := st.adm.admit(q, time.Time{}, time.Now()); v != admitOK {
+			writeResponse(w, statusRetryLater, nil)
+			return nil
+		}
+		defer st.adm.release()
+	}
+	st.sleepLag()
 	switch op {
 	case opGet:
 		if v, ok := st.get(key.b); ok {
@@ -236,8 +272,6 @@ func (st *store) handleV1(op byte, r *bufio.Reader, w *bufio.Writer) error {
 	case opDelete:
 		st.delete(key.b)
 		writeResponse(w, statusOK, nil)
-	case opStats:
-		writeStats(w, st.stats())
 	default:
 		writeResponse(w, statusError, nil)
 	}
@@ -245,11 +279,13 @@ func (st *store) handleV1(op byte, r *bufio.Reader, w *bufio.Writer) error {
 }
 
 // handleV2 serves one v2 request whose magic byte has already been
-// consumed.
+// consumed. deadlined marks the 0xA3 frame extension, which carries the
+// client's remaining deadline budget.
 //
 // v2 request frame (big-endian lengths):
 //
 //	magic(1)=0xA2 op(1) reqID(u32) body
+//	magic(1)=0xA3 op(1) reqID(u32) budgetMicros(u32) body
 //	  single ops : keyLen(u32) key valLen(u32) val
 //	  opMultiGet : count(u32) { keyLen(u32) key }*
 //	  opMultiPut : count(u32) { keyLen(u32) key valLen(u32) val }*
@@ -260,7 +296,11 @@ func (st *store) handleV1(op byte, r *bufio.Reader, w *bufio.Writer) error {
 //	  single ops : valLen(u32) val
 //	  opMultiGet : count(u32) { status(1) valLen(u32) val }*
 //	  opMultiPut : count(u32) { status(1) }*
-func (st *store) handleV2(r *bufio.Reader, w *bufio.Writer) error {
+//
+// A shed request (statusRetryLater) answers batch ops with count 0: the
+// server drained the request body to preserve framing but did none of
+// the work.
+func (st *store) handleV2(r *bufio.Reader, w *bufio.Writer, q *connQuota, deadlined bool) error {
 	op, err := r.ReadByte()
 	if err != nil {
 		return err
@@ -269,13 +309,47 @@ func (st *store) handleV2(r *bufio.Reader, w *bufio.Writer) error {
 	if err != nil {
 		return err
 	}
+	var expiry time.Time
+	if deadlined {
+		budget, err := readU32(r)
+		if err != nil {
+			return err
+		}
+		if budget > 0 {
+			expiry = time.Now().Add(time.Duration(budget) * time.Microsecond)
+		}
+	}
 	switch op {
 	case opGet, opPut, opDelete, opStats:
+		if st.adm != nil && op != opStats {
+			if v := st.adm.admit(q, expiry, time.Now()); v != admitOK {
+				// Drain the body without materializing the value, then
+				// answer with the cheap shed status.
+				if err := drainChunk(r, maxKeyLen); err != nil {
+					return err
+				}
+				if err := drainChunk(r, maxValLen); err != nil {
+					return err
+				}
+				writeV2Response(w, op, id, statusRetryLater, nil)
+				return nil
+			}
+			defer st.adm.release()
+		}
 		key, val, err := readKV(r)
 		if err != nil {
 			return err
 		}
 		defer putBuf(key)
+		if op == opStats {
+			s := st.stats()
+			buf := getBuf(statsWireLen)
+			encodeStats(buf.b, s)
+			writeV2Response(w, op, id, statusOK, buf.b)
+			putBuf(buf)
+			return nil
+		}
+		st.sleepLag()
 		switch op {
 		case opGet:
 			if v, ok := st.get(key.b); ok {
@@ -288,12 +362,6 @@ func (st *store) handleV2(r *bufio.Reader, w *bufio.Writer) error {
 		case opDelete:
 			st.delete(key.b)
 			writeV2Response(w, op, id, statusOK, nil)
-		case opStats:
-			s := st.stats()
-			buf := getBuf(statsWireLen)
-			encodeStats(buf.b, s)
-			writeV2Response(w, op, id, statusOK, buf.b)
-			putBuf(buf)
 		}
 		return nil
 	case opMultiGet:
@@ -301,6 +369,21 @@ func (st *store) handleV2(r *bufio.Reader, w *bufio.Writer) error {
 		if err != nil {
 			return err
 		}
+		if st.adm != nil {
+			if v := st.adm.admit(q, expiry, time.Now()); v != admitOK {
+				// Drain the batch body cheaply, then answer with an
+				// empty shed response.
+				for i := uint32(0); i < count; i++ {
+					if err := drainChunk(r, maxKeyLen); err != nil {
+						return err
+					}
+				}
+				writeV2Shed(w, op, id)
+				return nil
+			}
+			defer st.adm.release()
+		}
+		st.sleepLag()
 		// Stream the response while decoding: each key is looked up and
 		// its entry written as soon as it is read, so the batch needs no
 		// materialized request and only one key buffer of scratch.
@@ -329,6 +412,27 @@ func (st *store) handleV2(r *bufio.Reader, w *bufio.Writer) error {
 		if err != nil {
 			return err
 		}
+		shed := false
+		if st.adm != nil {
+			if v := st.adm.admit(q, expiry, time.Now()); v != admitOK {
+				shed = true
+			} else {
+				defer st.adm.release()
+			}
+		}
+		if shed {
+			for i := uint32(0); i < count; i++ {
+				if err := drainChunk(r, maxKeyLen); err != nil {
+					return err
+				}
+				if err := drainChunk(r, maxValLen); err != nil {
+					return err
+				}
+			}
+			writeV2Shed(w, op, id)
+			return nil
+		}
+		st.sleepLag()
 		statuses := getBuf(int(count))
 		defer putBuf(statuses)
 		for i := uint32(0); i < count; i++ {
@@ -349,6 +453,25 @@ func (st *store) handleV2(r *bufio.Reader, w *bufio.Writer) error {
 		// Unknown op: the frame boundary is lost, drop the connection.
 		return errFrame
 	}
+}
+
+// writeV2Shed writes the zero-count batch response of a shed batch op.
+func writeV2Shed(w *bufio.Writer, op byte, id uint32) {
+	_ = w.WriteByte(op)
+	writeU32(w, id)
+	_ = w.WriteByte(statusRetryLater)
+	writeU32(w, 0)
+}
+
+// drainChunk consumes one length-prefixed blob without materializing
+// it — the cheap path shed requests take through their body.
+func drainChunk(r *bufio.Reader, max uint32) error {
+	n, err := readLen(r, max)
+	if err != nil {
+		return err
+	}
+	_, err = r.Discard(int(n))
+	return err
 }
 
 // readChunk reads one length-prefixed blob into a pooled buffer.
@@ -393,6 +516,9 @@ func encodeStats(buf []byte, s Stats) {
 	binary.BigEndian.PutUint64(buf[24:], s.Misses)
 	binary.BigEndian.PutUint64(buf[32:], s.Evictions)
 	binary.BigEndian.PutUint64(buf[40:], s.TooLarge)
+	binary.BigEndian.PutUint64(buf[48:], s.ShedDeadline)
+	binary.BigEndian.PutUint64(buf[56:], s.ShedQuota)
+	binary.BigEndian.PutUint64(buf[64:], s.ShedQueue)
 }
 
 func writeStats(w *bufio.Writer, s Stats) {

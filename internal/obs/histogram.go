@@ -118,6 +118,47 @@ func (h *Histogram) snapshot() (cum []uint64, count uint64, sum float64) {
 	return cum, count, sum
 }
 
+// Quantile estimates the q-quantile (0 < q < 1) of the recorded
+// distribution by linear interpolation inside the bucket that crosses
+// the target rank — Prometheus histogram_quantile semantics, so
+// /metrics consumers and in-process callers (the kv overload benchmark,
+// the p999 gauges) agree on the same tail numbers. Returns 0 with no
+// observations; ranks landing in the +Inf bucket clamp to the last
+// bound. The estimate's resolution is the bucket width, so tails
+// asserted against it need buckets finer than the contrast measured.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	cum, count, _ := h.snapshot()
+	if count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(count)
+	prevCum := uint64(0)
+	prevBound := 0.0
+	for i, c := range cum {
+		if float64(c) >= rank {
+			binCount := c - prevCum
+			lower, upper := prevBound, h.bounds[i]
+			if binCount == 0 {
+				return upper
+			}
+			frac := (rank - float64(prevCum)) / float64(binCount)
+			return lower + (upper-lower)*frac
+		}
+		prevCum = c
+		prevBound = h.bounds[i]
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // ExpBuckets returns n geometrically spaced bucket bounds from lo to hi
 // (inclusive), the natural binning for latencies spanning orders of
 // magnitude. Built on stats.NewLogHistogram so the edge math matches

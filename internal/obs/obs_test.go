@@ -133,6 +133,40 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantile checks the interpolated quantile estimate: a
+// uniform fill of one bucket interpolates linearly inside it, empty
+// histograms report 0, and overflow ranks clamp to the last bound.
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lobster_test_seconds", "latency", []float64{0.1, 0.2, 0.4, 0.8})
+	if q := h.Quantile(0.99); q != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", q)
+	}
+	// 1000 observations spread evenly across (0.2, 0.4]: the median
+	// lands mid-bucket.
+	for i := 0; i < 1000; i++ {
+		h.Observe(0.2 + 0.2*float64(i+1)/1000)
+	}
+	if q := h.Quantile(0.5); math.Abs(q-0.3) > 0.02 {
+		t.Fatalf("p50 = %v, want ~0.3", q)
+	}
+	// p999 of the same fill stays inside the bucket.
+	if q := h.Quantile(0.999); q <= 0.2 || q > 0.4 {
+		t.Fatalf("p999 = %v, want in (0.2, 0.4]", q)
+	}
+	// Overflow observations clamp the tail to the last bound.
+	for i := 0; i < 9000; i++ {
+		h.Observe(5)
+	}
+	if q := h.Quantile(0.999); q != 0.8 {
+		t.Fatalf("overflow p999 = %v, want clamp to 0.8", q)
+	}
+	var nilH *Histogram
+	if q := nilH.Quantile(0.99); q != 0 {
+		t.Fatalf("nil Quantile = %v, want 0", q)
+	}
+}
+
 // TestHistogramConcurrent hammers one histogram from many goroutines
 // and checks nothing is lost (the stripes must merge exactly).
 func TestHistogramConcurrent(t *testing.T) {

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/cache"
 	"repro/internal/dataset"
+	"repro/internal/kvstore"
 	"repro/internal/loader"
 	"repro/internal/obs"
 	"repro/internal/preproc"
@@ -442,7 +444,13 @@ func (n *nodeRuntime) prefetchWindowKV(batch []dataset.SampleID) {
 	}
 	vals, err := n.rt.kv.MultiGet(keys)
 	if err != nil {
-		vals = nil // degraded cluster: treat the window as all misses
+		// A partial fan-out failure still returns the healthy shards'
+		// values (failed shards' entries are nil, i.e. misses); anything
+		// else degrades the whole window to misses.
+		var pe *kvstore.PartialError
+		if !errors.As(err, &pe) {
+			vals = nil
+		}
 	}
 	// Write-backs accumulate across the loop and flush in one MultiPut,
 	// including when a cache refusal abandons the window early.

@@ -12,11 +12,14 @@
 #                        per-analyzer wall time printed
 #   5. bench smoke     — quick protocol sanity pass of the kvstore
 #                        benchmark harness (full run: make bench-kv)
-#   6. sim bench smoke — BENCH_sim.json schema validation
+#   6. overload smoke  — tiny-scale sustained-overload + hedged-read
+#                        bench plus schema check of the tail-latency
+#                        fields in BENCH_kv.json (DESIGN.md §11)
+#   7. sim bench smoke — BENCH_sim.json schema validation
 #                        (full regeneration: make bench-sim)
-#   7. obs bench smoke — BENCH_obs.json schema + overhead-budget
+#   8. obs bench smoke — BENCH_obs.json schema + overhead-budget
 #                        validation (full regeneration: make bench-obs)
-#   8. monitor smoke   — boot lobster-kv with its monitor attached and
+#   9. monitor smoke   — boot lobster-kv with its monitor attached and
 #                        scrape the live /metrics and /healthz endpoints
 #
 # Run from anywhere: the script cds to the repo root. `make check` is an
@@ -40,6 +43,13 @@ echo "==> kvstore bench smoke"
 # Short protocol sanity pass of the bench harness (the full run is
 # `make bench-kv`, which writes BENCH_kv.json).
 go test ./internal/kvstore -run TestBenchKVJSON -count=1
+
+echo "==> kvstore overload bench smoke"
+# Tiny-scale sustained-overload + hedged-read bench (DESIGN.md §11):
+# proves the tail-latency harness runs end to end and schema-checks the
+# goodput/shed/p99/p999 fields in its output and in the committed
+# BENCH_kv.json.
+LOBSTER_BENCH_KV=tiny go test ./internal/kvstore -run TestBenchKVJSON -count=1
 
 echo "==> sim bench smoke"
 # Schema validation of the committed BENCH_sim.json (the full run is
