@@ -1,0 +1,325 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	goruntime "runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/loader"
+	"repro/internal/obs"
+	"repro/internal/runtime"
+	"repro/internal/tier"
+)
+
+// TestBenchRuntimeJSON is the live-runtime data-path recording harness
+// behind `make bench-runtime`.
+//
+// Default (no env) it is a CI-safe smoke test over the committed
+// BENCH_runtime.json: the env section is present, every rank point
+// (1/8/64) carries both paths with positive throughput, and the
+// headline shows the batched path at >= 2x fewer allocations per
+// sample with a samples/sec gain at 64 ranks.
+//
+// With LOBSTER_BENCH_RUNTIME=tiny it additionally re-measures a small
+// end-to-end slice (1 and 8 ranks) in-process and checks the same
+// invariants hold live — the verify.sh gate. With
+// LOBSTER_BENCH_RUNTIME=1 it runs the full 1/8/64-rank matrix and
+// rewrites BENCH_runtime.json at the repository root.
+func TestBenchRuntimeJSON(t *testing.T) {
+	switch os.Getenv("LOBSTER_BENCH_RUNTIME") {
+	case "":
+		benchRuntimeSmoke(t)
+	case "tiny":
+		benchRuntimeSmoke(t)
+		benchRuntimeMeasure(t, false)
+	default:
+		benchRuntimeMeasure(t, true)
+	}
+}
+
+// runtimePathMetrics is one data path's measurement at one rank count.
+type runtimePathMetrics struct {
+	SamplesPerSec   float64 `json:"samples_per_sec"`
+	AllocsPerSample float64 `json:"allocs_per_sample"`
+	StallP99Ms      float64 `json:"stall_p99_ms"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	Samples         uint64  `json:"samples"`
+}
+
+// runtimeConfigResult compares the two paths at one rank count.
+type runtimeConfigResult struct {
+	Ranks          int                `json:"ranks"`
+	Nodes          int                `json:"nodes"`
+	GPUsPerNode    int                `json:"gpus_per_node"`
+	Epochs         int                `json:"epochs"`
+	BatchSize      int                `json:"batch_size"`
+	Samples        int                `json:"dataset_samples"`
+	PerSample      runtimePathMetrics `json:"per_sample"`
+	Batched        runtimePathMetrics `json:"batched"`
+	AllocReduction float64            `json:"alloc_reduction"`
+	SpeedupPct     float64            `json:"samples_per_sec_gain_pct"`
+}
+
+// runtimeBenchFile is the schema of BENCH_runtime.json.
+type runtimeBenchFile struct {
+	Generated string `json:"generated"`
+	Scale     string `json:"scale"`
+	Note      string `json:"note"`
+	Env       struct {
+		GoVersion  string `json:"go_version"`
+		GOOS       string `json:"goos"`
+		GOARCH     string `json:"goarch"`
+		NumCPU     int    `json:"num_cpu"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+	} `json:"env"`
+	Configs  []runtimeConfigResult `json:"configs"`
+	Headline struct {
+		AllocReduction64R float64 `json:"alloc_reduction_64r"`
+		SpeedupPct64R     float64 `json:"samples_per_sec_gain_64r_pct"`
+	} `json:"headline"`
+}
+
+// allocReductionBudget is the acceptance bound on the committed full
+// run: the batched path must at least halve allocations per sample.
+const allocReductionBudget = 2.0
+
+func benchRuntimeSmoke(t *testing.T) {
+	root, err := simRepoRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(filepath.Join(root, "BENCH_runtime.json"))
+	if err != nil {
+		t.Fatalf("BENCH_runtime.json missing (regenerate with `make bench-runtime`): %v", err)
+	}
+	var f runtimeBenchFile
+	if err := json.Unmarshal(buf, &f); err != nil {
+		t.Fatalf("BENCH_runtime.json does not parse: %v", err)
+	}
+	if f.Generated == "" || f.Scale == "" {
+		t.Fatalf("BENCH_runtime.json header incomplete: %+v", f)
+	}
+	if f.Env.GoVersion == "" || f.Env.NumCPU < 1 || f.Env.GOMAXPROCS < 1 || f.Env.GOOS == "" || f.Env.GOARCH == "" {
+		t.Fatalf("BENCH_runtime.json env section incomplete: %+v", f.Env)
+	}
+	ranks := map[int]bool{}
+	for _, c := range f.Configs {
+		if c.Ranks != c.Nodes*c.GPUsPerNode {
+			t.Fatalf("config ranks %d != %d nodes x %d gpus", c.Ranks, c.Nodes, c.GPUsPerNode)
+		}
+		for name, m := range map[string]runtimePathMetrics{"per_sample": c.PerSample, "batched": c.Batched} {
+			if m.SamplesPerSec <= 0 || m.WallSeconds <= 0 || m.Samples == 0 {
+				t.Fatalf("config ranks=%d %s metrics malformed: %+v", c.Ranks, name, m)
+			}
+			if m.AllocsPerSample < 0 || m.StallP99Ms < 0 {
+				t.Fatalf("config ranks=%d %s has negative metrics: %+v", c.Ranks, name, m)
+			}
+		}
+		ranks[c.Ranks] = true
+	}
+	for _, want := range []int{1, 8, 64} {
+		if !ranks[want] {
+			t.Fatalf("BENCH_runtime.json missing the %d-rank config", want)
+		}
+	}
+	if f.Headline.AllocReduction64R < allocReductionBudget {
+		t.Fatalf("committed alloc reduction at 64 ranks is %.2fx, below the %.1fx acceptance bound",
+			f.Headline.AllocReduction64R, allocReductionBudget)
+	}
+	if f.Headline.SpeedupPct64R <= 0 {
+		t.Fatalf("committed 64-rank samples/sec gain is %.2f%%; the batched path must be a measurable win",
+			f.Headline.SpeedupPct64R)
+	}
+}
+
+// benchRuntimeRun executes one instrumented run and returns its stats
+// plus the worst per-rank stall p99 and the Mallocs delta across it.
+func benchRuntimeRun(t *testing.T, ds *dataset.Dataset, nodes, gpus, epochs int, perSample bool) (*runtime.Stats, float64, uint64) {
+	t.Helper()
+	top := cluster.Topology{
+		Nodes:       nodes,
+		GPUsPerNode: gpus,
+		CPUThreads:  8,
+		CacheBytes:  ds.TotalBytes() / 3,
+		NUMADomains: 2,
+		Hierarchy:   tier.ThetaGPULike(),
+	}
+	model := cluster.DNNModel{Name: "toy", IterTime: 0.004, BatchSize: 8, TargetAccuracy: 0.7, ConvergeEpochs: 10}
+	reg := obs.NewRegistry()
+	opts := runtime.Options{
+		Topology:  top,
+		Dataset:   ds,
+		Model:     model,
+		Epochs:    epochs,
+		Seed:      7,
+		Strategy:  loader.Lobster(),
+		TimeScale: 0.001,
+		PerSample: perSample,
+		Obs:       reg,
+	}
+	// Two collections quiesce the heap (and clear sync.Pool victim
+	// caches left by a previous measurement) so Mallocs deltas compare
+	// like with like across runs.
+	goruntime.GC()
+	goruntime.GC()
+	var before, after goruntime.MemStats
+	goruntime.ReadMemStats(&before)
+	stats, err := runtime.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goruntime.ReadMemStats(&after)
+	var p99 float64
+	for r := 0; r < top.WorldSize(); r++ {
+		h := reg.Histogram("lobster_runtime_stall_seconds",
+			"Time each GPU spent waiting for its batch (data stall).",
+			obs.LatencyBuckets(), "rank", strconv.Itoa(r))
+		if q := h.Quantile(0.99); q > p99 {
+			p99 = q
+		}
+	}
+	return stats, p99 * 1e3, after.Mallocs - before.Mallocs
+}
+
+// benchRuntimePath measures one path at one rank count. Steady-state
+// allocations per sample come from differencing a short and a long run:
+// the fixed setup cost (plans, caches, pools, instruments) cancels and
+// only the per-sample slope remains.
+func benchRuntimePath(t *testing.T, ds *dataset.Dataset, nodes, gpus, shortE, longE int, perSample bool) runtimePathMetrics {
+	t.Helper()
+	_, _, mallocsShort := benchRuntimeRun(t, ds, nodes, gpus, shortE, perSample)
+	shortStats, _, mallocsShort2 := benchRuntimeRun(t, ds, nodes, gpus, shortE, perSample)
+	if mallocsShort2 < mallocsShort {
+		mallocsShort = mallocsShort2
+	}
+	longStats, p99ms, mallocsLong := benchRuntimeRun(t, ds, nodes, gpus, longE, perSample)
+	dSamples := longStats.SamplesLoaded - shortStats.SamplesLoaded
+	if dSamples == 0 {
+		t.Fatalf("degenerate differencing: %d vs %d samples", longStats.SamplesLoaded, shortStats.SamplesLoaded)
+	}
+	allocs := float64(mallocsLong-mallocsShort) / float64(dSamples)
+	if allocs < 0 {
+		allocs = 0
+	}
+	return runtimePathMetrics{
+		SamplesPerSec:   float64(longStats.SamplesLoaded) / longStats.WallTime.Seconds(),
+		AllocsPerSample: allocs,
+		StallP99Ms:      p99ms,
+		WallSeconds:     longStats.WallTime.Seconds(),
+		Samples:         longStats.SamplesLoaded,
+	}
+}
+
+func benchRuntimeConfig(t *testing.T, ds *dataset.Dataset, nodes, gpus, shortE, longE int) runtimeConfigResult {
+	t.Helper()
+	// Per-sample first: it never returns tensors to the pools, so
+	// measuring it before the batched path keeps it from consuming
+	// buffers a batched run left behind.
+	per := benchRuntimePath(t, ds, nodes, gpus, shortE, longE, true)
+	bat := benchRuntimePath(t, ds, nodes, gpus, shortE, longE, false)
+	c := runtimeConfigResult{
+		Ranks:       nodes * gpus,
+		Nodes:       nodes,
+		GPUsPerNode: gpus,
+		Epochs:      longE,
+		BatchSize:   8,
+		Samples:     ds.Len(),
+		PerSample:   per,
+		Batched:     bat,
+		SpeedupPct:  (bat.SamplesPerSec - per.SamplesPerSec) / per.SamplesPerSec * 100,
+	}
+	// A perfectly allocation-free batched path would divide by zero;
+	// floor the denominator at a tenth of an alloc per sample.
+	den := bat.AllocsPerSample
+	if den < 0.1 {
+		den = 0.1
+	}
+	c.AllocReduction = per.AllocsPerSample / den
+	t.Logf("ranks=%-3d per-sample: %8.0f samples/s %6.2f allocs/sample stall-p99 %6.2fms | batched: %8.0f samples/s %6.2f allocs/sample stall-p99 %6.2fms | %0.1fx fewer allocs, %+.1f%% samples/s",
+		c.Ranks, per.SamplesPerSec, per.AllocsPerSample, per.StallP99Ms,
+		bat.SamplesPerSec, bat.AllocsPerSample, bat.StallP99Ms,
+		c.AllocReduction, c.SpeedupPct)
+	return c
+}
+
+func benchRuntimeMeasure(t *testing.T, full bool) {
+	numSamples := 1024
+	scale := "tiny"
+	if full {
+		numSamples = 4096
+		scale = "full"
+	}
+	ds, err := dataset.Generate(dataset.Spec{
+		Name: "rtbench", NumSamples: numSamples, MeanSize: 8 << 10, SigmaLog: 0.3,
+		MinSize: 1 << 10, Classes: 4, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var configs []runtimeConfigResult
+	if full {
+		configs = append(configs,
+			benchRuntimeConfig(t, ds, 1, 1, 1, 3),
+			benchRuntimeConfig(t, ds, 2, 4, 1, 3),
+			benchRuntimeConfig(t, ds, 8, 8, 1, 3),
+		)
+	} else {
+		configs = append(configs,
+			benchRuntimeConfig(t, ds, 1, 1, 1, 2),
+			benchRuntimeConfig(t, ds, 2, 4, 1, 2),
+		)
+	}
+	last := configs[len(configs)-1]
+	// The tiny gate keeps a flake margin below the committed 2x bound;
+	// in practice the ratio is far larger on both scales.
+	bound := allocReductionBudget
+	if !full {
+		bound = 1.5
+	}
+	if last.AllocReduction < bound {
+		t.Errorf("alloc reduction at %d ranks is %.2fx, want >= %.1fx", last.Ranks, last.AllocReduction, bound)
+	}
+	if !full {
+		return
+	}
+	if last.SpeedupPct <= 0 {
+		t.Errorf("64-rank samples/sec gain %.2f%% is not a win; box may be loaded — rerun", last.SpeedupPct)
+	}
+
+	var out runtimeBenchFile
+	out.Generated = time.Now().UTC().Format(time.RFC3339)
+	out.Scale = scale
+	out.Note = fmt.Sprintf("each config runs the online runtime end to end (dataset %d samples, batch 8, "+
+		"TimeScale 0.001, Lobster dynamic strategy) through the legacy per-sample path and the batched path; "+
+		"allocs/sample is the Mallocs slope between a 1-epoch and a %d-epoch run (setup cost cancels); "+
+		"stall p99 is the worst per-rank lobster_runtime_stall_seconds quantile", numSamples, last.Epochs)
+	out.Env.GoVersion = goruntime.Version()
+	out.Env.GOOS = goruntime.GOOS
+	out.Env.GOARCH = goruntime.GOARCH
+	out.Env.NumCPU = goruntime.NumCPU()
+	out.Env.GOMAXPROCS = goruntime.GOMAXPROCS(0)
+	out.Configs = configs
+	out.Headline.AllocReduction64R = last.AllocReduction
+	out.Headline.SpeedupPct64R = last.SpeedupPct
+
+	root, err := simRepoRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(root, "BENCH_runtime.json")
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}

@@ -16,13 +16,25 @@ import (
 	"sync"
 )
 
+// chunkMsg is one chunk on the wire. Messages are pooled per ring: the
+// receiver consumes the data and returns the message, so steady-state
+// rounds move 2·W·(W−1) chunks with zero allocations — at large world
+// sizes the copies out of each rank's gradient would otherwise dominate
+// the whole runtime's allocation profile.
+type chunkMsg struct {
+	data []float64
+}
+
 // Ring is a W-participant allreduce group. Create once, then call Reduce
 // from exactly W goroutines (one per rank) per round. Successive rounds
 // reuse the group.
 type Ring struct {
 	world int
 	// links[r] carries chunks from rank r-1 to rank r (mod world).
-	links []chan []float64
+	links []chan *chunkMsg
+	// pool recycles chunk messages between rounds (receivers return what
+	// senders lease).
+	pool sync.Pool
 	// barrier resynchronizes ranks between rounds so a fast rank cannot
 	// race ahead into the next Reduce while a slow one still drains
 	// channels.
@@ -34,11 +46,23 @@ func NewRing(world int) (*Ring, error) {
 	if world < 1 {
 		return nil, fmt.Errorf("allreduce: world %d < 1", world)
 	}
-	r := &Ring{world: world, links: make([]chan []float64, world), barrier: newBarrier(world)}
+	r := &Ring{world: world, links: make([]chan *chunkMsg, world), barrier: newBarrier(world)}
 	for i := range r.links {
-		r.links[i] = make(chan []float64, 1)
+		r.links[i] = make(chan *chunkMsg, 1)
 	}
 	return r, nil
+}
+
+// send copies a gradient chunk into a pooled message and puts it on the
+// wire. The copy decouples the sender's gradient from the receiver: both
+// sides keep mutating their own slices while the message is in flight.
+func (r *Ring) send(link chan *chunkMsg, chunk []float64) {
+	m, _ := r.pool.Get().(*chunkMsg)
+	if m == nil {
+		m = &chunkMsg{}
+	}
+	m.data = append(m.data[:0], chunk...)
+	link <- m
 }
 
 // World returns the group size.
@@ -68,11 +92,9 @@ func (r *Ring) Reduce(rank int, grad []float64) error {
 	// receives chunk (rank-s-1), accumulating into it. After W-1 steps,
 	// chunk (rank+1) holds the full sum on this rank.
 	for s := 0; s < w-1; s++ {
-		send := chunk(rank - s)
-		out := make([]float64, len(send))
-		copy(out, send)
-		next <- out
-		in := <-prev
+		r.send(next, chunk(rank-s))
+		m := <-prev
+		in := m.data
 		dst := chunk(rank - s - 1)
 		if len(in) != len(dst) {
 			return fmt.Errorf("allreduce: rank %d step %d: chunk length %d, want %d (mismatched gradient sizes?)",
@@ -81,20 +103,20 @@ func (r *Ring) Reduce(rank int, grad []float64) error {
 		for i, v := range in {
 			dst[i] += v
 		}
+		r.pool.Put(m)
 	}
 	// Phase 2: all-gather. Rank starts by sending its completed chunk
 	// (rank+1), then forwards what it receives.
 	for s := 0; s < w-1; s++ {
-		send := chunk(rank + 1 - s)
-		out := make([]float64, len(send))
-		copy(out, send)
-		next <- out
-		in := <-prev
+		r.send(next, chunk(rank+1-s))
+		m := <-prev
+		in := m.data
 		dst := chunk(rank - s)
 		if len(in) != len(dst) {
 			return fmt.Errorf("allreduce: rank %d gather step %d: chunk length mismatch", rank, s)
 		}
 		copy(dst, in)
+		r.pool.Put(m)
 	}
 	r.barrier.wait()
 	return nil

@@ -4,12 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -266,6 +268,9 @@ func (ld *loader) check(ipath string) (*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !buildConstraintSatisfied(f) {
+			continue
+		}
 		switch {
 		case !strings.HasSuffix(name, "_test.go"):
 			files = append(files, f)
@@ -289,6 +294,44 @@ func (ld *loader) check(ipath string) (*Package, error) {
 		return nil, err
 	}
 	return &Package{Path: ipath, Fset: ld.fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// buildConstraintSatisfied reports whether the file's //go:build line
+// (if any) is satisfied for the default build configuration — what
+// `go build` with no extra tags would compile, which is also how the
+// lint binary itself is built. GOOS, GOARCH, the gc compiler, and
+// go1.N language-version tags evaluate true; every custom tag (race,
+// integration, ...) evaluates false. Without this, mutually exclusive
+// tagged pairs (//go:build race vs !race) load into one package and
+// redeclare each other's symbols.
+func buildConstraintSatisfied(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				// Malformed constraint: load the file and let the
+				// compiler be the one to complain about it.
+				return true
+			}
+			return expr.Eval(defaultBuildTag)
+		}
+	}
+	return true
+}
+
+func defaultBuildTag(tag string) bool {
+	if tag == runtime.GOOS || tag == runtime.GOARCH || tag == runtime.Compiler {
+		return true
+	}
+	// Language-version tags: the toolchain compiling this module is at
+	// least the go.mod version, so treat every go1.N as satisfied.
+	return strings.HasPrefix(tag, "go1.")
 }
 
 // typecheck runs go/types over the files, collecting every error rather

@@ -70,6 +70,39 @@ func TestLoadModuleTestFileTypeError(t *testing.T) {
 	}
 }
 
+func TestLoadModuleBuildConstraints(t *testing.T) {
+	// A mutually exclusive tagged pair (the race/!race idiom) declares
+	// the same symbol in both files; only the default-configuration file
+	// (!race — the lint binary is never compiled with -race) may load,
+	// or the package redeclares it. The GOOS-excluded production file
+	// would be a type error if loaded.
+	root := writeModule(t, map[string]string{
+		"go.mod":        "module fix\n\ngo 1.22\n",
+		"p/p.go":        "package p\n\nfunc F() bool { return true }\n",
+		"p/off_test.go": "//go:build !race\n\npackage p\n\nconst raceOn = false\n",
+		"p/on_test.go":  "//go:build race\n\npackage p\n\nconst raceOn = true\n",
+		"p/nowhere.go":  "//go:build plan9\n\npackage p\n\nfunc G() int { return undefinedOnPlan9 }\n",
+		"p/p_test.go":   "package p\n\nimport \"testing\"\n\nfunc TestF(t *testing.T) { _ = F() && raceOn }\n",
+	})
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		if pkg.Path != "fix/p" {
+			continue
+		}
+		if n := len(pkg.Files); n != 1 {
+			t.Fatalf("production files loaded: %d, want 1 (plan9-tagged file must be skipped)", n)
+		}
+		if n := len(pkg.TestFiles); n != 2 {
+			t.Fatalf("in-package test files loaded: %d, want 2 (race-tagged file must be skipped)", n)
+		}
+		return
+	}
+	t.Fatal("package fix/p not loaded")
+}
+
 func TestLoadModuleMissingModuleDirective(t *testing.T) {
 	root := writeModule(t, map[string]string{
 		"go.mod": "go 1.22\n",

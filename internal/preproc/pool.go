@@ -10,13 +10,54 @@ import (
 	"repro/internal/obs"
 )
 
+// PayloadOwner is implemented by payload lessors (the runtime's node
+// cache): a worker calls ReleasePayload exactly once per leased job,
+// after decode, to tell the owner the data path no longer reads the
+// buffer. The owner may then recycle it — immediately if it was evicted
+// in the meantime, or whenever it eventually is (DESIGN.md §12).
+type PayloadOwner interface {
+	ReleasePayload(p []byte)
+}
+
 // Job is one preprocessing work item: a raw payload to decode and augment.
 type Job struct {
 	ID      dataset.SampleID
 	Payload []byte
 	Seed    uint64
-	// Done receives the result exactly once.
+	// Done receives the result exactly once (per-sample delivery; used
+	// when Comp is nil).
 	Done chan<- Result
+	// Comp, when non-nil, selects batched delivery: the worker writes
+	// the Result into Comp's slot Slot instead of sending on Done, and
+	// the batch's consumer is woken once, by the last slot (see
+	// Completion).
+	Comp *Completion
+	Slot int
+	// Owned marks Payload as exclusively owned by the data path: no
+	// cache retains it and no peer can still read it, so the worker
+	// recycles it into the payload pool after decoding (DESIGN.md §12
+	// ownership rules).
+	Owned bool
+	// Owner, when non-nil, marks Payload as leased from a cache that
+	// still retains it: the worker must not recycle it, but releases the
+	// lease after decode so the owner can recycle it upon eviction.
+	// Mutually exclusive with Owned.
+	Owner PayloadOwner
+}
+
+// jobBlockCap is how many jobs one internal queue slot carries.
+// SubmitBatch packs jobs into blocks of this size, cutting channel
+// operations per batch by the same factor while keeping blocks small
+// enough that a batch still spreads across workers.
+const jobBlockCap = 4
+
+// jobBlock is one message on the pool's queue: up to jobBlockCap jobs,
+// inlined so SubmitBatch can hand a caller's scratch slice to the pool
+// by value — the caller may reuse its slice the moment SubmitBatch
+// returns, with no per-block heap allocation.
+type jobBlock struct {
+	n    int
+	jobs [jobBlockCap]Job
 }
 
 // Result is the outcome of a Job.
@@ -30,13 +71,19 @@ type Result struct {
 // preprocessing stage and make it available for data loading",
 // Section 4.1); Resize is safe to call concurrently with Submit.
 type Pool struct {
-	jobs chan Job
+	jobs chan jobBlock
 
 	mu      sync.Mutex
 	target  int           // desired worker count
 	workers int           // current worker count
 	stops   chan struct{} // one token per worker asked to exit
 	closed  bool
+
+	// stopDebt holds stop requests that did not fit in the stops
+	// channel (a Resize storm can outrun token delivery). Workers claim
+	// debt at the top of their loop, so a full channel stalls nobody:
+	// Resize records the overflow and returns. See Resize.
+	stopDebt atomic.Int64
 
 	processed atomic.Uint64
 	wg        sync.WaitGroup
@@ -102,8 +149,19 @@ func (p *Pool) putTID(tid int64) {
 // scrape-time gauge callbacks).
 func (p *Pool) QueueLen() int { return len(p.jobs) }
 
+// poolStopsCap bounds the stop-token channel. Overflow past it goes to
+// stopDebt, so the bound affects only how promptly *idle* workers learn
+// about a shrink — never whether Resize can block (it cannot).
+const poolStopsCap = 1024
+
 // NewPool starts a pool with the given number of workers.
 func NewPool(workers, queueDepth int) (*Pool, error) {
+	return newPool(workers, queueDepth, poolStopsCap)
+}
+
+// newPool is NewPool with the stop-token capacity exposed so tests can
+// force the overflow path without thousands of workers.
+func newPool(workers, queueDepth, stopsCap int) (*Pool, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("preproc: workers %d < 1", workers)
 	}
@@ -111,8 +169,8 @@ func NewPool(workers, queueDepth int) (*Pool, error) {
 		return nil, fmt.Errorf("preproc: queueDepth %d < 1", queueDepth)
 	}
 	p := &Pool{
-		jobs:  make(chan Job, queueDepth),
-		stops: make(chan struct{}, 1024),
+		jobs:  make(chan jobBlock, queueDepth),
+		stops: make(chan struct{}, stopsCap),
 	}
 	p.mu.Lock()
 	p.target = workers
@@ -129,15 +187,32 @@ func (p *Pool) spawn() {
 	go p.worker()
 }
 
+// claimStopDebt consumes one overflowed stop request, if any. Called by
+// workers at the top of their loop, so debt drains as jobs flow.
+func (p *Pool) claimStopDebt() bool {
+	for {
+		d := p.stopDebt.Load()
+		if d <= 0 {
+			return false
+		}
+		if p.stopDebt.CompareAndSwap(d, d-1) {
+			return true
+		}
+	}
+}
+
 func (p *Pool) worker() {
 	defer p.wg.Done()
 	var tid int64
 	defer func() { p.putTID(tid) }()
 	for {
+		if p.claimStopDebt() {
+			return
+		}
 		select {
 		case <-p.stops:
 			return
-		case job, ok := <-p.jobs:
+		case blk, ok := <-p.jobs:
 			if !ok {
 				return
 			}
@@ -145,7 +220,9 @@ func (p *Pool) worker() {
 			if tid == 0 && ins != nil && ins.Trace != nil {
 				tid = p.takeTID(ins)
 			}
-			p.run(job, ins, tid)
+			for i := 0; i < blk.n; i++ {
+				p.run(blk.jobs[i], ins, tid)
+			}
 		}
 	}
 }
@@ -160,6 +237,14 @@ func (p *Pool) run(job Job, ins *Instruments, tid int64) {
 	if err == nil {
 		Augment(t, job.Seed)
 	}
+	// Decode copied the bytes out; the data path's read of the payload
+	// ends here. Owned buffers are recycled on the spot; leased ones are
+	// handed back to their owner, which recycles them at eviction time.
+	if job.Owner != nil {
+		job.Owner.ReleasePayload(job.Payload)
+	} else if job.Owned {
+		PutPayloadBuf(job.Payload)
+	}
 	p.processed.Add(1)
 	if rec {
 		d := time.Since(start)
@@ -168,13 +253,35 @@ func (p *Pool) run(job Job, ins *Instruments, tid int64) {
 			ins.Trace.Span("preproc", "cpu", tid, start, d)
 		}
 	}
+	if job.Comp != nil {
+		job.Comp.complete(job.Slot, Result{Tensor: t, Err: err})
+		return
+	}
 	job.Done <- Result{Tensor: t, Err: err}
 }
 
 // Submit enqueues a job, blocking if the queue is full. Submitting to a
 // closed pool panics (it is a caller sequencing bug).
 func (p *Pool) Submit(job Job) {
-	p.jobs <- job
+	var b jobBlock
+	b.n = 1
+	b.jobs[0] = job
+	p.jobs <- b
+}
+
+// SubmitBatch enqueues a slice of jobs in blocks of up to jobBlockCap —
+// one channel send per block instead of one per job. Jobs are copied
+// into the queue, so the caller may reuse its slice the moment
+// SubmitBatch returns. Blocking and close semantics match Submit.
+//
+//lint:hotpath one call per loaded chunk on the batched data path; BENCH_runtime.json pins 0 allocs/op
+func (p *Pool) SubmitBatch(jobs []Job) {
+	for len(jobs) > 0 {
+		var b jobBlock
+		b.n = copy(b.jobs[:], jobs)
+		jobs = jobs[b.n:]
+		p.jobs <- b
+	}
 }
 
 // Resize sets the desired worker count. Shrinking takes effect as workers
@@ -190,6 +297,13 @@ func (p *Pool) Resize(n int) error {
 	}
 	for p.target < n {
 		p.target++
+		// A pending stop cancels against a spawn: claiming the debt
+		// keeps an already-running worker alive instead of starting a
+		// goroutine whose sibling is about to retire.
+		if p.claimStopDebt() {
+			p.workers++
+			continue
+		}
 		p.spawn()
 	}
 	shrink := 0
@@ -199,10 +313,15 @@ func (p *Pool) Resize(n int) error {
 		shrink++
 	}
 	p.mu.Unlock()
-	// Deliver stop tokens after releasing the lock: a full stops channel
-	// must stall only this caller, not everyone contending for p.mu.
+	// Deliver stop tokens after releasing the lock, and never block on
+	// them: overflow past the channel bound becomes debt that workers
+	// claim at the top of their loop, so a resize storm stalls nobody.
 	for ; shrink > 0; shrink-- {
-		p.stops <- struct{}{}
+		select {
+		case p.stops <- struct{}{}:
+		default:
+			p.stopDebt.Add(1)
+		}
 	}
 	return nil
 }

@@ -44,7 +44,10 @@ func Decode(payload []byte, want dataset.SampleID) (*Tensor, error) {
 		return nil, fmt.Errorf("preproc: payload header length %d, actual %d", length, len(payload))
 	}
 	body := payload[dataset.PayloadHeaderSize:]
-	t := &Tensor{ID: id, Data: make([]float32, len(body))}
+	// Tensors come from the size-classed pool; the training loop returns
+	// them with PutTensor once the batch is consumed (DESIGN.md §12).
+	t := getTensor(len(body))
+	t.ID = id
 	var sum uint64
 	for i, b := range body {
 		// Byte -> normalized float with a nonlinearity, like a decode+

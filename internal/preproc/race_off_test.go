@@ -1,0 +1,5 @@
+//go:build !race
+
+package preproc
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package preproc
+
+// raceEnabled reports whether the race detector is on: its
+// instrumentation allocates (and sync.Pool deliberately drops puts
+// under race), so allocation pins skip themselves.
+const raceEnabled = true

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"repro/internal/access"
 	"repro/internal/cache"
@@ -17,15 +18,42 @@ import (
 	"repro/internal/preproc"
 )
 
+// cachedBuf is one resident payload plus its recycling provenance.
+// pooled marks buffers drawn from preproc's size-classed payload pool
+// (PFS regenerated reads, peer-fetch copies): only those are returned to
+// the pool on eviction. Buffers of unknown provenance — KV client
+// copies, data-file reads, test-injected dataset slices — are never
+// recycled, even when their capacity happens to be class-sized, because
+// someone else may still reference the memory.
+type cachedBuf struct {
+	b      []byte
+	pooled bool
+}
+
 // nodeCache pairs the policy-managed membership cache with the payload
 // store, behind one mutex, and keeps the distributed directory consistent
 // with local contents.
+//
+// It is also the lessor of DESIGN.md §12's buffer-recycling protocol: a
+// demand read leases the resident buffer to the decode pipeline
+// (leases), eviction recycles unleased pooled buffers immediately and
+// parks leased ones (zombies) until the preprocessing worker releases
+// the lease after decode. This closes the payload-buffer loop — evicted
+// bytes go back to the pool that PFS reads draw from — instead of
+// feeding every cache turnover to the garbage collector.
 type nodeCache struct {
 	mu       sync.Mutex
 	node     int
 	c        *cache.Cache
-	payloads map[dataset.SampleID][]byte
+	payloads map[dataset.SampleID]cachedBuf
 	dir      *Directory
+	// leases counts in-flight decodes per buffer (keyed by the buffer's
+	// base pointer, so an id evicted and refetched into a new buffer
+	// cannot be confused with outstanding leases on the old one).
+	leases map[*byte]int
+	// zombies holds evicted-but-still-leased pooled buffers until their
+	// last lease is released.
+	zombies map[*byte][]byte
 }
 
 func newNodeCache(node int, capacity int64, policy cache.Policy, dir *Directory) (*nodeCache, error) {
@@ -36,34 +64,98 @@ func newNodeCache(node int, capacity int64, policy cache.Policy, dir *Directory)
 	return &nodeCache{
 		node:     node,
 		c:        c,
-		payloads: make(map[dataset.SampleID][]byte),
+		payloads: make(map[dataset.SampleID]cachedBuf),
 		dir:      dir,
+		leases:   make(map[*byte]int),
+		zombies:  make(map[*byte][]byte),
 	}, nil
 }
 
-// get returns the cached payload and records the hit/miss.
-func (nc *nodeCache) get(id dataset.SampleID, now cache.Iter) ([]byte, bool) {
+// get returns the cached payload and records the hit/miss. On a hit of a
+// pooled buffer the caller receives a lease (leased=true) and must
+// arrange for ReleasePayload after the decode finishes reading it.
+func (nc *nodeCache) get(id dataset.SampleID, now cache.Iter) (payload []byte, ok, leased bool) {
 	nc.mu.Lock()
 	defer nc.mu.Unlock()
 	if nc.c.Get(id, now) {
-		return nc.payloads[id], true
+		e := nc.payloads[id]
+		if e.pooled {
+			nc.leases[unsafe.SliceData(e.b)]++
+			return e.b, true, true
+		}
+		return e.b, true, false
 	}
-	return nil, false
+	return nil, false, false
 }
 
-// peek returns the payload without touching stats (peer reads must not
-// perturb the owner's hit accounting, Section 5.5 measures per-node cache
-// hits).
-func (nc *nodeCache) peek(id dataset.SampleID) ([]byte, bool) {
+// ReleasePayload implements preproc.PayloadOwner: the decode pipeline is
+// done reading a leased buffer. If the buffer was evicted while leased
+// it is recycled now; otherwise it simply becomes evictable again.
+func (nc *nodeCache) ReleasePayload(p []byte) {
+	base := unsafe.SliceData(p)
+	nc.mu.Lock()
+	n := nc.leases[base] - 1
+	if n > 0 {
+		nc.leases[base] = n
+		nc.mu.Unlock()
+		return
+	}
+	delete(nc.leases, base)
+	z, dead := nc.zombies[base]
+	if dead {
+		delete(nc.zombies, base)
+	}
+	nc.mu.Unlock()
+	if dead {
+		preproc.PutPayloadBuf(z)
+	}
+}
+
+// discard routes an evicted entry: pooled buffers go back to the payload
+// pool, unless a decode still reads them — then they park in zombies for
+// ReleasePayload to recycle. Called with nc.mu held.
+func (nc *nodeCache) discard(e cachedBuf) {
+	if !e.pooled {
+		return
+	}
+	base := unsafe.SliceData(e.b)
+	if nc.leases[base] > 0 {
+		nc.zombies[base] = e.b
+		return
+	}
+	preproc.PutPayloadBuf(e.b)
+}
+
+// contains reports residency without touching stats (peer/prefetch
+// checks must not perturb the owner's hit accounting, Section 5.5
+// measures per-node cache hits).
+func (nc *nodeCache) contains(id dataset.SampleID) bool {
 	nc.mu.Lock()
 	defer nc.mu.Unlock()
-	p, ok := nc.payloads[id]
-	return p, ok
+	_, ok := nc.payloads[id]
+	return ok
+}
+
+// copyPayload returns a pooled copy of a resident payload (nil when
+// absent), without touching the hit/miss stats. Remote serves hand out
+// copies rather than aliases so buffer ownership stays node-local: the
+// requester exclusively owns what it receives, and this node can recycle
+// the original on eviction without a cross-node read racing it.
+func (nc *nodeCache) copyPayload(id dataset.SampleID) []byte {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	e, ok := nc.payloads[id]
+	if !ok {
+		return nil
+	}
+	buf := preproc.GetPayloadBuf(len(e.b))
+	copy(buf, e.b)
+	return buf
 }
 
 // peekBatch fills out[i] with whether ids[i] is resident, taking the
-// cache lock once for the whole batch. Like peek it does not touch the
-// hit/miss stats.
+// cache lock once for the whole batch. Like contains it does not touch
+// the hit/miss stats.
 func (nc *nodeCache) peekBatch(ids []dataset.SampleID, out []bool) {
 	nc.mu.Lock()
 	defer nc.mu.Unlock()
@@ -73,22 +165,36 @@ func (nc *nodeCache) peekBatch(ids []dataset.SampleID, out []bool) {
 }
 
 // put inserts a payload (policy permitting) and syncs the directory.
-func (nc *nodeCache) put(id dataset.SampleID, payload []byte, now cache.Iter) bool {
+// ok reports whether the sample is cached after the call (inserted now
+// or already present); retained reports whether the cache kept a
+// reference to *this* slice. Callers deciding buffer ownership
+// (DESIGN.md §12) must use retained — an already-cached sample keeps
+// the cache's earlier copy, so the caller's duplicate stays exclusively
+// the caller's. pooled declares the buffer recyclable on eviction (see
+// cachedBuf); lease additionally takes out a decode lease when the
+// cache retains a pooled buffer the caller is about to submit for
+// decode, in the same critical section so no eviction can slip between
+// insert and lease.
+func (nc *nodeCache) put(id dataset.SampleID, payload []byte, now cache.Iter, pooled, lease bool) (ok, retained bool) {
 	nc.mu.Lock()
 	defer nc.mu.Unlock()
 	if nc.c.Contains(id) {
-		return true
+		return true, false
 	}
-	evicted, ok := nc.c.Put(id, int64(len(payload)), now)
+	evicted, inserted := nc.c.Put(id, int64(len(payload)), now)
 	for _, ev := range evicted {
+		nc.discard(nc.payloads[ev])
 		delete(nc.payloads, ev)
 		nc.dir.Remove(nc.node, ev)
 	}
-	if ok {
-		nc.payloads[id] = payload
+	if inserted {
+		nc.payloads[id] = cachedBuf{b: payload, pooled: pooled}
 		nc.dir.Add(nc.node, id)
+		if pooled && lease {
+			nc.leases[unsafe.SliceData(payload)]++
+		}
 	}
-	return ok
+	return inserted, inserted
 }
 
 // maintain runs proactive policy evictions.
@@ -96,6 +202,7 @@ func (nc *nodeCache) maintain(now cache.Iter) {
 	nc.mu.Lock()
 	defer nc.mu.Unlock()
 	for _, ev := range nc.c.Maintain(now) {
+		nc.discard(nc.payloads[ev])
 		delete(nc.payloads, ev)
 		nc.dir.Remove(nc.node, ev)
 	}
@@ -114,11 +221,35 @@ type loadRequest struct {
 	out  chan<- preproc.Result
 }
 
+// loadWork is one message on a gpuQueue: either a single legacy request
+// (ids nil) or a contiguous chunk of a batch enqueued by submitBatch.
+type loadWork struct {
+	single loadRequest
+	// Batched variant: materialize ids and complete comp's slots
+	// base..base+len(ids)-1. The per-sample preprocessing seed is
+	// seed ^ id. ids is borrowed from the submitting rank's batch
+	// scratch; every read of it happens-before the completion's wake,
+	// which happens-before the rank reuses the scratch.
+	ids  []dataset.SampleID
+	base int
+	seed uint64
+	comp *preproc.Completion
+}
+
+// maxLoadChunk caps the automatic chunk size of submitBatch: loading is
+// latency-bound (modeled storage waits), so one worker must never
+// serialize a whole large batch.
+const maxLoadChunk = 8
+
+// gpuStopsCap bounds the stop-token channel. Overflow past it goes to
+// stopDebt (see resize), so a resize storm can never block the caller.
+const gpuStopsCap = 256
+
 // gpuQueue is the per-GPU request queue of Section 4.2 with a resizable
 // worker set — "a separate request queue for each GPU, each of which can
 // be assigned a different number of threads".
 type gpuQueue struct {
-	reqs    chan loadRequest
+	reqs    chan loadWork
 	node    *nodeRuntime
 	label   string // trace track-name prefix, "node<n>/gpu<j>"
 	mu      sync.Mutex
@@ -126,6 +257,11 @@ type gpuQueue struct {
 	stops   chan struct{}
 	wg      *sync.WaitGroup
 	pending atomic.Int64
+
+	// stopDebt holds stop requests that did not fit in stops; workers
+	// claim debt at the top of their loop and resize's grow path cancels
+	// it against spawns.
+	stopDebt atomic.Int64
 
 	// tidFree recycles trace thread IDs across worker generations so
 	// per-iteration resizing does not mint unbounded trace tracks.
@@ -135,11 +271,17 @@ type gpuQueue struct {
 }
 
 func newGPUQueue(node *nodeRuntime, gpu, workers int, wg *sync.WaitGroup) *gpuQueue {
+	return newGPUQueueCap(node, gpu, workers, wg, gpuStopsCap)
+}
+
+// newGPUQueueCap is newGPUQueue with the stop-token capacity exposed so
+// tests can force the overflow path without hundreds of workers.
+func newGPUQueueCap(node *nodeRuntime, gpu, workers int, wg *sync.WaitGroup, stopsCap int) *gpuQueue {
 	q := &gpuQueue{
-		reqs:  make(chan loadRequest, 1024),
+		reqs:  make(chan loadWork, 1024),
 		node:  node,
 		label: fmt.Sprintf("node%d/gpu%d", node.node, gpu),
-		stops: make(chan struct{}, 256),
+		stops: make(chan struct{}, stopsCap),
 		wg:    wg,
 	}
 	q.resize(workers)
@@ -173,7 +315,50 @@ func (q *gpuQueue) putTID(tid int64) {
 
 func (q *gpuQueue) submit(r loadRequest) {
 	q.pending.Add(1)
-	q.reqs <- r
+	q.reqs <- loadWork{single: r}
+}
+
+// submitBatch enqueues one GPU batch as contiguous chunks of at most
+// `chunk` samples — one channel send per chunk instead of one per
+// sample. comp must be armed (Reset) for len(ids) results; slots map
+// 1:1 to batch positions, so the results come back in batch order. ids
+// is borrowed until comp's Wait returns; the caller must not mutate it
+// before then. chunk <= 0 picks an automatic size: the batch spread
+// evenly over the queue's current workers, capped at maxLoadChunk.
+//
+//lint:hotpath one call per iteration per rank on the batched data path; BENCH_runtime.json pins 0 allocs/op
+func (q *gpuQueue) submitBatch(ids []dataset.SampleID, seed uint64, comp *preproc.Completion, chunk int) {
+	if chunk <= 0 {
+		w := q.workers()
+		chunk = (len(ids) + w - 1) / w
+		if chunk > maxLoadChunk {
+			chunk = maxLoadChunk
+		}
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	q.pending.Add(int64(len(ids)))
+	for base := 0; base < len(ids); base += chunk {
+		end := base + chunk
+		if end > len(ids) {
+			end = len(ids)
+		}
+		q.reqs <- loadWork{ids: ids[base:end], base: base, seed: seed, comp: comp}
+	}
+}
+
+// claimStopDebt consumes one overflowed stop request, if any.
+func (q *gpuQueue) claimStopDebt() bool {
+	for {
+		d := q.stopDebt.Load()
+		if d <= 0 {
+			return false
+		}
+		if q.stopDebt.CompareAndSwap(d, d-1) {
+			return true
+		}
+	}
 }
 
 func (q *gpuQueue) resize(n int) {
@@ -183,6 +368,12 @@ func (q *gpuQueue) resize(n int) {
 	q.mu.Lock()
 	for q.target < n {
 		q.target++
+		// A pending stop cancels against a spawn: claiming the debt
+		// keeps an already-running worker alive instead of starting a
+		// goroutine whose sibling is about to retire.
+		if q.claimStopDebt() {
+			continue
+		}
 		q.wg.Add(1)
 		go q.worker()
 	}
@@ -192,10 +383,15 @@ func (q *gpuQueue) resize(n int) {
 		shrink++
 	}
 	q.mu.Unlock()
-	// Deliver stop tokens after releasing the lock: a full stops channel
-	// must stall only this caller, not everyone contending for q.mu.
+	// Deliver stop tokens after releasing the lock, and never block on
+	// them: overflow past the channel bound becomes debt that workers
+	// claim at the top of their loop, so a resize storm stalls nobody.
 	for ; shrink > 0; shrink-- {
-		q.stops <- struct{}{}
+		select {
+		case q.stops <- struct{}{}:
+		default:
+			q.stopDebt.Add(1)
+		}
 	}
 }
 
@@ -209,11 +405,15 @@ func (q *gpuQueue) worker() {
 	defer q.wg.Done()
 	var tid int64
 	defer func() { q.putTID(tid) }()
+	var jobs []preproc.Job // reused batched-chunk scratch
 	for {
+		if q.claimStopDebt() {
+			return
+		}
 		select {
 		case <-q.stops:
 			return
-		case r, ok := <-q.reqs:
+		case w, ok := <-q.reqs:
 			if !ok {
 				return
 			}
@@ -222,8 +422,13 @@ func (q *gpuQueue) worker() {
 					tid = q.takeTID(ro.trace)
 				}
 			}
-			q.node.load(r, tid)
-			q.pending.Add(-1)
+			if w.ids == nil {
+				q.node.load(w.single, tid)
+				q.pending.Add(-1)
+				break
+			}
+			jobs = q.node.loadChunk(w, tid, jobs[:0])
+			q.pending.Add(-int64(len(w.ids)))
 		}
 	}
 }
@@ -253,10 +458,42 @@ type nodeRuntime struct {
 	stopPref chan struct{}
 }
 
-// load materializes one sample: local cache, else peer cache, else PFS —
-// then hands it to preprocessing. This is the Equation 1 path, executed
-// for real. tid is the worker's trace track (0 when untraced).
+// load materializes one sample and hands it to preprocessing with
+// per-sample channel delivery — the legacy path (see loadChunk for the
+// batched one). tid is the worker's trace track (0 when untraced).
 func (n *nodeRuntime) load(r loadRequest, tid int64) {
+	payload, owned, owner := n.loadPayload(r.id, tid)
+	n.pre.Submit(preproc.Job{ID: r.id, Payload: payload, Seed: r.seed, Done: r.out, Owned: owned, Owner: owner})
+}
+
+// loadChunk materializes one contiguous chunk of a GPU batch and hands
+// it to preprocessing in a single SubmitBatch. jobs is the worker's
+// reused scratch, passed length-zero; the returned slice carries its
+// grown capacity back to the worker loop.
+func (n *nodeRuntime) loadChunk(w loadWork, tid int64, jobs []preproc.Job) []preproc.Job {
+	for i, id := range w.ids {
+		payload, owned, owner := n.loadPayload(id, tid)
+		jobs = append(jobs, preproc.Job{
+			ID:      id,
+			Payload: payload,
+			Seed:    w.seed ^ uint64(id),
+			Comp:    w.comp,
+			Slot:    w.base + i,
+			Owned:   owned,
+			Owner:   owner,
+		})
+	}
+	n.pre.SubmitBatch(jobs)
+	return jobs
+}
+
+// loadPayload materializes one sample's bytes: local cache, else peer
+// cache/KV cluster, else PFS. This is the Equation 1 path, executed for
+// real. owned reports whether the returned slice is exclusively the
+// data path's — recyclable after decode; a non-nil owner means the
+// slice is leased from a cache that still retains it and must be
+// released (never recycled) after decode (DESIGN.md §12).
+func (n *nodeRuntime) loadPayload(id dataset.SampleID, tid int64) (payload []byte, owned bool, owner preproc.PayloadOwner) {
 	ro := n.rt.ro
 	rec := ro != nil && (ro.trace != nil || n.loadHist.On())
 	var start time.Time
@@ -264,46 +501,66 @@ func (n *nodeRuntime) load(r loadRequest, tid int64) {
 		start = time.Now()
 	}
 	now := cache.Iter(n.iterNow.Load())
-	payload, ok := n.cache.get(r.id, now)
-	if !ok {
-		payload = n.fetchMiss(r.id, now)
+	payload, ok, leased := n.cache.get(id, now)
+	if ok {
+		if leased {
+			owner = n.cache
+		}
+	} else {
+		payload, owned, owner = n.fetchMiss(id, now)
 	}
 	if rec {
 		d := time.Since(start)
 		n.loadHist.Observe(d.Seconds())
 		if tid != 0 {
-			ro.trace.SpanArgs("load", "io", tid, start, d, "sample", int64(r.id), "", 0)
+			ro.trace.SpanArgs("load", "io", tid, start, d, "sample", int64(id), "", 0)
 		}
 	}
-	n.pre.Submit(preproc.Job{ID: r.id, Payload: payload, Seed: r.seed, Done: r.out})
+	return payload, owned, owner
 }
 
 // fetchMiss pulls a missing sample from the shared cache tier (peer
 // caches via the distribution manager, or a KV cluster when configured)
-// or the PFS, and caches it locally.
-func (n *nodeRuntime) fetchMiss(id dataset.SampleID, now cache.Iter) []byte {
+// or the PFS, and caches it locally. Ownership (DESIGN.md §12): when the
+// local cache retained a pooled buffer, the caller gets a decode lease
+// (owner = the cache); when the cache kept its own earlier copy or
+// refused, the fetched buffer is exclusively the caller's (owned).
+func (n *nodeRuntime) fetchMiss(id dataset.SampleID, now cache.Iter) (payload []byte, owned bool, owner preproc.PayloadOwner) {
 	if n.rt.kv != nil {
 		if payload, found, err := n.rt.kv.Get(kvKey(id)); err == nil && found {
 			n.remoteHits.Add(1)
-			n.cache.put(id, payload, now)
-			return payload
+			// The KV client allocated this copy at exact value size; it
+			// is not pool-recyclable, so ownership only decides whether
+			// the worker's PutPayloadBuf (a capacity-checked no-op here)
+			// runs.
+			_, retained := n.cache.put(id, payload, now, false, false)
+			return payload, !retained, nil
 		}
 	} else if peer := n.rt.dir.Holder(id, n.node); peer >= 0 {
 		if payload := n.rt.dm.Fetch(peer, id, n.rt.ds.Size(id)); payload != nil {
 			n.remoteHits.Add(1)
-			n.cache.put(id, payload, now)
-			return payload
+			// The serving node copied into a pooled buffer just for us.
+			if _, retained := n.cache.put(id, payload, now, true, true); retained {
+				return payload, false, n.cache
+			}
+			return payload, true, nil
 		}
 	}
-	payload := n.pfsReadRetry(id)
+	payload = n.pfsReadRetry(id)
 	n.pfsReads.Add(1)
-	n.cache.put(id, payload, now)
+	pooled := n.rt.pfs.PooledReads()
+	_, retained := n.cache.put(id, payload, now, pooled, true)
 	if n.rt.kv != nil {
 		// Write-back so other nodes find it in the shared tier; the
-		// cluster's own LRU bounds its memory.
+		// cluster's own LRU bounds its memory. Put is synchronous — the
+		// payload is fully on the wire before it returns — so it does
+		// not extend the buffer's ownership.
 		_ = n.rt.kv.Put(kvKey(id), payload)
 	}
-	return payload
+	if retained && pooled {
+		return payload, false, n.cache
+	}
+	return payload, !retained, nil
 }
 
 // pfsReadRetry reads from the PFS, retrying transient failures with
@@ -335,15 +592,14 @@ func kvKey(id dataset.SampleID) string {
 	return "sample/" + strconv.FormatUint(uint64(id), 10)
 }
 
-// serveRemote answers peer-cache fetches until the inbox closes.
+// serveRemote answers peer-cache fetches until the inbox closes. Each
+// reply is a pooled copy of the resident payload (nil when absent), so
+// the requester owns what it receives and this node's eviction-time
+// recycling never races a remote read (DESIGN.md §12).
 func (n *nodeRuntime) serveRemote() {
 	defer n.serverWG.Done()
 	for req := range n.rt.dm.Inbox(n.node) {
-		payload, ok := n.cache.peek(req.id)
-		if !ok {
-			payload = nil
-		}
-		req.reply <- payload
+		req.reply <- n.cache.copyPayload(req.id)
 	}
 }
 
@@ -400,11 +656,10 @@ func (n *nodeRuntime) prefetcher(workers, depthIters int) {
 						default:
 						}
 						nowC := cache.Iter(n.iterNow.Load())
-						if _, ok := n.cache.peek(id); ok {
+						if n.cache.contains(id) {
 							continue
 						}
-						payload := n.fetchPrefetch(id, nowC)
-						if payload == nil {
+						if !n.fetchPrefetch(id, nowC) {
 							break // cache refused: later candidates are needed later
 						}
 						n.prefetched.Add(1)
@@ -453,12 +708,23 @@ func (n *nodeRuntime) prefetchWindowKV(batch []dataset.SampleID) {
 		}
 	}
 	// Write-backs accumulate across the loop and flush in one MultiPut,
-	// including when a cache refusal abandons the window early.
+	// including when a cache refusal abandons the window early. The flush
+	// still reads every queued buffer, so pooled ones stay protected
+	// until after it: retained buffers hold a lease (eviction must not
+	// recycle them mid-flush), unretained ones are recycled only once the
+	// flush is done with them.
 	var wbKeys []string
 	var wbVals [][]byte
+	var freeAfterWB, releaseAfterWB [][]byte
 	defer func() {
 		if len(wbKeys) > 0 {
 			_ = n.rt.kv.MultiPut(wbKeys, wbVals) // best-effort, like the per-id write-back
+		}
+		for _, b := range freeAfterWB {
+			preproc.PutPayloadBuf(b)
+		}
+		for _, b := range releaseAfterWB {
+			n.cache.ReleasePayload(b)
 		}
 	}()
 	for i, id := range need {
@@ -469,44 +735,61 @@ func (n *nodeRuntime) prefetchWindowKV(batch []dataset.SampleID) {
 		}
 		now := cache.Iter(n.iterNow.Load())
 		var payload []byte
+		pooled := false
 		if vals != nil && vals[i] != nil {
-			payload = vals[i]
+			payload = vals[i] // KV client copy: not pool-recyclable
 		} else {
 			payload = n.pfsReadRetry(id)
 			n.pfsReads.Add(1)
+			pooled = n.rt.pfs.PooledReads()
 			wbKeys = append(wbKeys, keys[i])
 			wbVals = append(wbVals, payload)
 		}
-		if !n.cache.put(id, payload, now) {
+		ok, retained := n.cache.put(id, payload, now, pooled, pooled)
+		if pooled {
+			if retained {
+				releaseAfterWB = append(releaseAfterWB, payload)
+			} else {
+				freeAfterWB = append(freeAfterWB, payload)
+			}
+		}
+		if !ok {
 			return // cache refused: later candidates are needed later
 		}
 		n.prefetched.Add(1)
 	}
 }
 
-// fetchPrefetch fetches a sample for the cache only; returns nil if the
-// cache policy refused the insert.
-func (n *nodeRuntime) fetchPrefetch(id dataset.SampleID, now cache.Iter) []byte {
+// fetchPrefetch fetches a sample for the cache only; reports whether the
+// cache accepted it. A pooled buffer the cache did not retain (earlier
+// copy already resident, or insert refused) is recycled on the spot —
+// nothing will ever read it.
+func (n *nodeRuntime) fetchPrefetch(id dataset.SampleID, now cache.Iter) bool {
 	size := n.rt.ds.Size(id)
 	var payload []byte
+	pooled := false
 	if n.rt.kv != nil {
 		if p, found, err := n.rt.kv.Get(kvKey(id)); err == nil && found {
 			payload = p
 		}
 	} else if peer := n.rt.dir.Holder(id, n.node); peer >= 0 {
-		payload = n.rt.dm.Fetch(peer, id, size)
+		if p := n.rt.dm.Fetch(peer, id, size); p != nil {
+			payload, pooled = p, true
+		}
 	}
 	if payload == nil {
 		payload = n.pfsReadRetry(id)
 		n.pfsReads.Add(1)
+		pooled = n.rt.pfs.PooledReads()
 		if n.rt.kv != nil {
 			_ = n.rt.kv.Put(kvKey(id), payload)
 		}
 	}
-	if !n.cache.put(id, payload, now) {
-		return nil
+	ok, retained := n.cache.put(id, payload, now, pooled, false)
+	if !retained && pooled {
+		preproc.PutPayloadBuf(payload)
 	}
-	return payload
+	return ok
 }
 
 // buildNodePolicy instantiates the strategy's cache policy for this node.

@@ -43,6 +43,12 @@ type Options struct {
 	// Verify enables end-to-end payload verification of every decoded
 	// tensor (default true).
 	Verify *bool
+	// PerSample forces the legacy one-channel-send-per-sample data path
+	// (one queue submit and one chan receive per sample) instead of the
+	// batched one. Kept as a differential baseline: both paths must
+	// produce identical Stats.DataFold and SamplesVerified for the same
+	// options, and the runtime benchmark reports both.
+	PerSample bool
 	// ThreadPlan, when non-nil, switches thread management into
 	// plan-following mode: each iteration's pool sizes come from the
 	// pre-computed offline plan (Section 4.5) instead of the live
@@ -118,6 +124,12 @@ type Stats struct {
 	PFSRetries      uint64
 	Prefetched      uint64
 	AllreduceRounds uint64
+	// DataFold is a deterministic fold of every decoded tensor checksum:
+	// a rank-major chain of per-iteration folds, where each iteration's
+	// fold is order-independent (results may finish in any order within
+	// a batch). Identical across the batched and per-sample paths and
+	// across runs with the same options — the differential tests pin it.
+	DataFold uint64
 	// FinalPreprocThreads/FinalLoadThreads record the last thread
 	// decision per node (diagnostics for the thread-tuning example).
 	FinalPreprocThreads []int
@@ -151,6 +163,14 @@ type Runtime struct {
 	totalIters    int
 	tick          chan struct{}
 	runDone       chan struct{}
+
+	// decideThreads scratch, reused across iterations (only the barrier's
+	// last-arriving rank runs decisions, one iteration at a time, so no
+	// synchronization is needed).
+	decideDemands []threadmgr.GPUDemand
+	decideBatch   []dataset.SampleID
+	decideLocal   []bool
+	decideRemote  []bool
 }
 
 // barrier is the data-parallel allreduce stand-in: all GPUs arrive, the
@@ -393,6 +413,7 @@ func RunContext(ctx context.Context, opts Options) (*Stats, error) {
 		}
 	}
 	gradFolds := make([]uint64, top.WorldSize())
+	rankFolds := make([]uint64, top.WorldSize())
 	allreduceRounds := make([]uint64, top.WorldSize())
 
 	var wg sync.WaitGroup
@@ -404,9 +425,27 @@ func RunContext(ctx context.Context, opts Options) (*Stats, error) {
 			defer wg.Done()
 			node := rt.nodes[rank/rt.gpus]
 			q := node.queues[rank%rt.gpus]
-			out := make(chan preproc.Result, opts.Model.BatchSize)
+			// Per-rank scratch, reused across every iteration: the batch
+			// id slice, the verify set (legacy path, only under verify),
+			// and either the legacy result channel or the batched
+			// completion.
+			perSample := opts.PerSample
+			var out chan preproc.Result
+			var expect map[dataset.SampleID]bool
+			var comp *preproc.Completion
+			if perSample {
+				out = make(chan preproc.Result, opts.Model.BatchSize)
+				if verify {
+					expect = make(map[dataset.SampleID]bool, opts.Model.BatchSize)
+				}
+			} else {
+				comp = preproc.GetCompletion()
+				defer comp.Release()
+			}
+			chunk := opts.Strategy.LoadChunk
 			var batch []dataset.SampleID
 			var grad []float64
+			var rankFold uint64
 			if ring != nil {
 				grad = make([]float64, opts.GradientSize)
 			}
@@ -423,10 +462,20 @@ func RunContext(ctx context.Context, opts Options) (*Stats, error) {
 				}
 				epoch, it := h/rt.itersPerEpoch, h%rt.itersPerEpoch
 				batch = rt.sched.Batch(batch[:0], epoch, it, rank)
-				expect := make(map[dataset.SampleID]bool, len(batch))
-				for _, id := range batch {
-					expect[id] = true
-					q.submit(loadRequest{id: id, seed: opts.Seed ^ uint64(h)<<20 ^ uint64(id), out: out})
+				iterSeed := opts.Seed ^ uint64(h)<<20
+				if perSample {
+					if verify {
+						clear(expect)
+						for _, id := range batch {
+							expect[id] = true
+						}
+					}
+					for _, id := range batch {
+						q.submit(loadRequest{id: id, seed: iterSeed ^ uint64(id), out: out})
+					}
+				} else {
+					comp.Reset(len(batch))
+					q.submitBatch(batch, iterSeed, comp, chunk)
 				}
 				// The data-stall stage: everything between dispatching the
 				// batch and holding every tensor. The pre-check keeps the
@@ -437,27 +486,50 @@ func RunContext(ctx context.Context, opts Options) (*Stats, error) {
 					stallStart = time.Now()
 				}
 				var batchFold uint64
-				for range batch {
-					res := <-out
-					if res.Tensor != nil {
-						batchFold = batchFold*1099511628211 + res.Tensor.Checksum
-					}
-					if verify {
-						if err := checkResult(res, expect); err != nil {
-							verifyMu.Lock()
-							if verifyFail == nil {
-								verifyFail = err
+				verified := 0
+				var firstErr error
+				if perSample {
+					for range batch {
+						res := <-out
+						if res.Tensor != nil {
+							batchFold ^= mix64(res.Tensor.Checksum)
+						}
+						if verify {
+							if err := checkResult(res, expect); err != nil {
+								if firstErr == nil {
+									firstErr = err
+								}
+							} else {
+								verified++
 							}
-							verifyMu.Unlock()
-						} else {
-							verifyMu.Lock()
-							stats.SamplesVerified++
-							verifyMu.Unlock()
 						}
 					}
+				} else {
+					for i, res := range comp.Wait() {
+						if res.Tensor != nil {
+							batchFold ^= mix64(res.Tensor.Checksum)
+						}
+						if verify {
+							if err := checkBatchResult(res, batch[i]); err != nil {
+								if firstErr == nil {
+									firstErr = err
+								}
+							} else {
+								verified++
+							}
+						}
+						// The tensor is consumed; recycle it (DESIGN.md
+						// §12 — the training loop owns delivered tensors).
+						preproc.PutTensor(res.Tensor)
+					}
 				}
+				rankFold = rankFold*1099511628211 + mix64(batchFold)
 				verifyMu.Lock()
 				stats.SamplesLoaded += uint64(len(batch))
+				stats.SamplesVerified += uint64(verified)
+				if firstErr != nil && verifyFail == nil {
+					verifyFail = firstErr
+				}
 				verifyMu.Unlock()
 				var trainStart time.Time
 				if rec {
@@ -494,6 +566,7 @@ func RunContext(ctx context.Context, opts Options) (*Stats, error) {
 				}
 				bar.wait()
 			}
+			rankFolds[rank] = rankFold
 		}()
 	}
 	wg.Wait()
@@ -543,6 +616,9 @@ func RunContext(ctx context.Context, opts Options) (*Stats, error) {
 			row[j] = q.workers()
 		}
 		stats.FinalLoadThreads = append(stats.FinalLoadThreads, row)
+	}
+	for _, f := range rankFolds {
+		stats.DataFold = stats.DataFold*1099511628211 + f
 	}
 	if ring != nil {
 		stats.AllreduceRounds = allreduceRounds[0]
@@ -608,6 +684,34 @@ func (rt *Runtime) progress(completed int, start time.Time) Progress {
 		p.HitRatio = float64(p.CacheHits) / float64(total)
 	}
 	return p
+}
+
+// mix64 is the splitmix64 finalizer: a bijective bit mixer. Per-batch
+// checksum folds XOR mixed checksums so the fold is independent of the
+// order results arrive in — which makes the per-sample path (channel
+// arrival order) and the batched path (slot order) byte-identical.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// checkBatchResult validates one slot of a batched iteration: slot order
+// is batch order, so the expected id is known without a lookup set.
+func checkBatchResult(res preproc.Result, want dataset.SampleID) error {
+	if res.Err != nil {
+		return res.Err
+	}
+	if res.Tensor.ID != want {
+		return fmt.Errorf("runtime: slot for sample %d delivered sample %d", want, res.Tensor.ID)
+	}
+	if res.Tensor.Checksum == 0 {
+		return fmt.Errorf("runtime: sample %d decoded to zero checksum", res.Tensor.ID)
+	}
+	return nil
 }
 
 // checkResult validates a preprocessing result against the expected batch.
@@ -686,18 +790,21 @@ func (rt *Runtime) decideThreads(h int) {
 		if mgr == nil {
 			continue
 		}
-		demands := make([]threadmgr.GPUDemand, rt.gpus)
-		var batch []dataset.SampleID
-		var local, remote []bool
+		if cap(rt.decideDemands) < rt.gpus {
+			rt.decideDemands = make([]threadmgr.GPUDemand, rt.gpus)
+		}
+		demands := rt.decideDemands[:rt.gpus]
 		for j := 0; j < rt.gpus; j++ {
-			batch = rt.sched.Batch(batch[:0], epoch, it, n*rt.gpus+j)
+			rt.decideBatch = rt.sched.Batch(rt.decideBatch[:0], epoch, it, n*rt.gpus+j)
+			batch := rt.decideBatch
 			// Classify the whole batch with one cache lock and one
 			// directory lock instead of two lock round trips per sample.
-			if cap(local) < len(batch) {
-				local = make([]bool, len(batch))
-				remote = make([]bool, len(batch))
+			if cap(rt.decideLocal) < len(batch) {
+				rt.decideLocal = make([]bool, len(batch))
+				rt.decideRemote = make([]bool, len(batch))
 			}
-			local, remote = local[:len(batch)], remote[:len(batch)]
+			local := rt.decideLocal[:len(batch)]
+			remote := rt.decideRemote[:len(batch)]
 			node.cache.peekBatch(batch, local)
 			rt.dir.HolderBatch(batch, n, remote)
 			var pl perfmodel.BatchPlacement

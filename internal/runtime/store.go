@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/datafile"
 	"repro/internal/dataset"
+	"repro/internal/preproc"
 	"repro/internal/stats"
 	"repro/internal/tier"
 )
@@ -143,7 +144,23 @@ func (s *PFSStore) Read(id dataset.SampleID) ([]byte, error) {
 	if file != nil {
 		return file.Read(id)
 	}
-	return s.ds.Payload(id), nil
+	// Regenerated payloads draw from the size-classed pool; the data
+	// path recycles them after decode when it still owns them
+	// (DESIGN.md §12).
+	buf := preproc.GetPayloadBuf(int(size))
+	dataset.FillPayload(buf, s.seed, id)
+	return buf, nil
+}
+
+// PooledReads reports whether Read returns buffers drawn from the
+// size-classed payload pool (true for regenerated payloads, false when
+// serving from a packed data file, whose reader allocates its own
+// buffers). Callers use it to decide whether a buffer they are done
+// with may be recycled (DESIGN.md §12).
+func (s *PFSStore) PooledReads() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.file == nil
 }
 
 // Ops returns the number of reads served.
@@ -249,15 +266,25 @@ func NewDistributionManager(n int, curve tier.Curve, scale float64) *Distributio
 // Inbox returns node n's request stream (consumed by its server loop).
 func (dm *DistributionManager) Inbox(n int) <-chan fetchRequest { return dm.inboxes[n] }
 
+// fetchReplyPool recycles Fetch reply channels: each request uses one for
+// exactly one send/receive pair, so after the receive the channel is
+// empty and safe to lease out again. Channels are pointer-shaped, so the
+// pool round trip itself never allocates.
+var fetchReplyPool = sync.Pool{New: func() any { return make(chan []byte, 1) }}
+
 // Fetch asks `from` for a sample, paying interconnect latency + transfer.
 // Returns nil if the peer no longer holds it (a benign race: the directory
-// is advisory, exactly as in a real distributed cache).
+// is advisory, exactly as in a real distributed cache). The returned
+// slice is a pooled copy made by the serving node — the caller owns it
+// exclusively (DESIGN.md §12).
 func (dm *DistributionManager) Fetch(from int, id dataset.SampleID, size int64) []byte {
 	cost := dm.curve.OpLatency + float64(size)/(dm.curve.PeakMBps*1e6)
 	time.Sleep(time.Duration(cost * dm.scale * float64(time.Second)))
-	reply := make(chan []byte, 1)
+	reply := fetchReplyPool.Get().(chan []byte)
 	dm.inboxes[from] <- fetchRequest{id: id, reply: reply}
-	return <-reply
+	payload := <-reply
+	fetchReplyPool.Put(reply)
+	return payload
 }
 
 // Close shuts the inboxes down (after all node servers stopped reading).

@@ -19,7 +19,11 @@
 #                        (full regeneration: make bench-sim)
 #   8. obs bench smoke — BENCH_obs.json schema + overhead-budget
 #                        validation (full regeneration: make bench-obs)
-#   9. monitor smoke   — boot lobster-kv with its monitor attached and
+#   9. runtime bench smoke — tiny end-to-end measurement of the batched
+#                        vs per-sample data path plus schema/headline
+#                        check of BENCH_runtime.json (DESIGN.md §12;
+#                        full regeneration: make bench-runtime)
+#  10. monitor smoke   — boot lobster-kv with its monitor attached and
 #                        scrape the live /metrics and /healthz endpoints
 #
 # Run from anywhere: the script cds to the repo root. `make check` is an
@@ -60,6 +64,13 @@ echo "==> obs bench smoke"
 # Schema + disabled-overhead-budget validation of the committed
 # BENCH_obs.json (the full run is `make bench-obs`, which regenerates it).
 go test . -run TestBenchObsJSON -count=1
+
+echo "==> runtime bench smoke"
+# Tiny end-to-end run of the batched-vs-per-sample data-path harness
+# (proves the batched path's alloc advantage live) plus schema and
+# headline validation of the committed BENCH_runtime.json (the full run
+# is `make bench-runtime`, which regenerates it).
+LOBSTER_BENCH_RUNTIME=tiny go test . -run TestBenchRuntimeJSON -count=1
 
 echo "==> monitor scrape smoke"
 # End-to-end over real TCP: boot lobster-kv with its monitor sidecar and
