@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race lint bench bench-kv bench-sim bench-obs bench-runtime
+.PHONY: check build vet test race lint bench bench-kv bench-sim bench-obs bench-runtime bench-chaos
 
 ## check: the full tier-1 gate (build + vet + race tests + lobster-lint)
 check:
@@ -51,3 +51,10 @@ bench-obs:
 ## allocs/sample per path in BENCH_runtime.json at the repo root.
 bench-runtime:
 	LOBSTER_BENCH_RUNTIME=1 $(GO) test . -run TestBenchRuntimeJSON -count=1 -v -timeout 30m
+
+## bench-chaos: run the full-scale chaos recovery suite (straggler, PFS
+## brownout, node loss mid-epoch) with the wall-clock criteria enabled
+## and record per-scenario verdicts, event logs, failover counters and
+## degradation/recovery in BENCH_chaos.json at the repo root.
+bench-chaos:
+	LOBSTER_BENCH_CHAOS=1 $(GO) test . -run TestBenchChaosJSON -count=1 -v -timeout 30m

@@ -1,0 +1,175 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	goruntime "runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// TestBenchChaosJSON is the chaos-recovery recording harness behind
+// `make bench-chaos`.
+//
+// Default (no env) it is a CI-safe smoke test over the committed
+// BENCH_chaos.json: the env section is present, the
+// straggler/brownout/nodeloss scenarios are all recorded as passed with
+// non-empty event logs, and every scenario verified all its samples.
+//
+// With LOBSTER_BENCH_CHAOS=tiny it additionally runs the scenario
+// suite live at tiny scale with the structural recovery criteria — the
+// verify.sh gate. With LOBSTER_BENCH_CHAOS=1 it runs the full-scale
+// suite with the wall-clock criteria (degradation observed, bounded
+// recovery time) and rewrites BENCH_chaos.json at the repository root.
+func TestBenchChaosJSON(t *testing.T) {
+	switch os.Getenv("LOBSTER_BENCH_CHAOS") {
+	case "":
+		benchChaosSmoke(t)
+	case "tiny":
+		benchChaosSmoke(t)
+		benchChaosMeasure(t, false)
+	default:
+		benchChaosMeasure(t, true)
+	}
+}
+
+// chaosBenchFile is the schema of BENCH_chaos.json.
+type chaosBenchFile struct {
+	Generated string `json:"generated"`
+	Scale     string `json:"scale"`
+	Note      string `json:"note"`
+	Env       struct {
+		GoVersion  string `json:"go_version"`
+		GOOS       string `json:"goos"`
+		GOARCH     string `json:"goarch"`
+		NumCPU     int    `json:"num_cpu"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+	} `json:"env"`
+	Scenarios []experiments.ChaosResult `json:"scenarios"`
+	Headline  struct {
+		ScenariosPassed int  `json:"scenarios_passed"`
+		ScenariosTotal  int  `json:"scenarios_total"`
+		AllPassed       bool `json:"all_passed"`
+	} `json:"headline"`
+}
+
+func benchChaosSmoke(t *testing.T) {
+	root, err := simRepoRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(filepath.Join(root, "BENCH_chaos.json"))
+	if err != nil {
+		t.Fatalf("BENCH_chaos.json missing (regenerate with `make bench-chaos`): %v", err)
+	}
+	var f chaosBenchFile
+	if err := json.Unmarshal(buf, &f); err != nil {
+		t.Fatalf("BENCH_chaos.json does not parse: %v", err)
+	}
+	if f.Generated == "" || f.Scale == "" {
+		t.Fatalf("BENCH_chaos.json header incomplete: %+v", f)
+	}
+	if f.Env.GoVersion == "" || f.Env.NumCPU < 1 || f.Env.GOMAXPROCS < 1 || f.Env.GOOS == "" || f.Env.GOARCH == "" {
+		t.Fatalf("BENCH_chaos.json env section incomplete: %+v", f.Env)
+	}
+	seen := map[string]bool{}
+	for _, s := range f.Scenarios {
+		seen[s.Name] = true
+		if !s.Passed {
+			t.Fatalf("committed scenario %s is recorded as failed:\n  %s",
+				s.Name, strings.Join(s.Criteria, "\n  "))
+		}
+		if len(s.EventLog) == 0 || len(s.Criteria) == 0 {
+			t.Fatalf("scenario %s missing event log or criteria", s.Name)
+		}
+		if s.SamplesExpected == 0 || s.SamplesVerified != s.SamplesExpected {
+			t.Fatalf("scenario %s verified %d/%d samples", s.Name, s.SamplesVerified, s.SamplesExpected)
+		}
+		if s.Injected == 0 || s.Reverted != s.Injected {
+			t.Fatalf("scenario %s: injected=%d reverted=%d", s.Name, s.Injected, s.Reverted)
+		}
+		if s.Iterations <= 0 || s.DegradedIters <= 0 {
+			t.Fatalf("scenario %s has a degenerate run: %+v", s.Name, s)
+		}
+		if s.RecoveryIters < 0 || s.RecoveryIters > s.Iterations {
+			t.Fatalf("scenario %s recovery_iters %d out of range", s.Name, s.RecoveryIters)
+		}
+	}
+	for _, want := range []string{"straggler", "brownout", "nodeloss"} {
+		if !seen[want] {
+			t.Fatalf("BENCH_chaos.json missing the %s scenario", want)
+		}
+	}
+	if !f.Headline.AllPassed || f.Headline.ScenariosPassed != f.Headline.ScenariosTotal ||
+		f.Headline.ScenariosTotal != len(f.Scenarios) {
+		t.Fatalf("headline inconsistent: %+v over %d scenarios", f.Headline, len(f.Scenarios))
+	}
+}
+
+func benchChaosMeasure(t *testing.T, full bool) {
+	p := experiments.ChaosParams{Seed: 42}
+	scale := "tiny"
+	if full {
+		// Longer runs make the wall-clock criteria (degradation, bounded
+		// recovery) meaningful; Strict gates on them.
+		p.Samples, p.Epochs, p.Strict = 512, 6, true
+		scale = "full"
+	}
+	results, err := experiments.ChaosScenarios(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	passed := 0
+	for _, r := range results {
+		if r.Passed {
+			passed++
+		} else {
+			t.Errorf("scenario %s failed recovery:\n  %s", r.Name, strings.Join(r.Criteria, "\n  "))
+		}
+		t.Logf("%-10s passed=%-5v failovers=%-4d retries=%-4d degraded=%-3d recovery=%-3d degradation=%+.1f%%",
+			r.Name, r.Passed, r.Failovers, r.PFSRetries, r.DegradedIters, r.RecoveryIters, r.DegradationPct)
+	}
+	if !full {
+		return
+	}
+	if passed != len(results) {
+		t.Fatalf("%d/%d scenarios passed; not committing BENCH_chaos.json", passed, len(results))
+	}
+
+	var out chaosBenchFile
+	out.Generated = time.Now().UTC().Format(time.RFC3339)
+	out.Scale = scale
+	out.Note = fmt.Sprintf("each scenario runs the online runtime (2 nodes x 2 GPUs, %d samples, batch 8, "+
+		"%d epochs, Lobster dynamic strategy) under a seeded chaos schedule; verdicts combine structural "+
+		"criteria (all samples verified, faults reverted, failovers/retries observed) with wall-clock "+
+		"criteria (throughput degradation during the fault window, recovery within a bounded number of "+
+		"iterations after the last revert)", p.Samples, p.Epochs)
+	out.Env.GoVersion = goruntime.Version()
+	out.Env.GOOS = goruntime.GOOS
+	out.Env.GOARCH = goruntime.GOARCH
+	out.Env.NumCPU = goruntime.NumCPU()
+	out.Env.GOMAXPROCS = goruntime.GOMAXPROCS(0)
+	out.Scenarios = results
+	out.Headline.ScenariosPassed = passed
+	out.Headline.ScenariosTotal = len(results)
+	out.Headline.AllPassed = true
+
+	root, err := simRepoRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(root, "BENCH_chaos.json")
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}

@@ -1,0 +1,195 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Injector applies and reverts one fault kind on a live target. Inject
+// and Revert run on the barrier's last arriver (one goroutine at a
+// time, under the controller's lock), so implementations need no
+// synchronization among themselves — only against the data path they
+// perturb.
+type Injector interface {
+	Inject(Event) error
+	Revert(Event) error
+}
+
+// funcInjector adapts a pair of functions to Injector.
+type funcInjector struct {
+	inject func(Event) error
+	revert func(Event) error
+}
+
+func (f funcInjector) Inject(e Event) error { return f.inject(e) }
+func (f funcInjector) Revert(e Event) error {
+	if f.revert == nil {
+		return nil
+	}
+	return f.revert(e)
+}
+
+// Funcs builds an Injector from an inject and an (optional, may be nil)
+// revert function.
+func Funcs(inject, revert func(Event) error) Injector {
+	return funcInjector{inject: inject, revert: revert}
+}
+
+// Controller drives one schedule through a run: OnIteration(h) — called
+// at every iteration boundary, monotonically — injects events whose
+// window opened and reverts those whose window closed, appending one
+// deterministic line per transition to the event log.
+type Controller struct {
+	sched *Schedule
+
+	mu        sync.Mutex
+	injectors map[Kind]Injector
+	active    []bool // event currently injected
+	done      []bool // event fully processed (reverted, skipped, or failed)
+	log       []string
+	injected  int
+	reverted  int
+	degraded  int // iteration boundaries with >= 1 active event
+	lastIter  int
+}
+
+// NewController validates the schedule and builds its controller.
+func NewController(s *Schedule) (*Controller, error) {
+	if s == nil {
+		return nil, fmt.Errorf("chaos: nil schedule")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{
+		sched:     s,
+		injectors: make(map[Kind]Injector),
+		active:    make([]bool, len(s.Events)),
+		done:      make([]bool, len(s.Events)),
+		lastIter:  -1,
+	}, nil
+}
+
+// Schedule returns the controller's schedule.
+func (c *Controller) Schedule() *Schedule { return c.sched }
+
+// Register wires the injector for one fault kind. Later registrations
+// for the same kind win, except that Register keeps an existing
+// injector when inj is nil. RegisterDefault is the soft variant used by
+// subsystems wiring their own hook points.
+func (c *Controller) Register(k Kind, inj Injector) {
+	if inj == nil {
+		return
+	}
+	c.mu.Lock()
+	c.injectors[k] = inj
+	c.mu.Unlock()
+}
+
+// RegisterDefault wires an injector only when the kind has none yet —
+// the runtime uses it so a harness's explicit Register always wins.
+func (c *Controller) RegisterDefault(k Kind, inj Injector) {
+	if inj == nil {
+		return
+	}
+	c.mu.Lock()
+	if _, ok := c.injectors[k]; !ok {
+		c.injectors[k] = inj
+	}
+	c.mu.Unlock()
+}
+
+// OnIteration advances the controller to iteration boundary iter
+// (0 = before the first training iteration). Events whose window
+// contains iter and are not yet active are injected; active events
+// whose window closed are reverted. Calls with a boundary at or before
+// the last one are ignored, so the hook is safe to invoke defensively.
+func (c *Controller) OnIteration(iter int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if iter <= c.lastIter {
+		return
+	}
+	c.lastIter = iter
+	for i, ev := range c.sched.Events {
+		if c.active[i] && ev.End > 0 && iter >= ev.End {
+			c.revertLocked(i, ev, iter)
+		}
+		if !c.done[i] && !c.active[i] && iter >= ev.Start && (ev.End <= 0 || iter < ev.End) {
+			c.injectLocked(i, ev, iter)
+		}
+	}
+	for _, a := range c.active {
+		if a {
+			c.degraded++
+			break
+		}
+	}
+}
+
+// Finish reverts every still-active event (end of run). The boundary
+// logged is the last one seen.
+func (c *Controller) Finish() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, ev := range c.sched.Events {
+		if c.active[i] {
+			c.revertLocked(i, ev, c.lastIter)
+		}
+	}
+}
+
+func (c *Controller) injectLocked(i int, ev Event, iter int) {
+	inj, ok := c.injectors[ev.Kind]
+	if !ok {
+		c.done[i] = true
+		c.log = append(c.log, fmt.Sprintf("iter=%d skip %s target=%d: no injector", iter, ev.Kind, ev.Target))
+		return
+	}
+	if err := inj.Inject(ev); err != nil {
+		c.done[i] = true
+		c.log = append(c.log, fmt.Sprintf("iter=%d inject %s target=%d failed: %v", iter, ev.Kind, ev.Target, err))
+		return
+	}
+	c.active[i] = true
+	c.injected++
+	c.log = append(c.log, fmt.Sprintf("iter=%d inject %s target=%d", iter, ev.Kind, ev.Target))
+}
+
+func (c *Controller) revertLocked(i int, ev Event, iter int) {
+	c.active[i] = false
+	c.done[i] = true
+	inj := c.injectors[ev.Kind]
+	if err := inj.Revert(ev); err != nil {
+		c.log = append(c.log, fmt.Sprintf("iter=%d revert %s target=%d failed: %v", iter, ev.Kind, ev.Target, err))
+		return
+	}
+	c.reverted++
+	c.log = append(c.log, fmt.Sprintf("iter=%d revert %s target=%d", iter, ev.Kind, ev.Target))
+}
+
+// EventLog returns a copy of the transition log: one line per inject,
+// revert, or skip, in boundary order. For a given schedule the log is
+// identical across runs — the determinism tests pin it.
+func (c *Controller) EventLog() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.log))
+	copy(out, c.log)
+	return out
+}
+
+// Counts reports how many events were injected and reverted so far.
+func (c *Controller) Counts() (injected, reverted int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.injected, c.reverted
+}
+
+// DegradedIters reports how many iteration boundaries had at least one
+// fault active — the "degraded window" length in iterations.
+func (c *Controller) DegradedIters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degraded
+}

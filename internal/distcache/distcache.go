@@ -139,6 +139,21 @@ func (g *Group) Remove(node int, id dataset.SampleID) bool {
 	return true
 }
 
+// Crash wipes node's cache as a process loss would: every resident
+// sample is removed with its replica count decremented, so the group's
+// shard map is consistent the moment the call returns — no peer is
+// promised a copy the dead node no longer has, and IsLastCopy stays
+// truthful for the survivors. Returns the number of samples lost.
+func (g *Group) Crash(node int) int {
+	n := 0
+	for id := range g.replicas {
+		if g.Remove(node, dataset.SampleID(id)) {
+			n++
+		}
+	}
+	return n
+}
+
 func (g *Group) decReplica(id dataset.SampleID) {
 	if g.replicas[id] <= 0 {
 		panic(fmt.Sprintf("distcache: replica underflow for sample %d", id))

@@ -285,3 +285,83 @@ func TestGetBatchMatchesLoop(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCrashWipesNodeAndRepairsMap(t *testing.T) {
+	g := newGroup(t, 3, 1000)
+	// Samples 0-9 on node 1 (5-9 also replicated on node 2).
+	for id := dataset.SampleID(0); id < 10; id++ {
+		if !g.Put(1, id, 10, 0) {
+			t.Fatal("seed insert refused")
+		}
+	}
+	for id := dataset.SampleID(5); id < 10; id++ {
+		if !g.Put(2, id, 10, 0) {
+			t.Fatal("seed insert refused")
+		}
+	}
+
+	if lost := g.Crash(1); lost != 10 {
+		t.Fatalf("Crash(1) lost %d samples, want 10", lost)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatalf("shard map inconsistent after crash: %v", err)
+	}
+	// Sole copies are gone (back to PFS); replicated ones survive on
+	// node 2 — no peer is promised a copy the dead node no longer has.
+	for id := dataset.SampleID(0); id < 5; id++ {
+		if got := g.Locate(0, id); got != tier.PFS {
+			t.Fatalf("lost sample %d located at %v, want pfs", id, got)
+		}
+	}
+	for id := dataset.SampleID(5); id < 10; id++ {
+		if got := g.Locate(0, id); got != tier.Remote {
+			t.Fatalf("replicated sample %d located at %v, want remote", id, got)
+		}
+	}
+	// Idempotent: crashing an empty node loses nothing.
+	if lost := g.Crash(1); lost != 0 {
+		t.Fatalf("second Crash(1) lost %d samples, want 0", lost)
+	}
+}
+
+// TestGetBatchAfterPeerLoss is the dead-peer error path of the batch
+// resolver: samples the group believed were remote must re-resolve to
+// the PFS after the holding node crashes, and the crashed node's own
+// lookups keep working (its cache refills from scratch).
+func TestGetBatchAfterPeerLoss(t *testing.T) {
+	sizeOf := func(dataset.SampleID) int64 { return 10 }
+	g := newGroup(t, 2, 1000)
+	ids := []dataset.SampleID{1, 2, 3, 4}
+	for _, id := range ids {
+		if !g.Put(1, id, 10, 0) {
+			t.Fatal("seed insert refused")
+		}
+	}
+
+	pl := g.GetBatch(0, ids, sizeOf, 1)
+	if pl.RemoteOps != len(ids) {
+		t.Fatalf("before crash: %+v, want all remote", pl)
+	}
+
+	g.Crash(1)
+	// Node 0 cached the batch during the remote fetches above; wipe it
+	// too so the placement question starts cold.
+	g.Crash(0)
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	pl = g.GetBatch(0, ids, sizeOf, 2)
+	if pl.PFSOps != len(ids) || pl.RemoteOps != 0 {
+		t.Fatalf("after crash: %+v, want all pfs", pl)
+	}
+
+	// The crashed node refills through its own lookups.
+	pl = g.GetBatch(1, ids, sizeOf, 3)
+	if pl.PFSOps != 0 {
+		t.Fatalf("crashed node should see peer copies after refill: %+v", pl)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+func TestChaosScenariosPass(t *testing.T) {
+	results, err := ChaosScenarios(ChaosParams{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, r := range results {
+		names[r.Name] = true
+		if !r.Passed {
+			t.Errorf("%s failed:\n  %s", r.Name, strings.Join(r.Criteria, "\n  "))
+		}
+		if len(r.EventLog) == 0 {
+			t.Errorf("%s has an empty event log", r.Name)
+		}
+		if r.Injected == 0 || r.Reverted != r.Injected {
+			t.Errorf("%s: injected=%d reverted=%d", r.Name, r.Injected, r.Reverted)
+		}
+	}
+	for _, want := range []string{"straggler", "brownout", "nodeloss"} {
+		if !names[want] {
+			t.Errorf("scenario %s missing from the suite", want)
+		}
+	}
+}
+
+// TestChaosScenariosDeterministic pins the replayability contract at
+// suite level: the same seed produces the identical event logs and the
+// identical structural verdicts across two full runs. (Counters and
+// wall-clock measurements may differ; they are recorded, not pinned.)
+func TestChaosScenariosDeterministic(t *testing.T) {
+	run := func() []string {
+		results, err := ChaosScenarios(ChaosParams{Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pinned []string
+		for _, r := range results {
+			pinned = append(pinned, fmt.Sprintf("%s passed=%v", r.Name, r.Passed))
+			pinned = append(pinned, r.EventLog...)
+			pinned = append(pinned, r.Criteria...)
+		}
+		return pinned
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("chaos suite not deterministic for the same seed:\n--- first\n%s\n--- second\n%s",
+			strings.Join(a, "\n"), strings.Join(b, "\n"))
+	}
+}
+
+func TestExpectedDegradedMatchesController(t *testing.T) {
+	s := chaos.NewSchedule(3).
+		Brownout(2, 5, 0, 0, 0.1).
+		CacheCrash(1, 4, 7).
+		SlowDecode(0, 9, 0, time.Millisecond, 0) // never reverts
+	const total = 12
+	ctl, err := chaos.NewController(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wire no-op injectors so events actually activate.
+	noop := chaos.Funcs(func(chaos.Event) error { return nil }, nil)
+	for _, k := range []chaos.Kind{chaos.KindBrownout, chaos.KindCacheCrash, chaos.KindSlowDecode} {
+		ctl.Register(k, noop)
+	}
+	for h := 0; h <= total; h++ {
+		ctl.OnIteration(h)
+	}
+	if got, want := ctl.DegradedIters(), expectedDegraded(s, total); got != want {
+		t.Fatalf("controller degraded iters %d != predicted %d", got, want)
+	}
+}
+
+func TestExtChaosReport(t *testing.T) {
+	rep := runExp(t, "ext-chaos")
+	if rep.Values["scenarios_passed"] != 3 {
+		t.Fatalf("scenarios_passed = %g, want 3\n%s", rep.Values["scenarios_passed"], rep.Text())
+	}
+	for _, k := range []string{"straggler_passed", "brownout_passed", "nodeloss_passed"} {
+		if rep.Values[k] != 1 {
+			t.Errorf("%s = %g, want 1", k, rep.Values[k])
+		}
+	}
+}

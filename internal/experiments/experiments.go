@@ -134,6 +134,7 @@ func All() []Experiment {
 		ExtCacheSweep(),
 		ExtPolicyZoo(),
 		ExtTimeToAccuracy(),
+		ExtChaos(),
 	}
 }
 

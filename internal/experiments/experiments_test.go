@@ -29,8 +29,8 @@ func runExp(t *testing.T, id string) *Report {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
-		t.Fatalf("registry has %d experiments, want 17 (14 paper + 3 extensions)", len(all))
+	if len(all) != 18 {
+		t.Fatalf("registry has %d experiments, want 18 (14 paper + 4 extensions)", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

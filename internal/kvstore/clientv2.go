@@ -725,9 +725,10 @@ func readV2Body(r *bufio.Reader, op byte, c *call) error {
 			return err
 		}
 		if int(count) != len(c.keys) {
-			// A shed batch legitimately answers with count 0: the server
-			// drained the request and did none of the work.
-			if count == 0 && c.status == statusRetryLater {
+			// A shed or fault-injected batch legitimately answers with
+			// count 0 and a non-OK status: the server drained the request
+			// and did none of the work.
+			if count == 0 && c.status != statusOK {
 				return nil
 			}
 			//lint:allow hotpath cold protocol-error path; the connection is dropped right after
@@ -760,8 +761,8 @@ func readV2Body(r *bufio.Reader, op byte, c *call) error {
 			return err
 		}
 		if int(count) != len(c.keys) {
-			// count 0 on a shed batch: see opMultiGet above.
-			if count == 0 && c.status == statusRetryLater {
+			// count 0 on a shed or fault-injected batch: see opMultiGet.
+			if count == 0 && c.status != statusOK {
 				return nil
 			}
 			//lint:allow hotpath cold protocol-error path; the connection is dropped right after

@@ -34,6 +34,13 @@ type Cluster struct {
 	repl  int
 	hedge *hedgeTracker
 
+	// down marks shards the caller knows are lost (SetShardDown): reads
+	// route past them along the replica ring, writes skip them, and
+	// hedges never pick them. This is client-side routing state only —
+	// the recovery half is Repair, which re-replicates keys once the
+	// shard map changes.
+	down []atomic.Bool
+
 	// hedgeFired counts hedge requests actually sent; hedgeWon counts
 	// races the hedge arm won. fired >> won means the delay is too
 	// aggressive; won ≈ fired means the primary is genuinely slow.
@@ -52,9 +59,10 @@ func (c *Cluster) HedgeCounters() (fired, won uint64) {
 
 // clusterScratch is one batch op's reusable grouping state.
 type clusterScratch struct {
-	keys [][]string // per shard: keys routed there
-	vals [][][]byte // per shard: values routed there (MultiPut)
-	idx  [][]int    // per shard: original positions
+	keys  [][]string // per shard: keys routed there
+	vals  [][][]byte // per shard: values routed there (MultiPut)
+	idx   [][]int    // per shard: original positions
+	hedge []int      // per shard: group hedge target, -1 = none
 }
 
 // NewCluster connects to every shard address with the pipelined v2
@@ -122,11 +130,13 @@ func newCluster(addrs []string, dial func(string) (shardClient, error)) (*Cluste
 	}
 	c := &Cluster{}
 	shards := len(addrs)
+	c.down = make([]atomic.Bool, shards)
 	c.scratch.New = func() any {
 		return &clusterScratch{
-			keys: make([][]string, shards),
-			vals: make([][][]byte, shards),
-			idx:  make([][]int, shards),
+			keys:  make([][]string, shards),
+			vals:  make([][][]byte, shards),
+			idx:   make([][]int, shards),
+			hedge: make([]int, shards),
 		}
 	}
 	for _, addr := range addrs {
@@ -152,45 +162,184 @@ func (c *Cluster) shard(key string) shardClient {
 	return c.clients[c.shardIndex(key)]
 }
 
-// Get fetches a key from its shard, hedging to the first replica when
-// replication is configured.
+// SetShardDown marks shard s lost (true) or restored (false) in the
+// cluster's routing: reads route past a down shard along its replica
+// ring, writes skip it, hedges never pick it. Marking a shard down is
+// the client half of surviving a crash; call Repair after the shard
+// map changes to restore lost replica copies. Safe to call while ops
+// are in flight.
+func (c *Cluster) SetShardDown(s int, down bool) {
+	if s < 0 || s >= len(c.down) {
+		return
+	}
+	c.down[s].Store(down)
+}
+
+// ShardDown reports whether shard s is marked down.
+func (c *Cluster) ShardDown(s int) bool {
+	return s >= 0 && s < len(c.down) && c.down[s].Load()
+}
+
+func (c *Cluster) isDown(s int) bool { return c.down[s].Load() }
+
+// routeIndex picks the shard to read a key from: its primary, or —
+// when the primary is marked down — the first live ring member after
+// it. With replication the first repl successors hold the key's
+// write-through copies; past them the walk degrades to a clean miss,
+// which is correct for a cache tier (the caller falls to the PFS).
+func (c *Cluster) routeIndex(key string) int {
+	return c.routeFrom(c.shardIndex(key))
+}
+
+func (c *Cluster) routeFrom(s0 int) int {
+	n := len(c.clients)
+	for r := 0; r < n; r++ {
+		t := (s0 + r) % n
+		if !c.isDown(t) {
+			return t
+		}
+	}
+	return s0 // every shard marked down: let the op fail at the primary
+}
+
+// hedgeIndex picks the shard a read routed to `routed` may hedge to:
+// the first live holder of the key's write-through copies (primary s0
+// plus its repl ring successors) other than the routed shard itself.
+// Returns -1 when no other live copy-holder exists — hedging to a
+// shard outside the key's replication window would race its clean miss
+// against the real copy and sometimes win.
+func (c *Cluster) hedgeIndex(s0, routed int) int {
+	if c.repl <= 0 {
+		return -1
+	}
+	n := len(c.clients)
+	for r := 0; r <= c.repl; r++ {
+		t := (s0 + r) % n
+		if t != routed && !c.isDown(t) {
+			return t
+		}
+	}
+	return -1
+}
+
+// Get fetches a key from its shard (routing past down shards), hedging
+// to another live copy-holder when replication is configured.
 func (c *Cluster) Get(key string) ([]byte, bool, error) {
-	s := c.shardIndex(key)
-	if pc, rc := c.hedgePair(s); rc != nil {
+	s0 := c.shardIndex(key)
+	s := c.routeFrom(s0)
+	if pc, rc := c.hedgePair(s, c.hedgeIndex(s0, s)); rc != nil {
 		return c.hedgedGet(pc, rc, key)
 	}
 	return c.clients[s].Get(key)
 }
 
-// Put stores a key on its shard and writes through to its replicas.
-// Replica writes are best-effort: a failed replica degrades a future
-// hedge to a cache miss, it does not fail the write.
+// Put stores a key on its shard and writes through to its replicas,
+// skipping shards marked down. Replica writes are best-effort: a
+// failed replica degrades a future hedge to a cache miss, it does not
+// fail the write. The first live write's error is returned (the
+// primary's, unless the primary is down).
 func (c *Cluster) Put(key string, val []byte) error {
 	s := c.shardIndex(key)
-	err := c.clients[s].Put(key, val)
-	for r := 1; r <= c.repl; r++ {
-		_ = c.clients[(s+r)%len(c.clients)].Put(key, val)
+	var err error
+	wrote := false
+	for r := 0; r <= c.repl; r++ {
+		t := (s + r) % len(c.clients)
+		if c.isDown(t) {
+			continue
+		}
+		e := c.clients[t].Put(key, val)
+		if !wrote {
+			err, wrote = e, true
+		}
+	}
+	if !wrote {
+		return fmt.Errorf("kvstore: every shard for key %q is marked down", key)
 	}
 	return err
 }
 
-// Delete removes a key from its shard and its replicas.
+// Delete removes a key from its shard and its replicas, skipping
+// shards marked down.
 func (c *Cluster) Delete(key string) error {
 	s := c.shardIndex(key)
-	err := c.clients[s].Delete(key)
-	for r := 1; r <= c.repl; r++ {
-		_ = c.clients[(s+r)%len(c.clients)].Delete(key)
+	var err error
+	wrote := false
+	for r := 0; r <= c.repl; r++ {
+		t := (s + r) % len(c.clients)
+		if c.isDown(t) {
+			continue
+		}
+		e := c.clients[t].Delete(key)
+		if !wrote {
+			err, wrote = e, true
+		}
+	}
+	if !wrote {
+		return fmt.Errorf("kvstore: every shard for key %q is marked down", key)
 	}
 	return err
+}
+
+// Repair re-replicates keys after a shard loss or revival: each key
+// whose value survives on any live member of its replica ring is
+// rewritten through the whole live ring, restoring the copies a dead
+// shard took with it and warming a revived shard's cold store. Keys no
+// live member holds are skipped — they re-enter the tier through the
+// normal PFS write-back path. Returns how many keys were restored and
+// the first error encountered (the repair continues past errors).
+func (c *Cluster) Repair(keys []string) (restored int, err error) {
+	n := len(c.clients)
+	for _, key := range keys {
+		s := c.shardIndex(key)
+		var val []byte
+		found := false
+		for r := 0; r <= c.repl && !found; r++ {
+			t := (s + r) % n
+			if c.isDown(t) {
+				continue
+			}
+			v, ok, gerr := c.clients[t].Get(key)
+			if gerr != nil {
+				if err == nil {
+					err = gerr
+				}
+				continue
+			}
+			if ok {
+				val, found = v, true
+			}
+		}
+		if !found {
+			continue
+		}
+		wrote := false
+		for r := 0; r <= c.repl; r++ {
+			t := (s + r) % n
+			if c.isDown(t) {
+				continue
+			}
+			if perr := c.clients[t].Put(key, val); perr != nil {
+				if err == nil {
+					err = perr
+				}
+			} else {
+				wrote = true
+			}
+		}
+		if wrote {
+			restored++
+		}
+	}
+	return restored, err
 }
 
 // Shards returns the number of shards.
 func (c *Cluster) Shards() int { return len(c.clients) }
 
-// shardMultiGet runs one shard's batch, hedged to the first replica
-// when replication is configured.
-func (c *Cluster) shardMultiGet(s int, keys []string) ([][]byte, error) {
-	if pc, rc := c.hedgePair(s); rc != nil {
+// shardMultiGet runs one shard's batch, hedged to the group's hedge
+// shard h when one exists (h < 0 = plain read).
+func (c *Cluster) shardMultiGet(s, h int, keys []string) ([][]byte, error) {
+	if pc, rc := c.hedgePair(s, h); rc != nil {
 		return c.hedgedMultiGet(pc, rc, keys)
 	}
 	return c.clients[s].MultiGet(keys)
@@ -212,7 +361,18 @@ func (c *Cluster) MultiGet(keys []string) ([][]byte, error) {
 	sc := c.scratch.Get().(*clusterScratch)
 	defer c.putScratch(sc)
 	for i, key := range keys {
-		s := c.shardIndex(key)
+		s0 := c.shardIndex(key)
+		s := c.routeFrom(s0) // route past down shards per key
+		h := c.hedgeIndex(s0, s)
+		if len(sc.keys[s]) == 0 {
+			sc.hedge[s] = h
+		} else if sc.hedge[s] != h {
+			// Keys with different live copy-holders landed on this
+			// routed shard (some re-routed off a down primary): no
+			// single hedge target serves them all, so the group reads
+			// unhedged rather than risk a spurious miss.
+			sc.hedge[s] = -1
+		}
 		sc.keys[s] = append(sc.keys[s], key)
 		sc.idx[s] = append(sc.idx[s], i)
 	}
@@ -227,7 +387,7 @@ func (c *Cluster) MultiGet(keys []string) ([][]byte, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			vals, err := c.shardMultiGet(s, sc.keys[s])
+			vals, err := c.shardMultiGet(s, sc.hedge[s], sc.keys[s])
 			if err != nil {
 				errs[s] = err
 				return
@@ -282,6 +442,9 @@ func (c *Cluster) MultiPut(keys []string, vals [][]byte) error {
 		s := c.shardIndex(key)
 		for r := 0; r <= c.repl; r++ {
 			t := (s + r) % len(c.clients)
+			if c.isDown(t) {
+				continue // best-effort: a down shard just loses the copy
+			}
 			sc.keys[t] = append(sc.keys[t], key)
 			sc.vals[t] = append(sc.vals[t], vals[i])
 		}

@@ -137,18 +137,19 @@ type hedgeRes struct {
 	hedged bool
 }
 
-// hedgePair returns the ctx-capable primary and first-replica clients
-// for shard s when hedging is configured; nils when it is not (no
-// replicas, or a v1 client on either end).
-func (c *Cluster) hedgePair(s int) (ctxShardClient, ctxShardClient) {
-	if c.repl <= 0 {
+// hedgePair returns the ctx-capable clients for a routed shard s and
+// its hedge shard h (picked by Cluster.hedgeIndex, so h is always a
+// live copy-holder of the keys being read); nils when hedging is off
+// for this read (h < 0) or a v1 client sits on either end.
+func (c *Cluster) hedgePair(s, h int) (ctxShardClient, ctxShardClient) {
+	if h < 0 {
 		return nil, nil
 	}
 	pc, ok := c.clients[s].(ctxShardClient)
 	if !ok {
 		return nil, nil
 	}
-	rc, ok := c.clients[(s+1)%len(c.clients)].(ctxShardClient)
+	rc, ok := c.clients[h].(ctxShardClient)
 	if !ok {
 		return nil, nil
 	}

@@ -16,7 +16,8 @@ import (
 // Sustained-overload and hedged-read benchmark (DESIGN.md §11).
 //
 // The overload bench models a shard whose cost is service time, not
-// CPU: SetLag injects a fixed per-request delay held across the
+// CPU: SetLag (a fixed-lag FaultConfig, the same injection mechanism
+// the chaos harness uses) adds a per-request delay held across the
 // admission slot, so capacity is maxInFlight/serviceTime regardless of
 // core count — which makes the measurement deterministic on the 1-CPU
 // CI box. A saturation phase (just enough closed-loop workers to keep
@@ -158,7 +159,9 @@ func runOverloadBench(t *testing.T, sc overloadScale) (overloadReport, benchEnv)
 			t.Fatal(err)
 		}
 	}
-	s.SetLag(sc.serviceTime) // after preload: service time models I/O, not setup
+	// After preload: service time models I/O, not setup. Uses the shared
+	// FaultConfig mechanism (the chaos harness's SetFault) as lag-only.
+	s.SetFault(FaultConfig{Lag: sc.serviceTime})
 
 	rep := overloadReport{
 		ServiceTimeMs: float64(sc.serviceTime) / 1e6,
@@ -294,7 +297,7 @@ func runHedgeBench(t *testing.T, sc overloadScale) hedgeReport {
 		t.Fatal(err)
 	}
 	const slow = 0
-	servers[slow].SetLag(sc.hedgeLag)
+	servers[slow].SetFault(FaultConfig{Lag: sc.hedgeLag})
 
 	measure := func(c *Cluster) []int64 {
 		lats := make([]int64, 0, sc.hedgeWindows)
@@ -329,7 +332,7 @@ func runHedgeBench(t *testing.T, sc overloadScale) hedgeReport {
 	if rep.HedgedP99Ms > 0 {
 		rep.P99Improvement = rep.UnhedgedP99Ms / rep.HedgedP99Ms
 	}
-	servers[slow].SetLag(0)
+	servers[slow].SetFault(FaultConfig{})
 	t.Logf("hedge: unhedged p99 %.2fms vs hedged p99 %.2fms = %.1fx (fired=%d won=%d)",
 		rep.UnhedgedP99Ms, rep.HedgedP99Ms, rep.P99Improvement, fired, won)
 	return rep

@@ -394,7 +394,7 @@ func TestClusterHedgedReadSlowShard(t *testing.T) {
 		t.Fatal(err)
 	}
 	const slow, lag = 0, 300 * time.Millisecond
-	servers[slow].SetLag(lag)
+	servers[slow].SetFault(FaultConfig{Lag: lag})
 	start := time.Now()
 	got, err := c.MultiGet(keys)
 	elapsed := time.Since(start)

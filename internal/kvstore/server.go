@@ -107,11 +107,18 @@ func NewServerOptions(addr string, opts ServerOptions) (*Server, error) {
 	return s, nil
 }
 
+// SetFault installs the shard's fault-injection profile (fault.go):
+// per-request lag/jitter, statusError rate, connection-drop rate,
+// optionally scoped per op — the generalization of SetLag shared by the
+// chaos harness, the hedged-read tests and the overload benchmarks. A
+// zero config restores health. Safe to call while serving.
+func (s *Server) SetFault(cfg FaultConfig) { s.st.setFault(cfg) }
+
 // SetLag injects an artificial per-request service delay, applied while
-// the request occupies its in-flight slot — the straggler/chaos
-// fault-injection hook behind the hedged-read tests and the overload
-// benchmark. Zero removes the lag. Safe to call while serving.
-func (s *Server) SetLag(d time.Duration) { s.st.lag.Store(int64(d)) }
+// the request occupies its in-flight slot — the lag-only special case
+// of SetFault kept for the common "this shard is slow" call sites.
+// Zero removes the lag. Safe to call while serving.
+func (s *Server) SetLag(d time.Duration) { s.SetFault(FaultConfig{Lag: d}) }
 
 // QueueDepth reports requests executing or waiting at the admission
 // gate right now (0 when admission is disabled).

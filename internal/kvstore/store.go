@@ -35,12 +35,14 @@ type store struct {
 	// protocol fuzzers can drive admission without a TCP listener.
 	adm *admitter
 
-	// lag is an artificial per-request service delay in nanoseconds,
-	// applied while the request occupies its in-flight slot. It is the
-	// straggler/chaos fault-injection hook (Server.SetLag): a lagged
-	// shard models slow storage or an overloaded peer, which is what
-	// the hedged-read path and the overload benchmark exercise.
-	lag atomic.Int64
+	// fault is the injected fault profile (Server.SetFault; nil =
+	// healthy): per-request lag/jitter while the request occupies its
+	// in-flight slot, error and connection-drop rates — the
+	// straggler/chaos hook behind the hedged-read tests, the overload
+	// benchmark and the chaos harness (fault.go).
+	fault      atomic.Pointer[faultState]
+	faultErrs  atomic.Uint64
+	faultDrops atomic.Uint64
 }
 
 // stripe is one lock-striped sub-shard.
@@ -230,13 +232,6 @@ func (sp *stripe) moveToFront(e *entry) {
 // Both handlers live on the store (not the Server) so the fuzzers can
 // drive them over in-memory readers without a TCP listener.
 
-// sleepLag applies the injected service delay (SetLag), if any.
-func (st *store) sleepLag() {
-	if d := st.lag.Load(); d > 0 {
-		time.Sleep(time.Duration(d))
-	}
-}
-
 // handleV1 serves one v1 request whose op byte has already been
 // consumed. Responses are buffered in w; the serve loop flushes when no
 // further request bytes are pending. The admission gates apply to the
@@ -259,7 +254,13 @@ func (st *store) handleV1(op byte, r *bufio.Reader, w *bufio.Writer, q *connQuot
 		}
 		defer st.adm.release()
 	}
-	st.sleepLag()
+	switch st.applyFault(op) {
+	case faultDrop:
+		return errFrame // sever: the crashed-shard failure mode
+	case faultErr:
+		writeResponse(w, statusError, nil)
+		return nil
+	}
 	switch op {
 	case opGet:
 		if v, ok := st.get(key.b); ok {
@@ -349,7 +350,13 @@ func (st *store) handleV2(r *bufio.Reader, w *bufio.Writer, q *connQuota, deadli
 			putBuf(buf)
 			return nil
 		}
-		st.sleepLag()
+		switch st.applyFault(op) {
+		case faultDrop:
+			return errFrame // sever: the crashed-shard failure mode
+		case faultErr:
+			writeV2Response(w, op, id, statusError, nil)
+			return nil
+		}
 		switch op {
 		case opGet:
 			if v, ok := st.get(key.b); ok {
@@ -383,7 +390,20 @@ func (st *store) handleV2(r *bufio.Reader, w *bufio.Writer, q *connQuota, deadli
 			}
 			defer st.adm.release()
 		}
-		st.sleepLag()
+		switch st.applyFault(op) {
+		case faultDrop:
+			return errFrame // sever: the crashed-shard failure mode
+		case faultErr:
+			// Drain the batch body to preserve framing, then answer with
+			// an empty error response (count 0, like a shed).
+			for i := uint32(0); i < count; i++ {
+				if err := drainChunk(r, maxKeyLen); err != nil {
+					return err
+				}
+			}
+			writeV2Empty(w, op, id, statusError)
+			return nil
+		}
 		// Stream the response while decoding: each key is looked up and
 		// its entry written as soon as it is read, so the batch needs no
 		// materialized request and only one key buffer of scratch.
@@ -432,7 +452,21 @@ func (st *store) handleV2(r *bufio.Reader, w *bufio.Writer, q *connQuota, deadli
 			writeV2Shed(w, op, id)
 			return nil
 		}
-		st.sleepLag()
+		switch st.applyFault(op) {
+		case faultDrop:
+			return errFrame // sever: the crashed-shard failure mode
+		case faultErr:
+			for i := uint32(0); i < count; i++ {
+				if err := drainChunk(r, maxKeyLen); err != nil {
+					return err
+				}
+				if err := drainChunk(r, maxValLen); err != nil {
+					return err
+				}
+			}
+			writeV2Empty(w, op, id, statusError)
+			return nil
+		}
 		statuses := getBuf(int(count))
 		defer putBuf(statuses)
 		for i := uint32(0); i < count; i++ {
@@ -457,9 +491,17 @@ func (st *store) handleV2(r *bufio.Reader, w *bufio.Writer, q *connQuota, deadli
 
 // writeV2Shed writes the zero-count batch response of a shed batch op.
 func writeV2Shed(w *bufio.Writer, op byte, id uint32) {
+	writeV2Empty(w, op, id, statusRetryLater)
+}
+
+// writeV2Empty writes a zero-count batch response carrying only a
+// status — the frame of a shed (statusRetryLater) or fault-injected
+// (statusError) batch op: the request body was drained to preserve
+// framing, but none of the work was done.
+func writeV2Empty(w *bufio.Writer, op byte, id uint32, status byte) {
 	_ = w.WriteByte(op)
 	writeU32(w, id)
-	_ = w.WriteByte(statusRetryLater)
+	_ = w.WriteByte(status)
 	writeU32(w, 0)
 }
 

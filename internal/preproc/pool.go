@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/obs"
+	"repro/internal/stats"
 )
 
 // PayloadOwner is implemented by payload lessors (the runtime's node
@@ -92,6 +93,9 @@ type Pool struct {
 	// atomic pointer so attaching mid-run cannot race the workers. The
 	// nil fast path costs one pointer load per job.
 	ins atomic.Pointer[Instruments]
+	// fault is the injected per-job decode delay (SetDecodeDelay; nil =
+	// none) — the slow-decode-worker fault of the chaos harness.
+	fault atomic.Pointer[decodeFault]
 	// tidFree recycles trace thread IDs across worker generations so a
 	// thread-controller resizing every iteration does not mint
 	// unbounded trace tracks.
@@ -227,11 +231,52 @@ func (p *Pool) worker() {
 	}
 }
 
+// decodeFault is the injected per-job decode delay: a fixed lag plus a
+// uniform jitter in [0, jitter) drawn from a seeded RNG, so chaos runs
+// replay identically. Installed whole-sale behind an atomic pointer;
+// the healthy fast path costs one pointer load per job.
+type decodeFault struct {
+	lag, jitter time.Duration
+	mu          sync.Mutex
+	rng         *stats.RNG
+}
+
+func (f *decodeFault) sleep() {
+	d := f.lag
+	if f.jitter > 0 {
+		f.mu.Lock()
+		d += time.Duration(f.rng.Int63() % int64(f.jitter))
+		f.mu.Unlock()
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// SetDecodeDelay injects an artificial per-job decode delay: lag fixed,
+// plus a uniform draw in [0, jitter) from an RNG seeded with seed (0
+// picks a fixed default, so even unseeded delays are deterministic).
+// Zero lag and jitter clear the fault. Safe to call while jobs flow —
+// this is the slow-decode-worker hook of the chaos harness.
+func (p *Pool) SetDecodeDelay(lag, jitter time.Duration, seed uint64) {
+	if lag <= 0 && jitter <= 0 {
+		p.fault.Store(nil)
+		return
+	}
+	if seed == 0 {
+		seed = 0xdec0de
+	}
+	p.fault.Store(&decodeFault{lag: lag, jitter: jitter, rng: stats.NewRNG(seed)})
+}
+
 func (p *Pool) run(job Job, ins *Instruments, tid int64) {
 	var start time.Time
 	rec := ins.active()
 	if rec {
 		start = time.Now()
+	}
+	if f := p.fault.Load(); f != nil {
+		f.sleep()
 	}
 	t, err := Decode(job.Payload, job.ID)
 	if err == nil {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/stats"
 )
 
 func TestPoolValidation(t *testing.T) {
@@ -137,5 +138,57 @@ func TestPoolCloseIdempotent(t *testing.T) {
 	p.Close() // must not panic
 	if err := p.Resize(2); err == nil {
 		t.Fatal("Resize after Close accepted")
+	}
+}
+
+func TestPoolSetDecodeDelay(t *testing.T) {
+	p, err := NewPool(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	decode := func() time.Duration {
+		done := make(chan Result, 1)
+		buf := make([]byte, 2048)
+		dataset.FillPayload(buf, 1, 0)
+		start := time.Now()
+		p.Submit(Job{ID: 0, Payload: buf, Done: done})
+		r := <-done
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		return time.Since(start)
+	}
+
+	p.SetDecodeDelay(25*time.Millisecond, 0, 1)
+	if d := decode(); d < 20*time.Millisecond {
+		t.Fatalf("injected decode delay not applied: job took %v", d)
+	}
+	// Clearing restores fast decodes.
+	p.SetDecodeDelay(0, 0, 0)
+	if d := decode(); d > 15*time.Millisecond {
+		t.Fatalf("decode delay survived clearing: job took %v", d)
+	}
+}
+
+func TestPoolDecodeDelayJitterDeterministic(t *testing.T) {
+	// Same seed => same jitter sequence: pin via the RNG the fault type
+	// draws from (the sleep itself is wall clock; the draws must not be).
+	draws := func(seed uint64) []time.Duration {
+		f := &decodeFault{jitter: time.Second, rng: stats.NewRNG(seed)}
+		var out []time.Duration
+		for i := 0; i < 8; i++ {
+			f.mu.Lock()
+			out = append(out, time.Duration(f.rng.Int63()%int64(f.jitter)))
+			f.mu.Unlock()
+		}
+		return out
+	}
+	a, b := draws(7), draws(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("jitter draw %d differs: %v vs %v", i, a[i], b[i])
+		}
 	}
 }

@@ -1,0 +1,68 @@
+// Package retry is the shared retry/backoff helper behind the
+// reproduction's recovery paths: the runtime's PFS read loop, the chaos
+// experiments' repair steps, and any future caller that needs "try
+// again, politely". It generalizes the ad-hoc loop the runtime grew for
+// transient PFS failures into one policy type with capped exponential
+// backoff and bounded-or-unbounded attempts.
+package retry
+
+import (
+	"fmt"
+	"time"
+)
+
+// Policy shapes the backoff between attempts.
+type Policy struct {
+	// Base is the first backoff (default 1ms).
+	Base time.Duration
+	// Max caps the backoff (0 = uncapped).
+	Max time.Duration
+	// Multiplier grows the backoff per attempt (default 2).
+	Multiplier float64
+	// Attempts bounds the total tries; 0 means retry forever. Training
+	// cannot proceed without its sample, so the runtime's PFS loop uses
+	// 0 — matching real loaders, which surface storage outages as hangs
+	// rather than corrupt batches.
+	Attempts int
+}
+
+// Do runs op until it succeeds, returns a non-retryable error, or the
+// attempt budget runs out. retryable decides which errors are worth
+// another try (nil retries everything); onRetry — may be nil — observes
+// each failed-but-retryable attempt (1-based) before its backoff sleep,
+// which is where callers count retries for diagnostics.
+//
+// An exhausted budget returns the last error wrapped with %w, so
+// errors.Is/As still match the sentinel underneath — which is why
+// ErrTransient-style sentinels must be errors.New values, not bare
+// comparisons.
+func Do(p Policy, retryable func(error) bool, onRetry func(attempt int, err error), op func() error) error {
+	if p.Base <= 0 {
+		p.Base = time.Millisecond
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	backoff := p.Base
+	for attempt := 1; ; attempt++ {
+		err := op()
+		if err == nil {
+			return nil
+		}
+		if retryable != nil && !retryable(err) {
+			return err
+		}
+		if p.Attempts > 0 && attempt >= p.Attempts {
+			return fmt.Errorf("retry: %d attempts exhausted: %w", attempt, err)
+		}
+		if onRetry != nil {
+			onRetry(attempt, err)
+		}
+		time.Sleep(backoff)
+		next := time.Duration(float64(backoff) * p.Multiplier)
+		if p.Max > 0 && next > p.Max {
+			next = p.Max
+		}
+		backoff = next
+	}
+}

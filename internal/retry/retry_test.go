@@ -1,0 +1,111 @@
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+var errFlaky = errors.New("flaky")
+
+func TestDoSucceedsAfterRetries(t *testing.T) {
+	calls, retries := 0, 0
+	err := Do(Policy{Base: time.Microsecond}, nil,
+		func(attempt int, err error) {
+			retries++
+			if attempt != retries {
+				t.Errorf("onRetry attempt = %d, want %d", attempt, retries)
+			}
+			if !errors.Is(err, errFlaky) {
+				t.Errorf("onRetry err = %v", err)
+			}
+		},
+		func() error {
+			calls++
+			if calls < 3 {
+				return errFlaky
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("Do = %v", err)
+	}
+	if calls != 3 || retries != 2 {
+		t.Fatalf("calls = %d, retries = %d; want 3, 2", calls, retries)
+	}
+}
+
+func TestDoStopsOnNonRetryable(t *testing.T) {
+	fatal := errors.New("fatal")
+	calls := 0
+	err := Do(Policy{Base: time.Microsecond},
+		func(err error) bool { return errors.Is(err, errFlaky) },
+		nil,
+		func() error { calls++; return fatal })
+	if !errors.Is(err, fatal) {
+		t.Fatalf("Do = %v, want %v unwrapped", err, fatal)
+	}
+	if calls != 1 {
+		t.Fatalf("non-retryable error retried: %d calls", calls)
+	}
+}
+
+func TestDoExhaustsAttemptBudget(t *testing.T) {
+	calls := 0
+	err := Do(Policy{Base: time.Microsecond, Attempts: 4}, nil, nil,
+		func() error { calls++; return errFlaky })
+	if calls != 4 {
+		t.Fatalf("calls = %d, want 4", calls)
+	}
+	if err == nil {
+		t.Fatal("exhausted budget returned nil")
+	}
+	// The last error must still match through the wrap.
+	if !errors.Is(err, errFlaky) {
+		t.Fatalf("wrapped error lost the sentinel: %v", err)
+	}
+	want := fmt.Sprintf("retry: 4 attempts exhausted: %v", errFlaky)
+	if err.Error() != want {
+		t.Fatalf("err = %q, want %q", err, want)
+	}
+}
+
+func TestDoBackoffCapped(t *testing.T) {
+	// Base 1ms, multiplier 4, max 2ms over 3 retries: sleeps 1+2+2 = 5ms.
+	// Verify total wall time stays well under the uncapped 1+4+16 = 21ms.
+	start := time.Now()
+	_ = Do(Policy{Base: time.Millisecond, Multiplier: 4, Max: 2 * time.Millisecond, Attempts: 4},
+		nil, nil, func() error { return errFlaky })
+	if elapsed := time.Since(start); elapsed > 15*time.Millisecond {
+		t.Fatalf("backoff cap not applied: %v elapsed", elapsed)
+	}
+}
+
+func TestDoDefaults(t *testing.T) {
+	// Zero policy: base defaults to 1ms, multiplier to 2, unbounded
+	// attempts. Succeed on the second call to keep it quick.
+	calls := 0
+	if err := Do(Policy{}, nil, nil, func() error {
+		calls++
+		if calls < 2 {
+			return errFlaky
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("Do = %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+}
+
+func TestDoImmediateSuccessSkipsHooks(t *testing.T) {
+	hooked := false
+	err := Do(Policy{Attempts: 1}, nil,
+		func(int, error) { hooked = true },
+		func() error { return nil })
+	if err != nil || hooked {
+		t.Fatalf("err = %v, hooked = %v", err, hooked)
+	}
+}

@@ -1,0 +1,192 @@
+package runtime
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/dataset"
+	"repro/internal/loader"
+	"repro/internal/tier"
+)
+
+func TestDirectoryPurgeAndCount(t *testing.T) {
+	d, err := NewDirectory(16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 8; id++ {
+		d.Add(1, dataset.SampleID(id))
+	}
+	d.Add(2, dataset.SampleID(0))
+	if got := d.CountNode(1); got != 8 {
+		t.Fatalf("CountNode(1) = %d, want 8", got)
+	}
+	if purged := d.PurgeNode(1); purged != 8 {
+		t.Fatalf("PurgeNode(1) = %d, want 8", purged)
+	}
+	if got := d.CountNode(1); got != 0 {
+		t.Fatalf("CountNode(1) after purge = %d", got)
+	}
+	// Sample 0's copy on node 2 survives; the rest have no holder.
+	if got := d.Holder(dataset.SampleID(0), 0); got != 2 {
+		t.Fatalf("Holder(0) = %d, want 2", got)
+	}
+	for id := 1; id < 8; id++ {
+		if got := d.Holder(dataset.SampleID(id), 0); got != -1 {
+			t.Fatalf("Holder(%d) = %d after purge, want -1", id, got)
+		}
+	}
+}
+
+func TestDistributionManagerNodeDown(t *testing.T) {
+	dm := NewDistributionManager(2, tier.ThetaGPULike().Remote, 0.0001)
+	defer dm.Close()
+	dm.SetNodeDown(1, true)
+	if !dm.NodeDown(1) || dm.NodeDown(0) {
+		t.Fatal("down flags wrong")
+	}
+	// A fetch from a down peer returns nil without touching its inbox
+	// (nobody is serving it) — the requester's failover path.
+	if p := dm.Fetch(1, 0, 128); p != nil {
+		t.Fatalf("Fetch from down node returned %d bytes", len(p))
+	}
+	dm.SetNodeDown(1, false)
+	if dm.NodeDown(1) {
+		t.Fatal("revive did not clear the down flag")
+	}
+	// Straggler profile survives a down/up transition.
+	dm.SetNodeFault(1, chaos.Fault{Lag: time.Millisecond, Seed: 1})
+	dm.SetNodeDown(1, true)
+	dm.SetNodeDown(1, false)
+	if dm.faults[1].Load() == nil || dm.faults[1].Load().lag != time.Millisecond {
+		t.Fatal("straggler profile lost across down/up")
+	}
+	dm.SetNodeFault(1, chaos.Fault{})
+	if dm.faults[1].Load() != nil {
+		t.Fatal("zero fault on healthy node did not clear state")
+	}
+}
+
+func TestNodeCacheCrashRepairsDirectory(t *testing.T) {
+	opts := testOptions(t, loader.Lobster(), 2, 1)
+	sched := chaos.NewSchedule(5)
+	// Crash node 1's cache a third of the way in; revive two thirds in.
+	iters := opts.Dataset.Len() / (2 * 2 * opts.Model.BatchSize)
+	sched.CacheCrash(1, iters/3, 2*iters/3)
+	ctl, err := chaos.NewController(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Chaos = ctl
+	stats, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(stats.Iterations) * uint64(2*2*opts.Model.BatchSize)
+	if stats.SamplesVerified != want {
+		t.Fatalf("verified %d/%d with a cache crash mid-run", stats.SamplesVerified, want)
+	}
+	if inj, rev := ctl.Counts(); inj != 1 || rev != 1 {
+		t.Fatalf("controller counts = (%d,%d), want (1,1)", inj, rev)
+	}
+}
+
+// TestTrainingSurvivesPeerLossMidEpoch is the headline recovery
+// scenario: one node's peer cache goes fully dark mid-epoch (every
+// promised peer read fails), then the node crashes outright. Training
+// must complete with every sample verified and the failover counter
+// must show the PFS picked up the slack.
+func TestTrainingSurvivesPeerLossMidEpoch(t *testing.T) {
+	opts := testOptions(t, loader.Lobster(), 2, 2)
+	iters := opts.Dataset.Len() / (2 * 2 * opts.Model.BatchSize) // per epoch
+	sched := chaos.NewSchedule(11)
+	// Both peers serve nothing for the whole run (stragglers with 100%
+	// timeouts): every remote fetch the directory promises must fail
+	// over to the PFS. End 0 = the fault outlives the run.
+	for node := 0; node < 2; node++ {
+		sched.Add(chaos.Event{
+			Kind: chaos.KindStraggler, Target: node,
+			Fault: chaos.Fault{ErrRate: 1},
+		})
+	}
+	// Epoch 1: node 1's cache is lost mid-epoch, revived 4 iters later.
+	sched.CacheCrash(1, iters+iters/2, iters+iters/2+4)
+	ctl, err := chaos.NewController(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Chaos = ctl
+	stats, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(stats.Iterations) * uint64(2*2*opts.Model.BatchSize)
+	if stats.SamplesVerified != want {
+		t.Fatalf("verified %d/%d under peer loss", stats.SamplesVerified, want)
+	}
+	if stats.Failovers == 0 {
+		t.Fatal("no failovers recorded despite fully dark peers")
+	}
+	// 3 injected; the cache crash reverted mid-run, the stragglers at
+	// Finish.
+	if inj, rev := ctl.Counts(); inj != 3 || rev != 3 {
+		t.Fatalf("controller counts = (%d,%d), want (3,3)", inj, rev)
+	}
+	if ctl.DegradedIters() == 0 {
+		t.Fatal("no degraded iterations recorded")
+	}
+}
+
+func TestTrainingSurvivesBrownout(t *testing.T) {
+	opts := testOptions(t, loader.NoPFS(2, 8), 1, 2)
+	sched := chaos.NewSchedule(3)
+	// PFS brownout for the middle of the run: transient failures the
+	// retry loop must absorb, plus a little extra latency.
+	sched.Brownout(4, 12, 200*time.Microsecond, 100*time.Microsecond, 0.5)
+	ctl, err := chaos.NewController(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Chaos = ctl
+	stats, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(stats.Iterations) * uint64(2*opts.Model.BatchSize)
+	if stats.SamplesVerified != want {
+		t.Fatalf("verified %d/%d through the brownout", stats.SamplesVerified, want)
+	}
+	if stats.PFSRetries == 0 {
+		t.Fatal("no PFS retries despite a 50% brownout window")
+	}
+}
+
+// TestChaosEventLogDeterministic pins the replayability contract: the
+// same schedule against the same run produces the identical event log.
+func TestChaosEventLogDeterministic(t *testing.T) {
+	run := func() []string {
+		opts := testOptions(t, loader.Lobster(), 2, 1)
+		sched := chaos.NewSchedule(21).
+			SlowDecode(0, 1, 4, 100*time.Microsecond, 100*time.Microsecond).
+			Brownout(3, 6, 0, 0, 0.25).
+			CacheCrash(1, 5, 9)
+		ctl, err := chaos.NewController(sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Chaos = ctl
+		if _, err := Run(opts); err != nil {
+			t.Fatal(err)
+		}
+		return ctl.EventLog()
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("event log differs across identical runs:\n%v\n%v", a, b)
+	}
+	if len(a) != 6 { // 3 injects + 3 reverts
+		t.Fatalf("event log = %v, want 6 lines", a)
+	}
+}

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/dataset"
@@ -14,7 +15,7 @@ func TestPFSStoreFailureInjection(t *testing.T) {
 	})
 	store := NewPFSStore(ds, 3, tier.ThetaGPULike().PFS, 0.0001)
 	store.SetFailureRate(1.0)
-	if _, err := store.Read(0); err != ErrTransient {
+	if _, err := store.Read(0); !errors.Is(err, ErrTransient) {
 		t.Fatalf("expected injected failure, got %v", err)
 	}
 	if store.Failures() != 1 {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/loader"
 	"repro/internal/obs"
 	"repro/internal/preproc"
+	"repro/internal/retry"
 )
 
 // cachedBuf is one resident payload plus its recycling provenance.
@@ -212,6 +213,27 @@ func (nc *nodeCache) stats() cache.Stats {
 	nc.mu.Lock()
 	defer nc.mu.Unlock()
 	return nc.c.Stats()
+}
+
+// crash wipes the cache as a process loss would: every resident entry is
+// dropped from the membership cache, its payload discarded, and its
+// directory bit cleared — all in one critical section, so the shard map
+// is repaired atomically with the loss and no peer can be promised a
+// copy the node no longer has. Pooled buffers go through discard, which
+// parks still-leased ones as zombies instead of recycling memory a
+// decode worker is reading. Returns the number of entries dropped.
+func (nc *nodeCache) crash() int {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	n := 0
+	for id, e := range nc.payloads {
+		nc.c.Remove(id)
+		nc.discard(e)
+		delete(nc.payloads, id)
+		nc.dir.Remove(nc.node, id)
+		n++
+	}
+	return n
 }
 
 // loadRequest asks a loading worker to materialize one sample for one GPU.
@@ -447,6 +469,15 @@ type nodeRuntime struct {
 	pfsReads   atomic.Uint64
 	prefetched atomic.Uint64
 	pfsRetries atomic.Uint64
+	// failovers counts shared-tier reads that fell over to the PFS: a
+	// directory-promised peer copy that did not arrive (crashed or
+	// flaky peer — or the benign advisory-directory race), a KV Get that
+	// errored, or a whole prefetch window degraded by a full MultiGet
+	// failure.
+	failovers atomic.Uint64
+	// partials counts KV MultiGet fan-outs that came back partial (some
+	// shards failed, the rest delivered — kvstore.PartialError).
+	partials atomic.Uint64
 
 	// loadHist times each sample materialization (runtimeObs; nil when
 	// un-instrumented — nil-safe to observe).
@@ -527,7 +558,8 @@ func (n *nodeRuntime) loadPayload(id dataset.SampleID, tid int64) (payload []byt
 // refused, the fetched buffer is exclusively the caller's (owned).
 func (n *nodeRuntime) fetchMiss(id dataset.SampleID, now cache.Iter) (payload []byte, owned bool, owner preproc.PayloadOwner) {
 	if n.rt.kv != nil {
-		if payload, found, err := n.rt.kv.Get(kvKey(id)); err == nil && found {
+		payload, found, err := n.rt.kv.Get(kvKey(id))
+		if err == nil && found {
 			n.remoteHits.Add(1)
 			// The KV client allocated this copy at exact value size; it
 			// is not pool-recyclable, so ownership only decides whether
@@ -535,6 +567,9 @@ func (n *nodeRuntime) fetchMiss(id dataset.SampleID, now cache.Iter) (payload []
 			// runs.
 			_, retained := n.cache.put(id, payload, now, false, false)
 			return payload, !retained, nil
+		}
+		if err != nil {
+			n.failovers.Add(1) // shard unreachable: fall to the PFS
 		}
 	} else if peer := n.rt.dir.Holder(id, n.node); peer >= 0 {
 		if payload := n.rt.dm.Fetch(peer, id, n.rt.ds.Size(id)); payload != nil {
@@ -545,6 +580,9 @@ func (n *nodeRuntime) fetchMiss(id dataset.SampleID, now cache.Iter) (payload []
 			}
 			return payload, true, nil
 		}
+		// The directory promised a holder and the peer delivered nothing
+		// — a crashed/flaky peer, or the benign eviction race.
+		n.failovers.Add(1)
 	}
 	payload = n.pfsReadRetry(id)
 	n.pfsReads.Add(1)
@@ -563,28 +601,31 @@ func (n *nodeRuntime) fetchMiss(id dataset.SampleID, now cache.Iter) (payload []
 	return payload, !retained, nil
 }
 
-// pfsReadRetry reads from the PFS, retrying transient failures with
-// capped exponential backoff. Training cannot proceed without the sample,
-// so the loop is unbounded — matching real loaders, which surface storage
-// outages as hangs rather than corrupt batches. Retries are counted for
-// the failure-injection diagnostics.
+// pfsRetryPolicy shapes the PFS read backoff: exponential from 1ms
+// capped at 16ms, unbounded attempts — training cannot proceed without
+// the sample, so real loaders surface storage outages as hangs rather
+// than corrupt batches.
+var pfsRetryPolicy = retry.Policy{Base: time.Millisecond, Max: 16 * time.Millisecond}
+
+// pfsReadRetry reads from the PFS through the shared retry helper,
+// retrying transient failures (errors.Is on the ErrTransient sentinel,
+// so wrapped transients match too) and counting each retry for the
+// failure-injection diagnostics.
 func (n *nodeRuntime) pfsReadRetry(id dataset.SampleID) []byte {
-	backoff := time.Millisecond
-	for {
-		payload, err := n.rt.pfs.Read(id)
-		if err == nil {
-			return payload
-		}
-		if err != ErrTransient {
-			// Unreachable for in-range ids; surface loudly if it happens.
-			panic(fmt.Sprintf("runtime: PFS read failed: %v", err))
-		}
-		n.pfsRetries.Add(1)
-		time.Sleep(backoff)
-		if backoff < 16*time.Millisecond {
-			backoff *= 2
-		}
+	var payload []byte
+	err := retry.Do(pfsRetryPolicy,
+		func(err error) bool { return errors.Is(err, ErrTransient) },
+		func(int, error) { n.pfsRetries.Add(1) },
+		func() error {
+			var err error
+			payload, err = n.rt.pfs.Read(id)
+			return err
+		})
+	if err != nil {
+		// Unreachable for in-range ids; surface loudly if it happens.
+		panic(fmt.Sprintf("runtime: PFS read failed: %v", err))
 	}
+	return payload
 }
 
 // kvKey renders a sample's cluster key.
@@ -703,7 +744,10 @@ func (n *nodeRuntime) prefetchWindowKV(batch []dataset.SampleID) {
 		// values (failed shards' entries are nil, i.e. misses); anything
 		// else degrades the whole window to misses.
 		var pe *kvstore.PartialError
-		if !errors.As(err, &pe) {
+		if errors.As(err, &pe) {
+			n.partials.Add(1)
+		} else {
+			n.failovers.Add(1)
 			vals = nil
 		}
 	}
@@ -769,12 +813,20 @@ func (n *nodeRuntime) fetchPrefetch(id dataset.SampleID, now cache.Iter) bool {
 	var payload []byte
 	pooled := false
 	if n.rt.kv != nil {
-		if p, found, err := n.rt.kv.Get(kvKey(id)); err == nil && found {
+		p, found, err := n.rt.kv.Get(kvKey(id))
+		if err == nil && found {
 			payload = p
+		}
+		if err != nil {
+			n.failovers.Add(1) // shard unreachable: fall to the PFS
 		}
 	} else if peer := n.rt.dir.Holder(id, n.node); peer >= 0 {
 		if p := n.rt.dm.Fetch(peer, id, size); p != nil {
 			payload, pooled = p, true
+		} else {
+			// Promised holder delivered nothing (crashed/flaky peer, or the
+			// benign eviction race): fall to the PFS.
+			n.failovers.Add(1)
 		}
 	}
 	if payload == nil {

@@ -133,6 +133,12 @@ func (ro *runtimeObs) instrumentNode(node *nodeRuntime) {
 	ro.reg.CounterFunc("lobster_runtime_prefetched_total",
 		"Samples staged into the cache by the background prefetcher.",
 		func() float64 { return float64(node.prefetched.Load()) }, "node", n)
+	ro.reg.CounterFunc("lobster_runtime_failover_total",
+		"Shared-tier reads that fell over to the PFS (lost peer copy, unreachable KV shard, or degraded prefetch window).",
+		func() float64 { return float64(node.failovers.Load()) }, "node", n)
+	ro.reg.CounterFunc("lobster_runtime_partial_fanout_total",
+		"KV MultiGet fan-outs that returned a partial result (some shards failed).",
+		func() float64 { return float64(node.partials.Load()) }, "node", n)
 }
 
 // resizeInstant records one thread-controller decision as an instant

@@ -11,6 +11,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/allreduce"
 	"repro/internal/cache"
+	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/datafile"
 	"repro/internal/dataset"
@@ -85,6 +86,14 @@ type Options struct {
 	// rank, load per loading worker, preproc per pool worker, prefetch
 	// windows, thread-resize instants) for /trace.json dumps.
 	Trace *obs.TraceRing
+	// Chaos, when non-nil, drives deterministic fault injection: the
+	// barrier's last arriver ticks the controller at every iteration
+	// boundary, and the runtime registers default injectors for the fault
+	// kinds it owns (PFS brownouts, straggler peers, cache-node crashes,
+	// slow decode workers) — see internal/chaos and DESIGN.md §13. Kinds
+	// the runtime has no handle on (kv shard crash, connection drops) are
+	// the harness's to Register before the run.
+	Chaos *chaos.Controller
 	// KVCache, when non-nil, replaces the node-to-node distribution
 	// manager with a shared KV-store cluster as the middle cache tier
 	// (the "alternatives to distributed caching like for example
@@ -124,6 +133,14 @@ type Stats struct {
 	PFSRetries      uint64
 	Prefetched      uint64
 	AllreduceRounds uint64
+	// Failovers counts shared-tier reads that fell over to the PFS
+	// (promised peer copy not delivered, KV shard unreachable, or a whole
+	// prefetch window degraded by a full MultiGet failure) — the recovery
+	// layer's "how often did the middle tier let us down" number.
+	Failovers uint64
+	// PartialFanouts counts KV MultiGet fan-outs that came back partial
+	// (kvstore.PartialError: some shards failed, the rest delivered).
+	PartialFanouts uint64
 	// DataFold is a deterministic fold of every decoded tensor checksum:
 	// a rank-major chain of per-iteration folds, where each iteration's
 	// fold is order-independent (results may finish in any order within
@@ -392,6 +409,9 @@ func RunContext(ctx context.Context, opts Options) (*Stats, error) {
 			node.cache.maintain(now)
 		}
 		rt.decideThreads(completed + 1)
+		if opts.Chaos != nil {
+			opts.Chaos.OnIteration(completed + 1)
+		}
 		if opts.OnProgress != nil {
 			opts.OnProgress(rt.progress(completed, start))
 		}
@@ -415,6 +435,16 @@ func RunContext(ctx context.Context, opts Options) (*Stats, error) {
 	gradFolds := make([]uint64, top.WorldSize())
 	rankFolds := make([]uint64, top.WorldSize())
 	allreduceRounds := make([]uint64, top.WorldSize())
+
+	if opts.Chaos != nil {
+		// Wire the runtime-owned injectors (soft: a harness's explicit
+		// Register wins) and process boundary 0 so Start-0 events are
+		// active before the first iteration; Finish reverts whatever is
+		// still active when the run — however it ends — returns.
+		rt.registerChaosInjectors(opts.Chaos)
+		opts.Chaos.OnIteration(0)
+		defer opts.Chaos.Finish()
+	}
 
 	var wg sync.WaitGroup
 	rt.decideThreads(0)
@@ -610,6 +640,8 @@ func RunContext(ctx context.Context, opts Options) (*Stats, error) {
 		stats.PFSReads += node.pfsReads.Load()
 		stats.PFSRetries += node.pfsRetries.Load()
 		stats.Prefetched += node.prefetched.Load()
+		stats.Failovers += node.failovers.Load()
+		stats.PartialFanouts += node.partials.Load()
 		stats.FinalPreprocThreads = append(stats.FinalPreprocThreads, node.pre.Workers())
 		row := make([]int, len(node.queues))
 		for j, q := range node.queues {

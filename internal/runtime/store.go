@@ -13,10 +13,13 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/datafile"
 	"repro/internal/dataset"
 	"repro/internal/preproc"
@@ -69,13 +72,15 @@ type PFSStore struct {
 	mu       sync.Mutex
 	nOps     int64
 	failures int64
-	failRate float64
+	fault    chaos.Fault // degraded-mode state: error rate + extra latency
 	rng      *stats.RNG
 }
 
-// ErrTransient is returned for injected transient read failures (RPC
-// timeouts, OST hiccups). Callers retry; see SetFailureRate.
-var ErrTransient = fmt.Errorf("runtime: transient PFS failure")
+// ErrTransient is the sentinel for injected transient read failures (RPC
+// timeouts, OST hiccups). Callers retry, matching with errors.Is so
+// wrapped transients — as the retry helper produces on an exhausted
+// budget — still count. See SetFailureRate and SetFault.
+var ErrTransient = errors.New("runtime: transient PFS failure")
 
 // NewPFSStore builds the store for a dataset. seed must match the
 // dataset's generation seed so payload verification passes end to end.
@@ -109,10 +114,27 @@ func (s *PFSStore) UseFile(r *datafile.Reader) error {
 
 // SetFailureRate injects transient failures: each Read independently fails
 // with the given probability (after paying its latency, as a timed-out
-// request would). Used by failure-injection tests and chaos runs.
+// request would). It is SetFault restricted to the error rate; the two
+// share the degraded-mode state, so a chaos brownout reverting to the
+// configured baseline rate goes through SetFault.
 func (s *PFSStore) SetFailureRate(rate float64) {
 	s.mu.Lock()
-	s.failRate = rate
+	s.fault.ErrRate = rate
+	s.mu.Unlock()
+}
+
+// SetFault applies a chaos brownout to the store: every Read pays
+// Fault.Lag plus a uniform draw from [0, Jitter) on top of the modeled
+// latency, and independently fails with ErrRate (returning
+// ErrTransient). A non-zero Fault.Seed reseeds the draw RNG, making the
+// brownout window's failure pattern replayable. The zero Fault restores
+// health.
+func (s *PFSStore) SetFault(f chaos.Fault) {
+	s.mu.Lock()
+	s.fault = f
+	if f.Seed != 0 {
+		s.rng = stats.NewRNG(f.Seed)
+	}
 	s.mu.Unlock()
 }
 
@@ -132,14 +154,27 @@ func (s *PFSStore) Read(id dataset.SampleID) ([]byte, error) {
 	// Latency is per-op and independent; bandwidth is shared.
 	time.Sleep(time.Duration(s.curve.OpLatency * s.scale * float64(time.Second)))
 	s.mu.Lock()
-	if s.failRate > 0 && s.rng.Float64() < s.failRate {
-		s.failures++
-		s.mu.Unlock()
-		return nil, ErrTransient
+	f := s.fault
+	extra := f.Lag
+	if f.Jitter > 0 {
+		extra += time.Duration(s.rng.Int63() % int64(f.Jitter))
 	}
-	s.nOps++
+	failed := f.ErrRate > 0 && s.rng.Float64() < f.ErrRate
+	if failed {
+		s.failures++
+	} else {
+		s.nOps++
+	}
 	file := s.file
 	s.mu.Unlock()
+	// Brownout latency is wall-clock and applies to failures too — a
+	// timed-out request costs its timeout.
+	if extra > 0 {
+		time.Sleep(extra)
+	}
+	if failed {
+		return nil, ErrTransient
+	}
 	s.throttle.Acquire(float64(size) / (s.curve.PeakMBps * 1e6))
 	if file != nil {
 		return file.Read(id)
@@ -235,6 +270,39 @@ func (d *Directory) IsLastCopy(node int, id dataset.SampleID) bool {
 	return d.holders[id] == 1<<uint(node)
 }
 
+// PurgeNode clears every holder bit of node in one pass — the shard-map
+// repair step after a cache-node loss: no sample may keep advertising a
+// copy on the dead node, or peers would burn a fetch round trip on it.
+// Returns how many entries were purged.
+func (d *Directory) PurgeNode(node int) int {
+	mask := uint64(1) << uint(node)
+	n := 0
+	d.mu.Lock()
+	for i := range d.holders {
+		if d.holders[i]&mask != 0 {
+			d.holders[i] &^= mask
+			n++
+		}
+	}
+	d.mu.Unlock()
+	return n
+}
+
+// CountNode returns how many samples the directory records node as
+// holding (repair assertions and diagnostics).
+func (d *Directory) CountNode(node int) int {
+	mask := uint64(1) << uint(node)
+	n := 0
+	d.mu.Lock()
+	for i := range d.holders {
+		if d.holders[i]&mask != 0 {
+			n++
+		}
+	}
+	d.mu.Unlock()
+	return n
+}
+
 // fetchRequest is a peer cache read over the distribution manager.
 type fetchRequest struct {
 	id    dataset.SampleID
@@ -248,6 +316,22 @@ type DistributionManager struct {
 	inboxes []chan fetchRequest
 	curve   tier.Curve
 	scale   float64
+	// faults holds each node's serving fault: nil is healthy. Immutable
+	// once published (setters swap whole states), except the seeded RNG,
+	// which the jitter/error draws guard with the state's own mutex.
+	faults []atomic.Pointer[peerFault]
+}
+
+// peerFault is one node's degraded serving state: down (crashed, every
+// fetch from it times out empty), or a straggler profile (extra lag,
+// jitter, and a flaky-fetch rate).
+type peerFault struct {
+	down    bool
+	lag     time.Duration
+	jitter  time.Duration
+	errRate float64
+	mu      sync.Mutex
+	rng     *stats.RNG
 }
 
 // NewDistributionManager creates the manager for n nodes.
@@ -256,11 +340,57 @@ func NewDistributionManager(n int, curve tier.Curve, scale float64) *Distributio
 		inboxes: make([]chan fetchRequest, n),
 		curve:   curve,
 		scale:   scale,
+		faults:  make([]atomic.Pointer[peerFault], n),
 	}
 	for i := range dm.inboxes {
 		dm.inboxes[i] = make(chan fetchRequest, 256)
 	}
 	return dm
+}
+
+// SetNodeFault applies a chaos straggler profile to node n's serving:
+// every Fetch from it pays Fault.Lag plus a draw from [0, Jitter), and
+// Fault.ErrRate of fetches return empty (peer timeout). The down flag
+// is preserved; a zero fault on a healthy node clears the state.
+func (dm *DistributionManager) SetNodeFault(n int, f chaos.Fault) {
+	prev := dm.faults[n].Load()
+	down := prev != nil && prev.down
+	if f.IsZero() && !down {
+		dm.faults[n].Store(nil)
+		return
+	}
+	dm.faults[n].Store(&peerFault{
+		down:    down,
+		lag:     f.Lag,
+		jitter:  f.Jitter,
+		errRate: f.ErrRate,
+		rng:     stats.NewRNG(f.Seed),
+	})
+}
+
+// SetNodeDown marks node n's peer serving crashed (every fetch times
+// out empty, paying one op latency) or revives it. The straggler
+// profile, if any, is preserved across the transition.
+func (dm *DistributionManager) SetNodeDown(n int, down bool) {
+	prev := dm.faults[n].Load()
+	// A fresh RNG per transition keeps states self-contained (a shared
+	// stream across two published states would race); the draw sequence
+	// stays deterministic because transitions are schedule-driven.
+	next := &peerFault{down: down, rng: stats.NewRNG(0)}
+	if prev != nil {
+		next.lag, next.jitter, next.errRate = prev.lag, prev.jitter, prev.errRate
+	}
+	if !down && next.lag == 0 && next.jitter == 0 && next.errRate == 0 {
+		dm.faults[n].Store(nil)
+		return
+	}
+	dm.faults[n].Store(next)
+}
+
+// NodeDown reports whether node n's peer serving is marked crashed.
+func (dm *DistributionManager) NodeDown(n int) bool {
+	pf := dm.faults[n].Load()
+	return pf != nil && pf.down
 }
 
 // Inbox returns node n's request stream (consumed by its server loop).
@@ -278,8 +408,32 @@ var fetchReplyPool = sync.Pool{New: func() any { return make(chan []byte, 1) }}
 // slice is a pooled copy made by the serving node — the caller owns it
 // exclusively (DESIGN.md §12).
 func (dm *DistributionManager) Fetch(from int, id dataset.SampleID, size int64) []byte {
+	var extra time.Duration
+	fail := false
+	if pf := dm.faults[from].Load(); pf != nil {
+		if pf.down {
+			// Crashed peer: the requester pays one op latency (its
+			// timeout) and gets nothing — the failover-to-PFS path.
+			time.Sleep(time.Duration(dm.curve.OpLatency * dm.scale * float64(time.Second)))
+			return nil
+		}
+		extra = pf.lag
+		if pf.jitter > 0 || pf.errRate > 0 {
+			pf.mu.Lock()
+			if pf.jitter > 0 {
+				extra += time.Duration(pf.rng.Int63() % int64(pf.jitter))
+			}
+			fail = pf.errRate > 0 && pf.rng.Float64() < pf.errRate
+			pf.mu.Unlock()
+		}
+	}
 	cost := dm.curve.OpLatency + float64(size)/(dm.curve.PeakMBps*1e6)
-	time.Sleep(time.Duration(cost * dm.scale * float64(time.Second)))
+	// Straggler lag/jitter are wall-clock (chaos faults do not scale
+	// with TimeScale) on top of the modeled transfer cost.
+	time.Sleep(time.Duration(cost*dm.scale*float64(time.Second)) + extra)
+	if fail {
+		return nil
+	}
 	reply := fetchReplyPool.Get().(chan []byte)
 	dm.inboxes[from] <- fetchRequest{id: id, reply: reply}
 	payload := <-reply

@@ -23,7 +23,12 @@
 #                        vs per-sample data path plus schema/headline
 #                        check of BENCH_runtime.json (DESIGN.md §12;
 #                        full regeneration: make bench-runtime)
-#  10. monitor smoke   — boot lobster-kv with its monitor attached and
+#  10. chaos bench smoke — tiny live run of the chaos recovery suite
+#                        (straggler / brownout / node-loss scenarios,
+#                        structural criteria) plus schema check of the
+#                        committed BENCH_chaos.json (DESIGN.md §13;
+#                        full regeneration: make bench-chaos)
+#  11. monitor smoke   — boot lobster-kv with its monitor attached and
 #                        scrape the live /metrics and /healthz endpoints
 #
 # Run from anywhere: the script cds to the repo root. `make check` is an
@@ -71,6 +76,13 @@ echo "==> runtime bench smoke"
 # headline validation of the committed BENCH_runtime.json (the full run
 # is `make bench-runtime`, which regenerates it).
 LOBSTER_BENCH_RUNTIME=tiny go test . -run TestBenchRuntimeJSON -count=1
+
+echo "==> chaos bench smoke"
+# Tiny live run of the chaos recovery scenarios (deterministic schedules,
+# structural pass criteria) plus schema validation of the committed
+# BENCH_chaos.json (the full run is `make bench-chaos`, which regenerates
+# it with the wall-clock criteria enabled).
+LOBSTER_BENCH_CHAOS=tiny go test . -run TestBenchChaosJSON -count=1
 
 echo "==> monitor scrape smoke"
 # End-to-end over real TCP: boot lobster-kv with its monitor sidecar and
