@@ -52,6 +52,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// With a monitor, the shard records server-side spans for traced
+	// (0xA4-framed) requests. The ring's process identity is this shard's
+	// pid, so its /trace.json merges with client-side dumps in one
+	// timeline (lobster-doctor correlates them on rank/iter).
+	var ring *obs.TraceRing
+	if *monAddr != "" {
+		ring = obs.NewTraceRing(1 << 16)
+		ring.SetProcess(os.Getpid(), "lobster-kv "+*addr)
+	}
 	srv, err := kvstore.NewServerOptions(*addr, kvstore.ServerOptions{
 		Capacity: bytes,
 		Stripes:  *stripes,
@@ -62,6 +71,7 @@ func main() {
 			QuotaRate:   *quotaRate,
 			QuotaBurst:  *quotaBurst,
 		},
+		Trace: ring,
 	})
 	if err != nil {
 		fatal(err)
@@ -78,6 +88,7 @@ func main() {
 			fatal(err)
 		}
 		mon.SetRegistry(reg)
+		mon.SetTrace(ring)
 		mon.Update(srv.Stats())
 		fmt.Printf("monitor at http://%s/metrics\n", mon.Addr())
 	}

@@ -1,0 +1,275 @@
+package doctor
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// stallCauses are the ledger's attribution buckets, mirrored from
+// internal/runtime's stallCauseNames (the doctor reads wire names, not
+// Go symbols, so saved files from any build analyze the same way).
+var stallCauses = []string{
+	"local_hit", "peer_fetch", "pfs", "decode_wait", "queue_wait", "recovery",
+}
+
+// loadSideCauses are the causes that constitute a rank's load time —
+// the storage-facing legs the imbalance and straggler analyses use.
+var loadSideCauses = map[string]bool{
+	"local_hit": true, "peer_fetch": true, "pfs": true, "recovery": true,
+}
+
+// DataPathCause reports whether a stall cause names a storage-facing
+// leg (local_hit, peer_fetch, pfs, recovery) as opposed to a pipeline
+// queueing symptom (decode_wait, queue_wait). Fault attribution blames
+// the data path first: queue waits inflate second-hand whenever any
+// data-path leg slows down.
+func DataPathCause(name string) bool { return loadSideCauses[name] }
+
+// stragglerFactor: a rank whose load time exceeds the mean by this
+// factor is flagged (matches the usual "straggler = consistently >1.5x
+// median peer" operational rule of thumb).
+const stragglerFactor = 1.5
+
+// RankReport is one rank's stall decomposition.
+type RankReport struct {
+	Rank        int
+	Causes      []CauseTotal // dominant first
+	LoadSeconds float64      // sum over load-side causes
+}
+
+// EpochImbalance is one epoch's load-balance coefficient, computed from
+// the merged trace's attribution spans.
+type EpochImbalance struct {
+	Epoch       int
+	Coefficient float64 // max over mean of per-rank load-side seconds
+	MaxRank     int     // the rank holding the max
+}
+
+// Report is the doctor's analysis of one run's merged observability.
+type Report struct {
+	Ranks      []RankReport
+	TopCauses  []CauseTotal // all ranks summed, dominant first
+	Stragglers []int        // ranks with load time > stragglerFactor x mean
+
+	// Imbalance is the live gauge's last value (0 when the scrape had
+	// none); EpochImbalance is recomputed per epoch from the trace.
+	Imbalance      float64
+	EpochImbalance []EpochImbalance
+
+	// Recovery-layer efficacy.
+	HedgesFired     float64
+	HedgesWon       float64
+	Failovers       float64
+	PartialFanouts  float64
+	RecoverySeconds float64
+}
+
+// Analyze cross-references merged metrics and traces into a Report.
+// Either input may be nil (metrics-only or trace-only analysis); the
+// report fills what the available sources support.
+func Analyze(m *Metrics, t *Trace) *Report {
+	r := &Report{}
+	if m != nil {
+		r.analyzeMetrics(m)
+	}
+	if t != nil {
+		r.analyzeTrace(t, itersPerEpoch(m))
+	}
+	return r
+}
+
+// itersPerEpoch reads the run's epoch length from the gauge the runtime
+// registers; 0 when unknown (epoch grouping is then skipped).
+func itersPerEpoch(m *Metrics) int {
+	if m == nil {
+		return 0
+	}
+	v, ok := m.Value("lobster_runtime_iters_per_epoch", nil)
+	if !ok || v < 1 {
+		return 0
+	}
+	return int(v)
+}
+
+func (r *Report) analyzeMetrics(m *Metrics) {
+	// Per-rank cause totals from the stall histograms' _sum series.
+	ranks := make(map[int]*RankReport)
+	for _, cause := range stallCauses {
+		series := "lobster_runtime_stall_" + cause + "_seconds_sum"
+		for _, rankLabel := range m.LabelValues(series, "rank") {
+			rank, err := strconv.Atoi(rankLabel)
+			if err != nil {
+				continue
+			}
+			secs := m.Sum(series, map[string]string{"rank": rankLabel})
+			if secs == 0 {
+				continue
+			}
+			rr := ranks[rank]
+			if rr == nil {
+				rr = &RankReport{Rank: rank}
+				ranks[rank] = rr
+			}
+			rr.Causes = append(rr.Causes, CauseTotal{Cause: cause, Seconds: secs})
+			if loadSideCauses[cause] {
+				rr.LoadSeconds += secs
+			}
+		}
+	}
+	totals := make(map[string]float64)
+	for _, rr := range ranks {
+		sortCauses(rr.Causes)
+		for _, ct := range rr.Causes {
+			totals[ct.Cause] += ct.Seconds
+		}
+		r.Ranks = append(r.Ranks, *rr)
+	}
+	sort.Slice(r.Ranks, func(i, j int) bool { return r.Ranks[i].Rank < r.Ranks[j].Rank })
+	for c, s := range totals {
+		r.TopCauses = append(r.TopCauses, CauseTotal{Cause: c, Seconds: s})
+	}
+	sortCauses(r.TopCauses)
+
+	// Stragglers: ranks whose load time stands out against the mean.
+	if len(r.Ranks) > 1 {
+		mean := 0.0
+		for i := range r.Ranks {
+			mean += r.Ranks[i].LoadSeconds
+		}
+		mean /= float64(len(r.Ranks))
+		if mean > 0 {
+			for i := range r.Ranks {
+				if r.Ranks[i].LoadSeconds > stragglerFactor*mean {
+					r.Stragglers = append(r.Stragglers, r.Ranks[i].Rank)
+				}
+			}
+		}
+	}
+
+	r.Imbalance, _ = m.Value("lobster_runtime_load_imbalance", nil)
+	r.HedgesFired = m.Sum("lobster_kvstore_hedge_fired_total", nil)
+	r.HedgesWon = m.Sum("lobster_kvstore_hedge_won_total", nil)
+	r.Failovers = m.Sum("lobster_runtime_failover_total", nil)
+	r.PartialFanouts = m.Sum("lobster_runtime_partial_fanout_total", nil)
+	r.RecoverySeconds = m.Sum("lobster_runtime_stall_recovery_seconds_sum", nil)
+}
+
+func (r *Report) analyzeTrace(t *Trace, ipe int) {
+	if ipe < 1 {
+		return
+	}
+	// Per-epoch, per-rank load-side seconds from the attribution spans.
+	type key struct{ epoch, rank int }
+	load := make(map[key]float64)
+	maxEpoch := -1
+	t.stallSpans(func(e *TraceEvent) {
+		if !loadSideCauses[e.Name] {
+			return
+		}
+		it, okIt := e.Args["iter"]
+		rank, okRank := e.Args["rank"]
+		if !okIt || !okRank {
+			return
+		}
+		epoch := int(it) / ipe
+		load[key{epoch, int(rank)}] += e.Dur / 1e6
+		if epoch > maxEpoch {
+			maxEpoch = epoch
+		}
+	})
+	for epoch := 0; epoch <= maxEpoch; epoch++ {
+		var sum, max float64
+		maxRank, n := -1, 0
+		for k, secs := range load {
+			if k.epoch != epoch {
+				continue
+			}
+			n++
+			sum += secs
+			if secs > max {
+				max, maxRank = secs, k.rank
+			}
+		}
+		if n == 0 || sum == 0 {
+			continue
+		}
+		mean := sum / float64(n)
+		r.EpochImbalance = append(r.EpochImbalance, EpochImbalance{
+			Epoch: epoch, Coefficient: max / mean, MaxRank: maxRank,
+		})
+	}
+}
+
+// sortCauses orders dominant first, name-alphabetical on ties so the
+// report is deterministic.
+func sortCauses(cs []CauseTotal) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Seconds != cs[j].Seconds {
+			return cs[i].Seconds > cs[j].Seconds
+		}
+		return cs[i].Cause < cs[j].Cause
+	})
+}
+
+// WriteText renders the ranked bottleneck report.
+func (r *Report) WriteText(w io.Writer) error {
+	var werr error
+	p := func(format string, args ...any) {
+		if werr == nil {
+			_, werr = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("lobster-doctor report\n=====================\n\n")
+	if len(r.TopCauses) == 0 {
+		p("no stall attribution found: scrape an instrumented run's /metrics\n")
+		p("(lobster_runtime_stall_<cause>_seconds histograms) or pass its trace.json\n")
+	} else {
+		p("Top stall causes (all ranks):\n")
+		for i, ct := range r.TopCauses {
+			p("  %d. %-12s %9.3fs\n", i+1, ct.Cause, ct.Seconds)
+		}
+		p("\nPer-rank decomposition:\n")
+		for _, rr := range r.Ranks {
+			p("  rank %d (load %.3fs):", rr.Rank, rr.LoadSeconds)
+			for _, ct := range rr.Causes {
+				p(" %s=%.3fs", ct.Cause, ct.Seconds)
+			}
+			p("\n")
+		}
+	}
+	if len(r.Stragglers) > 0 {
+		p("\nStragglers (load time > %.1fx mean): ranks %v\n", stragglerFactor, r.Stragglers)
+	} else if len(r.Ranks) > 1 {
+		p("\nNo straggler: per-rank load times within %.1fx of the mean.\n", stragglerFactor)
+	}
+	if r.Imbalance > 0 {
+		p("\nLoad imbalance (last iteration, max/mean): %.2f\n", r.Imbalance)
+	}
+	if len(r.EpochImbalance) > 0 {
+		p("Per-epoch load imbalance:\n")
+		for _, ei := range r.EpochImbalance {
+			p("  epoch %d: %.2f (max at rank %d)\n", ei.Epoch, ei.Coefficient, ei.MaxRank)
+		}
+	}
+	if r.HedgesFired > 0 || r.Failovers > 0 || r.PartialFanouts > 0 {
+		p("\nRecovery layer:\n")
+		if r.HedgesFired > 0 {
+			p("  hedged reads: %.0f fired, %.0f won (%.0f%% efficacy)\n",
+				r.HedgesFired, r.HedgesWon, 100*r.HedgesWon/r.HedgesFired)
+		}
+		if r.Failovers > 0 {
+			avg := 0.0
+			if r.RecoverySeconds > 0 {
+				avg = r.RecoverySeconds / r.Failovers
+			}
+			p("  failovers: %.0f, %.3fs spent in recovery reads (%.1fms avg)\n",
+				r.Failovers, r.RecoverySeconds, 1e3*avg)
+		}
+		if r.PartialFanouts > 0 {
+			p("  partial fan-outs: %.0f\n", r.PartialFanouts)
+		}
+	}
+	return werr
+}

@@ -1,0 +1,214 @@
+package doctor
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseMetrics(t *testing.T) {
+	text := `# HELP lobster_kvstore_ops_total ops served
+# TYPE lobster_kvstore_ops_total counter
+lobster_kvstore_ops_total{shard="0",op="get"} 10
+lobster_kvstore_ops_total{shard="1",op="get"} 32 1700000000000
+lobster_runtime_load_imbalance 1.75
+escaped{msg="a \"b\" c\nd\\e"} 1
+`
+	m, err := ParseMetrics(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Sum("lobster_kvstore_ops_total", nil); got != 42 {
+		t.Errorf("Sum(ops_total) = %v, want 42", got)
+	}
+	if got := m.Sum("lobster_kvstore_ops_total", map[string]string{"shard": "1"}); got != 32 {
+		t.Errorf("Sum(ops_total, shard=1) = %v, want 32 (timestamp mishandled?)", got)
+	}
+	if v, ok := m.Value("lobster_runtime_load_imbalance", nil); !ok || v != 1.75 {
+		t.Errorf("Value(load_imbalance) = %v,%v want 1.75,true", v, ok)
+	}
+	if got := m.LabelValues("lobster_kvstore_ops_total", "shard"); len(got) != 2 || got[0] != "0" || got[1] != "1" {
+		t.Errorf("LabelValues(shard) = %v, want [0 1]", got)
+	}
+	if v, ok := m.Value("escaped", map[string]string{"msg": "a \"b\" c\nd\\e"}); !ok || v != 1 {
+		t.Errorf("escaped label round-trip failed: %v,%v", v, ok)
+	}
+}
+
+func TestParseMetricsRejectsGarbage(t *testing.T) {
+	if _, err := ParseMetrics(strings.NewReader("not a metric line at all\n")); err == nil {
+		t.Fatal("want error on malformed exposition text")
+	}
+}
+
+// stall builds one attribution span the way the ledger flush emits it.
+func stall(cause string, pid int, iter, rank, durUS float64) TraceEvent {
+	return TraceEvent{
+		Name: cause, Cat: "stall", Ph: "X", Pid: pid, Dur: durUS,
+		Args: map[string]float64{"iter": iter, "rank": rank},
+	}
+}
+
+func TestDiagnoseWindowBlamesExcess(t *testing.T) {
+	tr := &Trace{}
+	for iter := 0; iter < 10; iter++ {
+		// Constant background: decode queueing dwarfs everything in
+		// absolute seconds but has zero excess over baseline.
+		tr.Events = append(tr.Events, stall("decode_wait", 0, float64(iter), 0, 5000))
+		tr.Events = append(tr.Events, stall("pfs", 0, float64(iter), 0, 100))
+	}
+	// The fault: pfs surges only in iters [4,7).
+	for iter := 4; iter < 7; iter++ {
+		tr.Events = append(tr.Events, stall("pfs", 0, float64(iter), 0, 2000))
+	}
+	if got := tr.TopCauseInWindow(4, 7); got != "pfs" {
+		t.Errorf("TopCauseInWindow(4,7) = %q, want pfs\ndiag: %+v", got, tr.DiagnoseWindow(4, 7))
+	}
+	diag := tr.DiagnoseWindow(4, 7)
+	for _, wc := range diag {
+		if wc.Cause == "decode_wait" && wc.ExcessPerIter != 0 {
+			t.Errorf("constant background decode_wait has excess %v, want 0", wc.ExcessPerIter)
+		}
+	}
+	if got := tr.TopCauseInWindow(0, 4); got == "pfs" {
+		t.Errorf("healthy window blamed pfs; diag: %+v", tr.DiagnoseWindow(0, 4))
+	}
+}
+
+func TestTopCauseFallsBackToPipeline(t *testing.T) {
+	tr := &Trace{}
+	for iter := 0; iter < 6; iter++ {
+		dur := 100.0
+		if iter >= 3 {
+			dur = 5000 // queueing regression with no data-path movement
+		}
+		tr.Events = append(tr.Events, stall("queue_wait", 0, float64(iter), 0, dur))
+	}
+	if got := tr.TopCauseInWindow(3, 6); got != "queue_wait" {
+		t.Errorf("TopCauseInWindow = %q, want queue_wait when only pipeline causes moved", got)
+	}
+}
+
+func TestMergeRemapsCollidingPids(t *testing.T) {
+	a := &Trace{
+		Events:    []TraceEvent{stall("pfs", 4242, 1, 0, 10)},
+		Processes: map[int]string{4242: "node0"},
+	}
+	b := &Trace{
+		Events:    []TraceEvent{stall("pfs", 4242, 1, 1, 10)},
+		Processes: map[int]string{4242: "node1"},
+	}
+	m := Merge(a, b)
+	if len(m.Events) != 2 || len(m.Processes) != 2 {
+		t.Fatalf("merged %d events / %d processes, want 2/2", len(m.Events), len(m.Processes))
+	}
+	if m.Events[0].Pid == m.Events[1].Pid {
+		t.Errorf("colliding pids not remapped: both %d", m.Events[0].Pid)
+	}
+	names := map[string]bool{}
+	for _, n := range m.Processes {
+		names[n] = true
+	}
+	if !names["node0"] || !names["node1"] {
+		t.Errorf("process names lost in merge: %v", m.Processes)
+	}
+}
+
+// metricsFixture is a scrape with rank 2 a clear straggler (load time
+// 3.0s vs 0.5s for its peers) whose dominant cause is peer_fetch.
+const metricsFixture = `lobster_runtime_stall_local_hit_seconds_sum{rank="0"} 0.4
+lobster_runtime_stall_local_hit_seconds_sum{rank="1"} 0.4
+lobster_runtime_stall_local_hit_seconds_sum{rank="2"} 0.5
+lobster_runtime_stall_local_hit_seconds_sum{rank="3"} 0.4
+lobster_runtime_stall_pfs_seconds_sum{rank="0"} 0.1
+lobster_runtime_stall_pfs_seconds_sum{rank="1"} 0.1
+lobster_runtime_stall_pfs_seconds_sum{rank="2"} 0.2
+lobster_runtime_stall_pfs_seconds_sum{rank="3"} 0.1
+lobster_runtime_stall_peer_fetch_seconds_sum{rank="2"} 2.3
+lobster_runtime_stall_decode_wait_seconds_sum{rank="0"} 0.3
+lobster_runtime_stall_recovery_seconds_sum{rank="2"} 0.05
+lobster_runtime_load_imbalance 2.4
+lobster_runtime_iters_per_epoch 8
+lobster_runtime_failover_total 5
+lobster_kvstore_hedge_fired_total 10
+lobster_kvstore_hedge_won_total 7
+`
+
+func TestAnalyzeAndReport(t *testing.T) {
+	m, err := ParseMetrics(strings.NewReader(metricsFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &Trace{}
+	for rank := 0; rank < 4; rank++ {
+		for iter := 0; iter < 16; iter++ {
+			dur := 100.0
+			if rank == 2 {
+				dur = 400
+			}
+			tr.Events = append(tr.Events, stall("local_hit", 0, float64(iter), float64(rank), dur))
+		}
+	}
+	rep := Analyze(m, tr)
+
+	if len(rep.Ranks) != 4 {
+		t.Fatalf("report covers %d ranks, want 4", len(rep.Ranks))
+	}
+	if got := rep.Stragglers; len(got) != 1 || got[0] != 2 {
+		t.Errorf("Stragglers = %v, want [2]", got)
+	}
+	if len(rep.TopCauses) == 0 || rep.TopCauses[0].Cause != "peer_fetch" {
+		t.Errorf("TopCauses = %+v, want peer_fetch first", rep.TopCauses)
+	}
+	if rep.Imbalance != 2.4 {
+		t.Errorf("Imbalance = %v, want 2.4", rep.Imbalance)
+	}
+	// 16 iters at 8 per epoch -> two epoch rows, rank 2 maxing both at
+	// 400/175 coefficient.
+	if len(rep.EpochImbalance) != 2 {
+		t.Fatalf("EpochImbalance rows = %d, want 2", len(rep.EpochImbalance))
+	}
+	for _, ei := range rep.EpochImbalance {
+		if ei.MaxRank != 2 {
+			t.Errorf("epoch %d max rank = %d, want 2", ei.Epoch, ei.MaxRank)
+		}
+		want := 400.0 / 175.0
+		if diff := ei.Coefficient - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("epoch %d coefficient = %v, want %v", ei.Epoch, ei.Coefficient, want)
+		}
+	}
+	if rep.Failovers != 5 || rep.HedgesFired != 10 || rep.HedgesWon != 7 {
+		t.Errorf("recovery counters = %v/%v/%v, want 5/10/7",
+			rep.Failovers, rep.HedgesFired, rep.HedgesWon)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"1. peer_fetch",
+		"Stragglers",
+		"ranks [2]",
+		"Load imbalance",
+		"epoch 1:",
+		"hedged reads: 10 fired, 7 won (70% efficacy)",
+		"failovers: 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeEmptyInputs(t *testing.T) {
+	rep := Analyze(nil, nil)
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no stall attribution found") {
+		t.Errorf("empty report should say what to scrape:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,137 @@
+package doctor
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+// scrapeTimeout bounds each endpoint fetch; a hung monitor should not
+// hang the diagnosis.
+const scrapeTimeout = 10 * time.Second
+
+// Collect ingests every source and returns the merged metrics and
+// trace. A source is either
+//
+//   - a monitor base URL (http://host:port): its /metrics and
+//     /trace.json are both scraped, tolerating 404 on either (a monitor
+//     without a registry or ring attached still contributes the other);
+//   - a URL naming an endpoint directly (ends in /metrics or
+//     /trace.json): only that endpoint is fetched;
+//   - a file path: the content is sniffed — a JSON object is a saved
+//     trace dump, anything else parses as Prometheus text.
+//
+// Sources that contribute nothing at all (both endpoints 404) are an
+// error: a typo'd port should not silently produce an empty report.
+func Collect(sources []string) (*Metrics, *Trace, error) {
+	metrics := &Metrics{}
+	var traces []*Trace
+	for _, src := range sources {
+		if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+			m, t, err := collectHTTP(src)
+			if err != nil {
+				return nil, nil, err
+			}
+			if m == nil && t == nil {
+				return nil, nil, fmt.Errorf("doctor: %s serves neither /metrics nor /trace.json", src)
+			}
+			metrics.Merge(m)
+			if t != nil {
+				traces = append(traces, t)
+			}
+			continue
+		}
+		m, t, err := collectFile(src)
+		if err != nil {
+			return nil, nil, err
+		}
+		metrics.Merge(m)
+		if t != nil {
+			traces = append(traces, t)
+		}
+	}
+	return metrics, Merge(traces...), nil
+}
+
+func collectHTTP(src string) (*Metrics, *Trace, error) {
+	base := strings.TrimRight(src, "/")
+	metricsURL, traceURL := base+"/metrics", base+"/trace.json"
+	switch {
+	case strings.HasSuffix(base, "/metrics"):
+		metricsURL, traceURL = base, ""
+	case strings.HasSuffix(base, "/trace.json"):
+		metricsURL, traceURL = "", base
+	}
+	var m *Metrics
+	var t *Trace
+	if metricsURL != "" {
+		body, found, err := fetch(metricsURL)
+		if err != nil {
+			return nil, nil, err
+		}
+		if found {
+			if m, err = ParseMetrics(bytes.NewReader(body)); err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", metricsURL, err)
+			}
+		}
+	}
+	if traceURL != "" {
+		body, found, err := fetch(traceURL)
+		if err != nil {
+			return nil, nil, err
+		}
+		if found {
+			if t, err = ParseTrace(bytes.NewReader(body)); err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", traceURL, err)
+			}
+		}
+	}
+	return m, t, nil
+}
+
+// fetch GETs url; found=false on 404 (endpoint not attached), error on
+// anything else non-2xx.
+func fetch(url string) (body []byte, found bool, err error) {
+	client := &http.Client{Timeout: scrapeTimeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, false, fmt.Errorf("doctor: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, false, nil
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, false, fmt.Errorf("doctor: %s returned %s", url, resp.Status)
+	}
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, fmt.Errorf("doctor: reading %s: %w", url, err)
+	}
+	return body, true, nil
+}
+
+func collectFile(path string) (*Metrics, *Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("doctor: %w", err)
+	}
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		t, err := ParseTrace(bytes.NewReader(data))
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return nil, t, nil
+	}
+	m, err := ParseMetrics(bytes.NewReader(data))
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil, nil
+}

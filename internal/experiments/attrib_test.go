@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/doctor"
+	"repro/internal/obs"
+	"repro/internal/runtime"
+)
+
+// TestChaosAttribution pins the stall-attribution acceptance criterion:
+// for each chaos scenario, the injected fault's cause must be the
+// top-ranked stall cause in the doctor's view of the fault window.
+// The doctor ranks a window by excess over the run's baseline rate
+// (DiagnoseWindow), so constant background costs — decode queueing,
+// cache serving — net out and the injected fault stands out:
+//
+//   - straggler: the flaky peer injects BOTH lag and errors
+//     (ErrRate 0.5), so its signature is the peer-side pair — lag on
+//     served fetches charges peer_fetch, failed fetches fall over to
+//     recovery reads. Which of the two tops depends on how much the
+//     build inflates baseline fetch legs (-race makes healthy fetches
+//     as slow as lagged ones), so the test accepts either;
+//   - brownout: every demand PFS read pays injected lag plus retry
+//     backoff, dwarfing the warm-run pfs rate;
+//   - nodeloss: during the dark phase every promised peer fetch fails
+//     over to a full-cost recovery read — the one cause with no healthy
+//     baseline at all. (Demand pfs reads also surge, but the cold-start
+//     warm-up sets a high pfs baseline, so they rank below recovery on
+//     excess.)
+//
+// The ranking blames data-path causes first (TopCauseInWindow):
+// pipeline queue waits inflate second-hand under any data-path fault,
+// and their wall-clock jitter would otherwise be a coin-flip
+// competitor. Everything else is seeded (dataset, run, schedule), so
+// the ranking is stable.
+func TestChaosAttribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full chaos suite with instrumentation")
+	}
+	wantTop := map[string][]string{
+		"straggler": {"peer_fetch", "recovery"},
+		"brownout":  {"pfs"},
+		"nodeloss":  {"recovery"},
+	}
+	p := ChaosParams{}.withDefaults()
+	for _, sc := range chaosScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			want, ok := wantTop[sc.name]
+			if !ok {
+				t.Fatalf("scenario %q has no expected top cause; update this test", sc.name)
+			}
+			opts, err := chaosOptions(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ranks := opts.Topology.Nodes * opts.Topology.GPUsPerNode
+			totalIters := p.Samples / (ranks * opts.Model.BatchSize) * p.Epochs
+			sched := chaos.NewSchedule(p.Seed)
+			faultStart, faultEnd := sc.build(sched, totalIters)
+			ctl, err := chaos.NewController(sched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reg := obs.NewRegistry()
+			ring := obs.NewTraceRing(1 << 16)
+			ring.SetProcess(0, "chaos/"+sc.name)
+			opts.Chaos = ctl
+			opts.Obs = reg
+			opts.Trace = ring
+
+			if _, err := runtime.Run(opts); err != nil {
+				t.Fatalf("run aborted: %v", err)
+			}
+
+			// Round-trip through the same wire formats the doctor scrapes.
+			var mbuf, tbuf bytes.Buffer
+			if err := reg.WritePrometheus(&mbuf); err != nil {
+				t.Fatal(err)
+			}
+			if err := ring.WriteJSON(&tbuf); err != nil {
+				t.Fatal(err)
+			}
+			metrics, err := doctor.ParseMetrics(&mbuf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trace, err := doctor.ParseTrace(&tbuf)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The top-cause pin needs the injected wall-clock costs to
+			// dominate baseline legs; under the race detector they do not
+			// (see raceEnabled), so only the structural checks run there.
+			from, to := int64(faultStart), int64(faultEnd)
+			if sc.name == "nodeloss" {
+				// The scenario's window spans both the dark phase and the
+				// post-crash refill; the crash itself repairs the shard map
+				// atomically, so the refill reads as ordinary pfs demand.
+				// The broken-promise signal lives in the dark steady state.
+				to = int64(totalIters / 2)
+			}
+			if !raceEnabled {
+				diag := trace.DiagnoseWindow(from, to)
+				if len(diag) == 0 {
+					t.Fatalf("no attribution spans in fault window [%d,%d)", from, to)
+				}
+				got := trace.TopCauseInWindow(from, to)
+				accepted := false
+				for _, w := range want {
+					if got == w {
+						accepted = true
+					}
+				}
+				if !accepted {
+					t.Errorf("top cause in fault window [%d,%d) = %s, want one of %v\nwindow diagnosis: %s",
+						from, to, got, want, fmtDiag(diag))
+				}
+				if sc.wantFailovers {
+					found := false
+					for _, wc := range diag {
+						if wc.Cause == "recovery" && wc.Seconds > 0 {
+							found = true
+						}
+					}
+					if !found {
+						t.Errorf("fault window has no recovery-attributed stalls\nwindow diagnosis: %s", fmtDiag(diag))
+					}
+				}
+			}
+
+			// The full-run report must decompose every rank and rank the
+			// causes; the gauge-backed signals must be present.
+			rep := doctor.Analyze(metrics, trace)
+			if len(rep.Ranks) != ranks {
+				t.Errorf("report covers %d ranks, want %d", len(rep.Ranks), ranks)
+			}
+			if len(rep.TopCauses) == 0 {
+				t.Error("report has no ranked causes")
+			}
+			if len(rep.EpochImbalance) == 0 {
+				t.Error("report has no per-epoch imbalance (iters_per_epoch gauge missing?)")
+			}
+			if sc.wantFailovers && rep.Failovers == 0 {
+				t.Error("scenario guarantees failovers but the report shows none")
+			}
+		})
+	}
+}
+
+func fmtDiag(diag []doctor.WindowCause) string {
+	var b bytes.Buffer
+	for _, wc := range diag {
+		fmt.Fprintf(&b, "%s=%.4fs(excess %+.5fs/iter) ", wc.Cause, wc.Seconds, wc.ExcessPerIter)
+	}
+	return b.String()
+}

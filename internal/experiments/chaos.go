@@ -15,6 +15,8 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -23,9 +25,38 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/loader"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 	"repro/internal/tier"
 )
+
+// chaosTraceDirEnv names a directory where a failed scenario dumps its
+// trace ring as Chrome trace JSON — CI sets it and uploads the dumps as
+// artifacts, so a red chaos gate ships the evidence (feed the file to
+// lobster-doctor or Perfetto). Empty disables tracing entirely.
+const chaosTraceDirEnv = "LOBSTER_CHAOS_TRACE_DIR"
+
+// dumpChaosTrace writes a failed scenario's trace; best-effort (a
+// failed dump must not mask the scenario verdict) but logged into the
+// result either way.
+func dumpChaosTrace(dir, scenario string, ring *obs.TraceRing, res *ChaosResult) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		res.EventLog = append(res.EventLog, "trace dump failed: "+err.Error())
+		return
+	}
+	path := filepath.Join(dir, "chaos-"+scenario+"-trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		res.EventLog = append(res.EventLog, "trace dump failed: "+err.Error())
+		return
+	}
+	defer f.Close()
+	if err := ring.WriteJSON(f); err != nil {
+		res.EventLog = append(res.EventLog, "trace dump failed: "+err.Error())
+		return
+	}
+	res.EventLog = append(res.EventLog, "trace dumped to "+path)
+}
 
 // ChaosParams configure a scenario-suite run.
 type ChaosParams struct {
@@ -276,12 +307,22 @@ func runChaosScenario(sc chaosScenario, p ChaosParams) (ChaosResult, error) {
 	probe := &chaosProbe{}
 	opts.Chaos = ctl
 	opts.OnProgress = probe.onProgress
+	var ring *obs.TraceRing
+	traceDir := os.Getenv(chaosTraceDirEnv)
+	if traceDir != "" {
+		ring = obs.NewTraceRing(1 << 16)
+		ring.SetProcess(0, "chaos/"+sc.name)
+		opts.Trace = ring
+	}
 
 	res := ChaosResult{Name: sc.name}
 	stats, err := runtime.Run(opts)
 	if err != nil {
 		// A run error is itself a failed recovery, not a harness error.
 		res.Criteria = append(res.Criteria, fmt.Sprintf("FAIL: run aborted: %v", err))
+		if ring != nil {
+			dumpChaosTrace(traceDir, sc.name, ring, &res)
+		}
 		return res, nil
 	}
 
@@ -356,6 +397,9 @@ func runChaosScenario(sc chaosScenario, p ChaosParams) (ChaosResult, error) {
 		if len(c) >= 4 && c[:4] == "FAIL" {
 			res.Passed = false
 		}
+	}
+	if ring != nil && !res.Passed {
+		dumpChaosTrace(traceDir, sc.name, ring, &res)
 	}
 	return res, nil
 }

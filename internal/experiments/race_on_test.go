@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is on. Its 10-20x
+// instrumentation overhead swamps the chaos harness's wall-clock fault
+// injection (a healthy fetch costs as much as a lagged one, and the
+// slowed consumer lets prefetch absorb the demand misses the faults
+// target), so attribution-magnitude pins skip themselves.
+const raceEnabled = true

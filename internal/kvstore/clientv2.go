@@ -193,6 +193,11 @@ type call struct {
 	// is gone. The remaining budget is computed at serialization time,
 	// after any window/queue wait on the client.
 	expiry time.Time
+	// tctx is the op's trace context; valid and with expiry zero it
+	// sends the 0xA4 trace frame so the server-side span carries the
+	// originating rank/iter. When a deadline is also set the deadline
+	// frame wins and the context is dropped (see frameV2TraceMagic).
+	tctx obs.TraceCtx
 	// window, when non-nil, holds one slot of the connection's
 	// backpressure semaphore; whoever completes the call returns it
 	// (completeCall), so the window tracks true in-flight work even when
@@ -228,6 +233,7 @@ func putCall(c *call) {
 	c.status, c.out, c.statuses, c.outs = 0, nil, nil, nil
 	c.err = nil
 	c.expiry = time.Time{}
+	c.tctx = 0
 	c.window, c.skipped = nil, false
 	c.wrote.Store(false)
 	callPool.Put(c)
@@ -620,15 +626,19 @@ func (p *pipeConn) connErr() error {
 // window and queue waits have already been charged against it. An
 // already-expired budget is clamped to 1µs: the frame still goes out
 // (withdrawing it would desync the stream) and the server sheds it at
-// its cheapest gate.
+// its cheapest gate. A deadline-less call with a trace context gets the
+// 0xA4 extension instead, carrying the packed rank/epoch/iter.
 //
 //lint:hotpath one frame encode per op; the write loop must not allocate between pooled calls
 func writeV2Request(w *bufio.Writer, c *call) {
 	// bufio errors are sticky; the writeLoop's Flush surfaces the first.
-	if c.expiry.IsZero() {
-		_ = w.WriteByte(frameV2Magic)
-	} else {
+	switch {
+	case !c.expiry.IsZero():
 		_ = w.WriteByte(frameV2DeadlineMagic)
+	case c.tctx.Valid():
+		_ = w.WriteByte(frameV2TraceMagic)
+	default:
+		_ = w.WriteByte(frameV2Magic)
 	}
 	_ = w.WriteByte(c.op)
 	writeU32(w, c.id)
@@ -641,6 +651,8 @@ func writeV2Request(w *bufio.Writer, c *call) {
 			budget = math.MaxUint32
 		}
 		writeU32(w, uint32(budget))
+	} else if c.tctx.Valid() {
+		writeU64(w, uint64(c.tctx))
 	}
 	switch c.op {
 	case opMultiGet:
@@ -835,8 +847,13 @@ func (cl *ClientV2) noteRetry() {
 // instruments are attached (inline rather than deferred — this is the
 // per-sample hot path and a defer closure would allocate).
 func (cl *ClientV2) do(op byte, key string, val []byte) (byte, []byte, error) {
+	return cl.doTraced(op, key, val, 0)
+}
+
+// doTraced is do carrying an optional trace context onto the wire.
+func (cl *ClientV2) doTraced(op byte, key string, val []byte, tctx obs.TraceCtx) (byte, []byte, error) {
 	h, g, start := cl.opStart(op)
-	status, out, err := cl.doRaw(context.Background(), op, key, val)
+	status, out, err := cl.doRaw(context.Background(), op, key, val, tctx)
 	if h != nil {
 		opDone(h, g, start)
 	}
@@ -855,7 +872,7 @@ func (cl *ClientV2) doCtx(ctx context.Context, op byte, key string, val []byte) 
 
 func (cl *ClientV2) doRawRetry(ctx context.Context, op byte, key string, val []byte) (byte, []byte, error) {
 	for attempt := 0; ; attempt++ {
-		status, out, err := cl.doRaw(ctx, op, key, val)
+		status, out, err := cl.doRaw(ctx, op, key, val, 0)
 		if err != nil || status != statusRetryLater || attempt >= retryAttempts {
 			return status, out, err
 		}
@@ -866,13 +883,14 @@ func (cl *ClientV2) doRawRetry(ctx context.Context, op byte, key string, val []b
 	}
 }
 
-func (cl *ClientV2) doRaw(ctx context.Context, op byte, key string, val []byte) (byte, []byte, error) {
+func (cl *ClientV2) doRaw(ctx context.Context, op byte, key string, val []byte, tctx obs.TraceCtx) (byte, []byte, error) {
 	p, err := cl.conn()
 	if err != nil {
 		return 0, nil, err
 	}
 	c := getCall(op)
 	c.key, c.val = key, val
+	c.tctx = tctx
 	if d, ok := ctx.Deadline(); ok {
 		c.expiry = d
 	}
@@ -903,6 +921,17 @@ func getStatus(status byte, out []byte, key string) ([]byte, bool, error) {
 // Get fetches a value; found=false when the key is absent.
 func (cl *ClientV2) Get(key string) ([]byte, bool, error) {
 	status, out, err := cl.do(opGet, key, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	return getStatus(status, out, key)
+}
+
+// GetTraced is Get carrying a trace context: the request goes out as an
+// 0xA4 frame, so a Trace-equipped server records a span stamped with
+// the originating rank/iter for this read.
+func (cl *ClientV2) GetTraced(key string, tctx obs.TraceCtx) ([]byte, bool, error) {
+	status, out, err := cl.doTraced(opGet, key, nil, tctx)
 	if err != nil {
 		return nil, false, err
 	}
@@ -1004,7 +1033,23 @@ func (cl *ClientV2) MultiGet(keys []string) ([][]byte, error) {
 		return nil, fmt.Errorf("kvstore: MultiGet batch %d exceeds %d keys", len(keys), maxBatchLen)
 	}
 	h, g, start := cl.opStart(opMultiGet)
-	outs, err := cl.multiGetRaw(context.Background(), keys)
+	outs, err := cl.multiGetRaw(context.Background(), keys, 0)
+	if h != nil {
+		opDone(h, g, start)
+	}
+	return outs, err
+}
+
+// MultiGetTraced is MultiGet carrying a trace context (see GetTraced).
+func (cl *ClientV2) MultiGetTraced(keys []string, tctx obs.TraceCtx) ([][]byte, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	if len(keys) > maxBatchLen {
+		return nil, fmt.Errorf("kvstore: MultiGet batch %d exceeds %d keys", len(keys), maxBatchLen)
+	}
+	h, g, start := cl.opStart(opMultiGet)
+	outs, err := cl.multiGetRaw(context.Background(), keys, tctx)
 	if h != nil {
 		opDone(h, g, start)
 	}
@@ -1024,7 +1069,7 @@ func (cl *ClientV2) MultiGetContext(ctx context.Context, keys []string) ([][]byt
 	var outs [][]byte
 	var err error
 	for attempt := 0; ; attempt++ {
-		outs, err = cl.multiGetRaw(ctx, keys)
+		outs, err = cl.multiGetRaw(ctx, keys, 0)
 		if !errors.Is(err, ErrRetryLater) || attempt >= retryAttempts {
 			break
 		}
@@ -1040,13 +1085,14 @@ func (cl *ClientV2) MultiGetContext(ctx context.Context, keys []string) ([][]byt
 	return outs, err
 }
 
-func (cl *ClientV2) multiGetRaw(ctx context.Context, keys []string) ([][]byte, error) {
+func (cl *ClientV2) multiGetRaw(ctx context.Context, keys []string, tctx obs.TraceCtx) ([][]byte, error) {
 	p, err := cl.conn()
 	if err != nil {
 		return nil, err
 	}
 	c := getCall(opMultiGet)
 	c.keys = keys
+	c.tctx = tctx
 	if d, ok := ctx.Deadline(); ok {
 		c.expiry = d
 	}

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // shardClient is the per-shard surface Cluster runs on; both the v1
@@ -233,6 +235,31 @@ func (c *Cluster) Get(key string) ([]byte, bool, error) {
 	return c.clients[s].Get(key)
 }
 
+// tracedClient is the optional per-shard surface for reads carrying a
+// trace context; the pipelined ClientV2 implements it, v1 clients fall
+// back to the untraced op.
+type tracedClient interface {
+	GetTraced(key string, tctx obs.TraceCtx) ([]byte, bool, error)
+	MultiGetTraced(keys []string, tctx obs.TraceCtx) ([][]byte, error)
+}
+
+// GetTraced is Get carrying a trace context onto the wire (the 0xA4
+// frame), so the serving shard's span records the originating
+// rank/iter. Hedged reads stay untraced — the hedge arms race on two
+// shards and a per-arm span would double-count the read — as do v1
+// shard clients, which have no trace extension.
+func (c *Cluster) GetTraced(key string, tctx obs.TraceCtx) ([]byte, bool, error) {
+	s0 := c.shardIndex(key)
+	s := c.routeFrom(s0)
+	if pc, rc := c.hedgePair(s, c.hedgeIndex(s0, s)); rc != nil {
+		return c.hedgedGet(pc, rc, key)
+	}
+	if tc, ok := c.clients[s].(tracedClient); ok && tctx.Valid() {
+		return tc.GetTraced(key, tctx)
+	}
+	return c.clients[s].Get(key)
+}
+
 // Put stores a key on its shard and writes through to its replicas,
 // skipping shards marked down. Replica writes are best-effort: a
 // failed replica degrades a future hedge to a cache miss, it does not
@@ -337,10 +364,14 @@ func (c *Cluster) Repair(keys []string) (restored int, err error) {
 func (c *Cluster) Shards() int { return len(c.clients) }
 
 // shardMultiGet runs one shard's batch, hedged to the group's hedge
-// shard h when one exists (h < 0 = plain read).
-func (c *Cluster) shardMultiGet(s, h int, keys []string) ([][]byte, error) {
+// shard h when one exists (h < 0 = plain read). A valid tctx rides the
+// unhedged v2 path as an 0xA4 frame (see GetTraced).
+func (c *Cluster) shardMultiGet(s, h int, keys []string, tctx obs.TraceCtx) ([][]byte, error) {
 	if pc, rc := c.hedgePair(s, h); rc != nil {
 		return c.hedgedMultiGet(pc, rc, keys)
+	}
+	if tc, ok := c.clients[s].(tracedClient); ok && tctx.Valid() {
+		return tc.MultiGetTraced(keys, tctx)
 	}
 	return c.clients[s].MultiGet(keys)
 }
@@ -352,11 +383,21 @@ func (c *Cluster) shardMultiGet(s, h int, keys []string) ([][]byte, error) {
 // batches fail, the healthy shards' values are returned alongside a
 // *PartialError, so tolerant callers keep what arrived.
 func (c *Cluster) MultiGet(keys []string) ([][]byte, error) {
+	return c.multiGet(keys, 0)
+}
+
+// MultiGetTraced is MultiGet carrying a trace context onto the wire for
+// every unhedged v2 shard batch (see GetTraced).
+func (c *Cluster) MultiGetTraced(keys []string, tctx obs.TraceCtx) ([][]byte, error) {
+	return c.multiGet(keys, tctx)
+}
+
+func (c *Cluster) multiGet(keys []string, tctx obs.TraceCtx) ([][]byte, error) {
 	if len(keys) == 0 {
 		return nil, nil
 	}
 	if len(c.clients) == 1 {
-		return c.clients[0].MultiGet(keys)
+		return c.shardMultiGet(0, -1, keys, tctx)
 	}
 	sc := c.scratch.Get().(*clusterScratch)
 	defer c.putScratch(sc)
@@ -387,7 +428,7 @@ func (c *Cluster) MultiGet(keys []string) ([][]byte, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			vals, err := c.shardMultiGet(s, sc.hedge[s], sc.keys[s])
+			vals, err := c.shardMultiGet(s, sc.hedge[s], sc.keys[s], tctx)
 			if err != nil {
 				errs[s] = err
 				return

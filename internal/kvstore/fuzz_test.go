@@ -84,7 +84,7 @@ func FuzzHandleV2(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bufio.NewReader(bytes.NewReader(data))
 		w := bufio.NewWriter(io.Discard)
-		if err := st.handleV2(r, w, nil, false); err != nil {
+		if err := st.handleV2(r, w, nil, frameV2Magic, 0); err != nil {
 			return
 		}
 		if err := w.Flush(); err != nil {
@@ -128,7 +128,7 @@ func FuzzHandleV2Deadline(f *testing.F) {
 		q := st.adm.newConnQuota(time.Now())
 		r := bufio.NewReader(bytes.NewReader(data))
 		w := bufio.NewWriter(io.Discard)
-		if err := st.handleV2(r, w, q, true); err != nil {
+		if err := st.handleV2(r, w, q, frameV2DeadlineMagic, 0); err != nil {
 			return
 		}
 		if err := w.Flush(); err != nil {

@@ -35,9 +35,12 @@ func NewClientInstruments(reg *obs.Registry, shard string) *ClientInstruments {
 		h := reg.Histogram("lobster_kvstore_op_seconds",
 			"KV client operation latency, per op and shard.",
 			obs.LatencyBuckets(), "op", op, "shard", shard)
-		// Tail gauges computed from the same histogram at scrape time,
-		// so /metrics and the bench harness report identical numbers
-		// (to bucket resolution).
+		// Median and tail gauges computed from the same histogram at
+		// scrape time, so /metrics and the bench harness report identical
+		// numbers (to bucket resolution).
+		reg.GaugeFunc("lobster_kvstore_op_p50_seconds",
+			"KV client median operation latency, per op and shard.",
+			func() float64 { return h.Quantile(0.5) }, "op", op, "shard", shard)
 		reg.GaugeFunc("lobster_kvstore_op_p99_seconds",
 			"KV client p99 operation latency, per op and shard.",
 			func() float64 { return h.Quantile(0.99) }, "op", op, "shard", shard)

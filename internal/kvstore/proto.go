@@ -49,6 +49,18 @@ const frameV2Magic byte = 0xA2
 // behind the admission gate and executing, not time on the wire.
 const frameV2DeadlineMagic byte = 0xA3
 
+// frameV2TraceMagic introduces the v2 frame extension that carries a
+// trace context: the layout is identical to a frameV2Magic frame with
+// one extra u64 after the request ID — an obs.TraceCtx packing the
+// originating (rank, epoch, iter). The server stamps it on the span it
+// records for the request, so /trace.json scraped from a kv shard can
+// be merged with the requesting rank's trace and correlated on the
+// rank/iter labels. Deadline and trace extensions are disjoint frames:
+// when a call carries both, the deadline wins (overload control
+// outranks attribution) and the trace context is dropped for that
+// request.
+const frameV2TraceMagic byte = 0xA4
+
 // maxKeyLen, maxValLen and maxBatchLen bound request sizes (defense
 // against corrupt or hostile peers).
 const (
@@ -94,6 +106,25 @@ func writeU32(w *bufio.Writer, v uint32) {
 	_ = w.WriteByte(byte(v >> 16))
 	_ = w.WriteByte(byte(v >> 8))
 	_ = w.WriteByte(byte(v))
+}
+
+//lint:hotpath length fields move byte-at-a-time exactly so the per-frame path stays allocation-free
+func writeU64(w *bufio.Writer, v uint64) {
+	writeU32(w, uint32(v>>32))
+	writeU32(w, uint32(v))
+}
+
+//lint:hotpath length fields move byte-at-a-time exactly so the per-frame path stays allocation-free
+func readU64(r *bufio.Reader) (uint64, error) {
+	hi, err := readU32(r)
+	if err != nil {
+		return 0, err
+	}
+	lo, err := readU32(r)
+	if err != nil {
+		return 0, err
+	}
+	return uint64(hi)<<32 | uint64(lo), nil
 }
 
 //lint:hotpath length fields move byte-at-a-time exactly so the per-frame path stays allocation-free

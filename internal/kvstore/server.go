@@ -29,6 +29,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // connBufSize sizes the per-connection bufio reader/writer. Large
@@ -83,6 +85,11 @@ type ServerOptions struct {
 	// quotas and the bounded in-flight gate. The zero value disables
 	// them all.
 	Admission AdmissionConfig
+	// Trace, when non-nil, records one server-side span per traced
+	// (0xA4-framed) request, stamped with the originating rank/iter so
+	// this shard's /trace.json merges with the requesting rank's trace.
+	// Untraced frames record nothing.
+	Trace *obs.TraceRing
 }
 
 // NewServerOptions starts a shard with explicit options.
@@ -96,6 +103,7 @@ func NewServerOptions(addr string, opts ServerOptions) (*Server, error) {
 	}
 	st := newStore(opts.Capacity, opts.Stripes)
 	st.adm = newAdmitter(opts.Admission)
+	st.trace = opts.Trace
 	s := &Server{
 		ln:     ln,
 		st:     st,
@@ -202,6 +210,19 @@ type Stats struct {
 // Stats returns a snapshot aggregated across stripes.
 func (s *Server) Stats() Stats { return s.st.stats() }
 
+// HealthSignals implements monitor.HealthSignaler (structurally; the
+// kvstore does not import the monitor): a shard monitor's /healthz
+// probe surfaces the overload-control shed counters and refused
+// oversized puts alongside liveness.
+func (st Stats) HealthSignals() map[string]uint64 {
+	return map[string]uint64{
+		"shed_deadline": st.ShedDeadline,
+		"shed_quota":    st.ShedQuota,
+		"shed_queue":    st.ShedQueue,
+		"too_large":     st.TooLarge,
+	}
+}
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
@@ -235,16 +256,18 @@ func (s *Server) serve(conn net.Conn) {
 	r := bufio.NewReaderSize(conn, connBufSize)
 	w := bufio.NewWriterSize(conn, connBufSize)
 	q := s.st.adm.newConnQuota(time.Now())
+	var tid int64
+	if s.st.trace != nil {
+		tid = s.st.trace.NewThread("kv/conn")
+	}
 	for {
 		first, err := r.ReadByte()
 		if err != nil {
 			return // EOF or protocol error: drop the connection
 		}
 		switch first {
-		case frameV2Magic:
-			err = s.st.handleV2(r, w, q, false)
-		case frameV2DeadlineMagic:
-			err = s.st.handleV2(r, w, q, true)
+		case frameV2Magic, frameV2DeadlineMagic, frameV2TraceMagic:
+			err = s.st.handleV2(r, w, q, first, tid)
 		default:
 			err = s.st.handleV1(first, r, w, q)
 		}

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // minStripeBytes is the smallest per-stripe byte budget worth striping
@@ -43,6 +45,11 @@ type store struct {
 	fault      atomic.Pointer[faultState]
 	faultErrs  atomic.Uint64
 	faultDrops atomic.Uint64
+
+	// trace records one server-side span per traced (0xA4) request,
+	// stamped with the originating rank/iter from the frame's TraceCtx
+	// (ServerOptions.Trace; nil records nothing).
+	trace *obs.TraceRing
 }
 
 // stripe is one lock-striped sub-shard.
@@ -280,13 +287,16 @@ func (st *store) handleV1(op byte, r *bufio.Reader, w *bufio.Writer, q *connQuot
 }
 
 // handleV2 serves one v2 request whose magic byte has already been
-// consumed. deadlined marks the 0xA3 frame extension, which carries the
-// client's remaining deadline budget.
+// consumed. magic selects the frame extension: 0xA3 carries the
+// client's remaining deadline budget, 0xA4 a trace context (the span
+// recorded for a traced request lands on track tid, stamped with the
+// originating rank/iter).
 //
 // v2 request frame (big-endian lengths):
 //
 //	magic(1)=0xA2 op(1) reqID(u32) body
 //	magic(1)=0xA3 op(1) reqID(u32) budgetMicros(u32) body
+//	magic(1)=0xA4 op(1) reqID(u32) traceCtx(u64) body
 //	  single ops : keyLen(u32) key valLen(u32) val
 //	  opMultiGet : count(u32) { keyLen(u32) key }*
 //	  opMultiPut : count(u32) { keyLen(u32) key valLen(u32) val }*
@@ -301,7 +311,7 @@ func (st *store) handleV1(op byte, r *bufio.Reader, w *bufio.Writer, q *connQuot
 // A shed request (statusRetryLater) answers batch ops with count 0: the
 // server drained the request body to preserve framing but did none of
 // the work.
-func (st *store) handleV2(r *bufio.Reader, w *bufio.Writer, q *connQuota, deadlined bool) error {
+func (st *store) handleV2(r *bufio.Reader, w *bufio.Writer, q *connQuota, magic byte, tid int64) error {
 	op, err := r.ReadByte()
 	if err != nil {
 		return err
@@ -311,13 +321,26 @@ func (st *store) handleV2(r *bufio.Reader, w *bufio.Writer, q *connQuota, deadli
 		return err
 	}
 	var expiry time.Time
-	if deadlined {
+	switch magic {
+	case frameV2DeadlineMagic:
 		budget, err := readU32(r)
 		if err != nil {
 			return err
 		}
 		if budget > 0 {
 			expiry = time.Now().Add(time.Duration(budget) * time.Microsecond)
+		}
+	case frameV2TraceMagic:
+		raw, err := readU64(r)
+		if err != nil {
+			return err
+		}
+		if tctx := obs.TraceCtx(raw); tctx.Valid() && st.trace != nil {
+			start := time.Now()
+			defer func() {
+				st.trace.SpanArgs(opTraceName(op), "kv", tid, start, time.Since(start),
+					"rank", int64(tctx.Rank()), "iter", tctx.Iter())
+			}()
 		}
 	}
 	switch op {
@@ -486,6 +509,25 @@ func (st *store) handleV2(r *bufio.Reader, w *bufio.Writer, q *connQuota, deadli
 	default:
 		// Unknown op: the frame boundary is lost, drop the connection.
 		return errFrame
+	}
+}
+
+// opTraceName maps a wire op to the constant span name recorded for a
+// traced (0xA4) request. Constants, so recording stays allocation-free.
+func opTraceName(op byte) string {
+	switch op {
+	case opGet:
+		return "kv.get"
+	case opPut:
+		return "kv.put"
+	case opDelete:
+		return "kv.delete"
+	case opMultiGet:
+		return "kv.multiget"
+	case opMultiPut:
+		return "kv.multiput"
+	default:
+		return "kv.op"
 	}
 }
 

@@ -8,7 +8,9 @@
 //	                 obs.TraceRing, loadable in Perfetto
 //	                 (404 until SetTrace)
 //	/debug/pprof/*   the standard Go profiling endpoints
-//	/healthz         liveness probe, staleness-aware (SetMaxStale)
+//	/healthz         liveness probe, staleness-aware (SetMaxStale);
+//	                 healthy responses are JSON and include the
+//	                 snapshot's HealthSignaler counters when it has them
 //	/                human-readable text dashboard
 //
 // The server is generic: anything that can produce a snapshot value can
@@ -163,12 +165,22 @@ func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
+// HealthSignaler lets a snapshot type surface recovery- and
+// overload-pressure counters through /healthz: a published snapshot
+// implementing it gets its counters embedded in the healthy JSON body
+// (runtime.Progress reports failovers and partial fan-outs,
+// kvstore.Stats its shed counters), so a probe that is "up" can still
+// show a deployment degrading before anyone opens /metrics.
+type HealthSignaler interface {
+	HealthSignals() map[string]uint64
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
-	none := s.snapshot == nil
+	snap := s.snapshot
 	updated := s.updated
 	s.mu.RUnlock()
-	if none {
+	if snap == nil {
 		http.Error(w, "no snapshot yet", http.StatusServiceUnavailable)
 		return
 	}
@@ -179,8 +191,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 			return
 		}
 	}
+	out := map[string]any{
+		"status":  "ok",
+		"updates": s.updates.Load(),
+	}
+	if hs, ok := snap.(HealthSignaler); ok {
+		out["signals"] = hs.HealthSignals()
+	}
+	w.Header().Set("Content-Type", "application/json")
 	// Best-effort health probe; client disconnects are not actionable.
-	_, _ = fmt.Fprintln(w, "ok")
+	_ = json.NewEncoder(w).Encode(out)
 }
 
 func (s *Server) handleText(w http.ResponseWriter, _ *http.Request) {

@@ -33,6 +33,12 @@ type TraceRing struct {
 	tidSeq  atomic.Int64
 	nameMu  sync.Mutex
 	threads map[int64]string
+
+	// Process identity, stamped on every exported event so traces from
+	// different nodes can be merged into one Chrome trace file without
+	// their tracks colliding (pid 0, name "lobster" until SetProcess).
+	procPid  int
+	procName string
 }
 
 // spanSlot is one recorded event. Strings stored here are the caller's
@@ -81,6 +87,26 @@ func NewTraceRing(capacity int) *TraceRing {
 		epoch:   time.Now(),
 		threads: make(map[int64]string),
 	}
+}
+
+// SetProcess names the process this ring records for. WriteJSON stamps
+// the pid on every event and emits matching process_name metadata, so
+// /trace.json streams scraped from N nodes (each with a distinct pid,
+// conventionally the rank of its first GPU or the node index) merge
+// collide-free. Setup-time code; not safe to race with WriteJSON.
+func (t *TraceRing) SetProcess(pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.procPid, t.procName = pid, name
+}
+
+// process returns the exported (pid, name) identity.
+func (t *TraceRing) process() (int, string) {
+	if t.procName == "" {
+		return t.procPid, "lobster"
+	}
+	return t.procPid, t.procName
 }
 
 // NewThread allocates a trace thread ID and names its track. Not a hot
@@ -213,9 +239,10 @@ func (t *TraceRing) WriteJSON(w io.Writer) error {
 	if t == nil {
 		return fmt.Errorf("obs: nil trace ring")
 	}
+	pid, pname := t.process()
 	events := []traceEvent{{
-		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
-		Args: map[string]any{"name": "lobster"},
+		Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+		Args: map[string]any{"name": pname},
 	}}
 	t.nameMu.Lock()
 	tids := make([]int64, 0, len(t.threads))
@@ -225,14 +252,14 @@ func (t *TraceRing) WriteJSON(w io.Writer) error {
 	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
 	for _, tid := range tids {
 		events = append(events, traceEvent{
-			Name: "thread_name", Ph: "M", Pid: 0, Tid: tid,
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
 			Args: map[string]any{"name": t.threads[tid]},
 		})
 	}
 	t.nameMu.Unlock()
 	for _, e := range t.Events() {
 		te := traceEvent{
-			Name: e.Name, Cat: e.Cat, Pid: 0, Tid: e.TID,
+			Name: e.Name, Cat: e.Cat, Pid: pid, Tid: e.TID,
 			Ts: float64(e.TsNs) / 1e3,
 		}
 		switch e.Ph {

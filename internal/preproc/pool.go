@@ -44,6 +44,15 @@ type Job struct {
 	// lease after decode so the owner can recycle it upon eviction.
 	// Mutually exclusive with Owned.
 	Owner PayloadOwner
+	// Ctx attributes the job to the (rank, epoch, iter) that will
+	// consume its tensor; the zero value means unattributed. Stamped on
+	// the job's trace span and handed to Instruments.QueueWait.
+	Ctx obs.TraceCtx
+	// EnqueuedAt, when non-zero, timestamps the job's submission so the
+	// worker can report how long it sat queued (Instruments.QueueWait).
+	// Callers set it only while attribution is being recorded, keeping
+	// the disabled path free of clock reads.
+	EnqueuedAt time.Time
 }
 
 // jobBlockCap is how many jobs one internal queue slot carries.
@@ -112,6 +121,11 @@ type Instruments struct {
 	JobSeconds *obs.Histogram
 	Trace      *obs.TraceRing
 	TraceLabel string
+	// QueueWait, when non-nil, receives each job's queue wait — worker
+	// pickup minus Job.EnqueuedAt — with the job's trace context. The
+	// runtime feeds it into the stall ledger as the decode-wait cause.
+	// Jobs without an EnqueuedAt stamp are skipped.
+	QueueWait func(ctx obs.TraceCtx, wait time.Duration)
 }
 
 // active reports whether recording would do anything right now — the
@@ -274,6 +288,9 @@ func (p *Pool) run(job Job, ins *Instruments, tid int64) {
 	rec := ins.active()
 	if rec {
 		start = time.Now()
+		if ins.QueueWait != nil && !job.EnqueuedAt.IsZero() {
+			ins.QueueWait(job.Ctx, start.Sub(job.EnqueuedAt))
+		}
 	}
 	if f := p.fault.Load(); f != nil {
 		f.sleep()
@@ -295,7 +312,12 @@ func (p *Pool) run(job Job, ins *Instruments, tid int64) {
 		d := time.Since(start)
 		ins.JobSeconds.Observe(d.Seconds())
 		if ins.Trace != nil && tid != 0 {
-			ins.Trace.Span("preproc", "cpu", tid, start, d)
+			if job.Ctx.Valid() {
+				ins.Trace.SpanArgs("preproc", "cpu", tid, start, d,
+					"rank", int64(job.Ctx.Rank()), "iter", job.Ctx.Iter())
+			} else {
+				ins.Trace.Span("preproc", "cpu", tid, start, d)
+			}
 		}
 	}
 	if job.Comp != nil {

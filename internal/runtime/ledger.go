@@ -1,0 +1,100 @@
+package runtime
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// stallCause indexes the attribution buckets of the per-iteration stall
+// ledger (DESIGN.md §14). Every nanosecond a demand load spends between
+// a GPU dispatching its batch and holding the tensor is charged to
+// exactly one cause, so the per-cause totals decompose the "stall" span
+// instead of merely correlating with it:
+//
+//	local_hit   serving the sample from this node's cache (the happy
+//	            path; large totals here mean the cache itself is slow
+//	            or the batch is huge, not that I/O is)
+//	peer_fetch  the shared-tier leg — a peer-cache fetch through the
+//	            distribution manager or a KV-cluster Get — whether it
+//	            delivered or failed (a slow failing peer stalls the
+//	            GPU exactly as long as a slow succeeding one)
+//	pfs         a demand read from the parallel file system on the
+//	            normal path: no holder was promised and the KV tier
+//	            reported a clean miss. Includes retry backoff.
+//	decode_wait time a decode job sat in the preprocessing queue
+//	            before a worker picked it up (decode-bound node)
+//	queue_wait  time a load request sat in its per-GPU queue before a
+//	            loading worker picked it up (loader-bound node)
+//	recovery    the fallback PFS read (including retry backoff) paid
+//	            because the shared tier broke a promise — a directory
+//	            holder that delivered nothing or an unreachable KV
+//	            shard, i.e. exactly the failover-counted events
+type stallCause int
+
+const (
+	causeLocalHit stallCause = iota
+	causePeerFetch
+	causePFS
+	causeDecodeWait
+	causeQueueWait
+	causeRecovery
+	numStallCauses
+)
+
+// stallCauseNames are the wire names: trace span names on the per-rank
+// stall tracks, and the <cause> segment of the
+// lobster_runtime_stall_<cause>_seconds histograms. lobster-doctor keys
+// on them verbatim.
+var stallCauseNames = [numStallCauses]string{
+	"local_hit", "peer_fetch", "pfs", "decode_wait", "queue_wait", "recovery",
+}
+
+// loadSideCause marks the causes that make up a rank's load time — the
+// storage-facing legs, excluding the queueing waits — which feed the
+// load-imbalance gauge (max over mean of per-rank load time, the
+// paper's load-balance signal).
+func loadSideCause(c stallCause) bool {
+	return c == causeLocalHit || c == causePeerFetch || c == causePFS || c == causeRecovery
+}
+
+// stallRow accumulates one rank's current-iteration attribution. Padded
+// so concurrent loading workers charging different ranks never share a
+// cache line.
+type stallRow struct {
+	ns [numStallCauses]atomic.Int64
+	_  [64]byte
+}
+
+// stallLedger is the run's attribution accumulator: one row per global
+// rank, holding only the iteration in flight. Safe without locks
+// because of the iteration ordering the barrier already enforces: every
+// demand load (and the preproc job it spawns) for rank r's iteration h
+// completes before r's batch wait returns, which happens-before r
+// arrives at barrier h; the barrier's last arriver flushes the rows
+// strictly before any rank submits iteration h+1's loads. So add and
+// flush never race on the same iteration's nanoseconds.
+type stallLedger struct {
+	rows []stallRow
+}
+
+func newStallLedger(world int) *stallLedger {
+	return &stallLedger{rows: make([]stallRow, world)}
+}
+
+// add charges d to (rank, cause). Nil-safe; out-of-range ranks (a
+// clamped trace context from a hostile frame) are dropped rather than
+// mis-charged.
+func (l *stallLedger) add(rank int, c stallCause, d time.Duration) {
+	if l == nil || rank < 0 || rank >= len(l.rows) || d <= 0 {
+		return
+	}
+	l.rows[rank].ns[c].Add(int64(d))
+}
+
+// drain swaps rank r's row to zero and returns the accumulated
+// durations per cause.
+func (l *stallLedger) drain(r int, out *[numStallCauses]time.Duration) {
+	for c := range out {
+		out[c] = time.Duration(l.rows[r].ns[c].Swap(0))
+	}
+}

@@ -241,6 +241,11 @@ type loadRequest struct {
 	id   dataset.SampleID
 	seed uint64
 	out  chan<- preproc.Result
+	// ctx attributes the load to its (rank, epoch, iter); enq timestamps
+	// the submit for queue-wait attribution. Both zero when the run is
+	// un-instrumented (see loadWork).
+	ctx obs.TraceCtx
+	enq time.Time
 }
 
 // loadWork is one message on a gpuQueue: either a single legacy request
@@ -256,6 +261,15 @@ type loadWork struct {
 	base int
 	seed uint64
 	comp *preproc.Completion
+	// ctx carries the requesting (rank, epoch, iter) down the demand
+	// path: into the stall ledger, the preproc jobs, and — through the
+	// KV client's 0xA4 frames — onto the server's trace ring. Zero when
+	// the run is un-instrumented.
+	ctx obs.TraceCtx
+	// enq, when non-zero, timestamps the submit so the claiming worker
+	// can charge the queue wait to ctx's rank. Stamped only while
+	// attribution records, keeping the disabled path clock-free.
+	enq time.Time
 }
 
 // maxLoadChunk caps the automatic chunk size of submitBatch: loading is
@@ -349,7 +363,7 @@ func (q *gpuQueue) submit(r loadRequest) {
 // evenly over the queue's current workers, capped at maxLoadChunk.
 //
 //lint:hotpath one call per iteration per rank on the batched data path; BENCH_runtime.json pins 0 allocs/op
-func (q *gpuQueue) submitBatch(ids []dataset.SampleID, seed uint64, comp *preproc.Completion, chunk int) {
+func (q *gpuQueue) submitBatch(ids []dataset.SampleID, seed uint64, comp *preproc.Completion, chunk int, tctx obs.TraceCtx, enq time.Time) {
 	if chunk <= 0 {
 		w := q.workers()
 		chunk = (len(ids) + w - 1) / w
@@ -366,7 +380,7 @@ func (q *gpuQueue) submitBatch(ids []dataset.SampleID, seed uint64, comp *prepro
 		if end > len(ids) {
 			end = len(ids)
 		}
-		q.reqs <- loadWork{ids: ids[base:end], base: base, seed: seed, comp: comp}
+		q.reqs <- loadWork{ids: ids[base:end], base: base, seed: seed, comp: comp, ctx: tctx, enq: enq}
 	}
 }
 
@@ -493,8 +507,17 @@ type nodeRuntime struct {
 // per-sample channel delivery — the legacy path (see loadChunk for the
 // batched one). tid is the worker's trace track (0 when untraced).
 func (n *nodeRuntime) load(r loadRequest, tid int64) {
-	payload, owned, owner := n.loadPayload(r.id, tid)
-	n.pre.Submit(preproc.Job{ID: r.id, Payload: payload, Seed: r.seed, Done: r.out, Owned: owned, Owner: owner})
+	if !r.enq.IsZero() {
+		if ro := n.rt.ro; ro != nil {
+			ro.ledger.add(r.ctx.Rank(), causeQueueWait, time.Since(r.enq))
+		}
+	}
+	payload, owned, owner := n.loadPayload(r.id, tid, r.ctx)
+	job := preproc.Job{ID: r.id, Payload: payload, Seed: r.seed, Done: r.out, Owned: owned, Owner: owner, Ctx: r.ctx}
+	if !r.enq.IsZero() {
+		job.EnqueuedAt = time.Now()
+	}
+	n.pre.Submit(job)
 }
 
 // loadChunk materializes one contiguous chunk of a GPU batch and hands
@@ -502,8 +525,15 @@ func (n *nodeRuntime) load(r loadRequest, tid int64) {
 // reused scratch, passed length-zero; the returned slice carries its
 // grown capacity back to the worker loop.
 func (n *nodeRuntime) loadChunk(w loadWork, tid int64, jobs []preproc.Job) []preproc.Job {
+	if !w.enq.IsZero() {
+		if ro := n.rt.ro; ro != nil {
+			// The whole chunk sat in the queue from submit to this pickup;
+			// charge it once (chunks are the queue's unit of work).
+			ro.ledger.add(w.ctx.Rank(), causeQueueWait, time.Since(w.enq))
+		}
+	}
 	for i, id := range w.ids {
-		payload, owned, owner := n.loadPayload(id, tid)
+		payload, owned, owner := n.loadPayload(id, tid, w.ctx)
 		jobs = append(jobs, preproc.Job{
 			ID:      id,
 			Payload: payload,
@@ -512,7 +542,14 @@ func (n *nodeRuntime) loadChunk(w loadWork, tid int64, jobs []preproc.Job) []pre
 			Slot:    w.base + i,
 			Owned:   owned,
 			Owner:   owner,
+			Ctx:     w.ctx,
 		})
+	}
+	if !w.enq.IsZero() {
+		enq := time.Now()
+		for i := range jobs {
+			jobs[i].EnqueuedAt = enq
+		}
 	}
 	n.pre.SubmitBatch(jobs)
 	return jobs
@@ -524,12 +561,14 @@ func (n *nodeRuntime) loadChunk(w loadWork, tid int64, jobs []preproc.Job) []pre
 // data path's — recyclable after decode; a non-nil owner means the
 // slice is leased from a cache that still retains it and must be
 // released (never recycled) after decode (DESIGN.md §12).
-func (n *nodeRuntime) loadPayload(id dataset.SampleID, tid int64) (payload []byte, owned bool, owner preproc.PayloadOwner) {
+func (n *nodeRuntime) loadPayload(id dataset.SampleID, tid int64, tctx obs.TraceCtx) (payload []byte, owned bool, owner preproc.PayloadOwner) {
 	ro := n.rt.ro
 	rec := ro != nil && (ro.trace != nil || n.loadHist.On())
 	var start time.Time
+	var led *stallLedger
 	if rec {
 		start = time.Now()
+		led = ro.ledger
 	}
 	now := cache.Iter(n.iterNow.Load())
 	payload, ok, leased := n.cache.get(id, now)
@@ -538,10 +577,15 @@ func (n *nodeRuntime) loadPayload(id dataset.SampleID, tid int64) (payload []byt
 			owner = n.cache
 		}
 	} else {
-		payload, owned, owner = n.fetchMiss(id, now)
+		payload, owned, owner = n.fetchMiss(id, now, tctx, led)
 	}
 	if rec {
 		d := time.Since(start)
+		if ok {
+			// The miss path attributes its own legs inside fetchMiss; a hit
+			// is entirely the local cache's time.
+			led.add(tctx.Rank(), causeLocalHit, d)
+		}
 		n.loadHist.Observe(d.Seconds())
 		if tid != 0 {
 			ro.trace.SpanArgs("load", "io", tid, start, d, "sample", int64(id), "", 0)
@@ -556,9 +600,23 @@ func (n *nodeRuntime) loadPayload(id dataset.SampleID, tid int64) (payload []byt
 // local cache retained a pooled buffer, the caller gets a decode lease
 // (owner = the cache); when the cache kept its own earlier copy or
 // refused, the fetched buffer is exclusively the caller's (owned).
-func (n *nodeRuntime) fetchMiss(id dataset.SampleID, now cache.Iter) (payload []byte, owned bool, owner preproc.PayloadOwner) {
+//
+// led, when non-nil, receives the stall attribution (DESIGN.md §14):
+// the shared-tier leg is peer_fetch whether it delivers or fails; a PFS
+// read is pfs on the normal path (no holder, or a clean KV miss) and
+// recovery when the tier broke a promise — exactly the failover events.
+func (n *nodeRuntime) fetchMiss(id dataset.SampleID, now cache.Iter, tctx obs.TraceCtx, led *stallLedger) (payload []byte, owned bool, owner preproc.PayloadOwner) {
+	rank := tctx.Rank()
+	recovering := false
 	if n.rt.kv != nil {
-		payload, found, err := n.rt.kv.Get(kvKey(id))
+		var legStart time.Time
+		if led != nil {
+			legStart = time.Now()
+		}
+		payload, found, err := n.rt.kv.GetTraced(kvKey(id), tctx)
+		if led != nil {
+			led.add(rank, causePeerFetch, time.Since(legStart))
+		}
 		if err == nil && found {
 			n.remoteHits.Add(1)
 			// The KV client allocated this copy at exact value size; it
@@ -570,21 +628,42 @@ func (n *nodeRuntime) fetchMiss(id dataset.SampleID, now cache.Iter) (payload []
 		}
 		if err != nil {
 			n.failovers.Add(1) // shard unreachable: fall to the PFS
+			recovering = true
 		}
 	} else if peer := n.rt.dir.Holder(id, n.node); peer >= 0 {
-		if payload := n.rt.dm.Fetch(peer, id, n.rt.ds.Size(id)); payload != nil {
+		var legStart time.Time
+		if led != nil {
+			legStart = time.Now()
+		}
+		fetched := n.rt.dm.Fetch(peer, id, n.rt.ds.Size(id))
+		if led != nil {
+			led.add(rank, causePeerFetch, time.Since(legStart))
+		}
+		if fetched != nil {
 			n.remoteHits.Add(1)
 			// The serving node copied into a pooled buffer just for us.
-			if _, retained := n.cache.put(id, payload, now, true, true); retained {
-				return payload, false, n.cache
+			if _, retained := n.cache.put(id, fetched, now, true, true); retained {
+				return fetched, false, n.cache
 			}
-			return payload, true, nil
+			return fetched, true, nil
 		}
 		// The directory promised a holder and the peer delivered nothing
 		// — a crashed/flaky peer, or the benign eviction race.
 		n.failovers.Add(1)
+		recovering = true
+	}
+	var pfsStart time.Time
+	if led != nil {
+		pfsStart = time.Now()
 	}
 	payload = n.pfsReadRetry(id)
+	if led != nil {
+		c := causePFS
+		if recovering {
+			c = causeRecovery
+		}
+		led.add(rank, c, time.Since(pfsStart))
+	}
 	n.pfsReads.Add(1)
 	pooled := n.rt.pfs.PooledReads()
 	_, retained := n.cache.put(id, payload, now, pooled, true)

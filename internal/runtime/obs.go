@@ -1,7 +1,9 @@
 package runtime
 
 import (
+	"math"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -20,6 +22,9 @@ import (
 //
 //	rank<r>                 "stall" (GPU waiting on its batch) and
 //	                        "train" (compute + allreduce) spans
+//	rank<r>/stalls          per-cause attribution spans, one per cause
+//	                        per iteration, flushed at the barrier
+//	                        (names from stallCauseNames, DESIGN.md §14)
 //	node<n>/gpu<j>/loader<k> "load" spans, one per sample materialized
 //	node<n>/preproc/worker<k> "preproc" spans (via preproc.Instruments)
 //	node<n>/prefetch<w>     "prefetch_window" spans, one per plan window
@@ -35,11 +40,20 @@ type runtimeObs struct {
 
 	// Per-node thread-controller instant track, indexed by node.
 	ctrlTID []int64
+
+	// Stall attribution (ledger.go): per-rank accumulators, the
+	// per-cause histograms ([cause][rank], empty when reg is nil), the
+	// per-rank attribution trace tracks, and the load-imbalance gauge's
+	// backing store (float64 bits; written at each barrier flush).
+	ledger     *stallLedger
+	causeHists [numStallCauses][]*obs.Histogram
+	ledgerTID  []int64
+	imbalance  atomic.Uint64
 }
 
 // newRuntimeObs builds the run's wiring; nil when the run is
 // un-instrumented. reg and trace are each optional.
-func newRuntimeObs(reg *obs.Registry, trace *obs.TraceRing, world, nodes int) *runtimeObs {
+func newRuntimeObs(reg *obs.Registry, trace *obs.TraceRing, world, nodes, itersPerEpoch int) *runtimeObs {
 	if reg == nil && trace == nil {
 		return nil
 	}
@@ -50,6 +64,13 @@ func newRuntimeObs(reg *obs.Registry, trace *obs.TraceRing, world, nodes int) *r
 		trainSeconds: make([]*obs.Histogram, world),
 		rankTID:      make([]int64, world),
 		ctrlTID:      make([]int64, nodes),
+		ledger:       newStallLedger(world),
+		ledgerTID:    make([]int64, world),
+	}
+	if reg != nil {
+		for c := range ro.causeHists {
+			ro.causeHists[c] = make([]*obs.Histogram, world)
+		}
 	}
 	for r := 0; r < world; r++ {
 		if reg != nil {
@@ -60,13 +81,109 @@ func newRuntimeObs(reg *obs.Registry, trace *obs.TraceRing, world, nodes int) *r
 			ro.trainSeconds[r] = reg.Histogram("lobster_runtime_train_seconds",
 				"Modeled per-iteration compute plus allreduce time per GPU.",
 				obs.LatencyBuckets(), "rank", rank)
+			ro.registerCauseHists(r, rank)
 		}
 		ro.rankTID[r] = trace.NewThread("rank" + strconv.Itoa(r))
+		ro.ledgerTID[r] = trace.NewThread("rank" + strconv.Itoa(r) + "/stalls")
 	}
 	for n := 0; n < nodes; n++ {
 		ro.ctrlTID[n] = trace.NewThread("node" + strconv.Itoa(n) + "/controller")
 	}
+	if reg != nil {
+		reg.GaugeFunc("lobster_runtime_load_imbalance",
+			"Max over mean of per-rank load time for the last completed iteration (1.0 = perfectly balanced).",
+			func() float64 { return math.Float64frombits(ro.imbalance.Load()) })
+		ipe := float64(itersPerEpoch)
+		reg.GaugeFunc("lobster_runtime_iters_per_epoch",
+			"Iterations per epoch for this run (lets scrapers group per-iteration series by epoch).",
+			func() float64 { return ipe })
+	}
 	return ro
+}
+
+// registerCauseHists registers rank r's six per-cause stall histograms.
+// One literal call per cause: registration names must be compile-time
+// constants (tools/lint obsnaming).
+func (ro *runtimeObs) registerCauseHists(r int, rank string) {
+	b := obs.LatencyBuckets()
+	ro.causeHists[causeLocalHit][r] = ro.reg.Histogram("lobster_runtime_stall_local_hit_seconds",
+		"Stall time attributed to serving samples from the local cache, per iteration and rank.",
+		b, "rank", rank)
+	ro.causeHists[causePeerFetch][r] = ro.reg.Histogram("lobster_runtime_stall_peer_fetch_seconds",
+		"Stall time attributed to shared-tier legs (peer-cache or KV fetches, delivered or failed), per iteration and rank.",
+		b, "rank", rank)
+	ro.causeHists[causePFS][r] = ro.reg.Histogram("lobster_runtime_stall_pfs_seconds",
+		"Stall time attributed to normal-path demand PFS reads (clean shared-tier miss), per iteration and rank.",
+		b, "rank", rank)
+	ro.causeHists[causeDecodeWait][r] = ro.reg.Histogram("lobster_runtime_stall_decode_wait_seconds",
+		"Stall time attributed to decode jobs waiting in the preprocessing queue, per iteration and rank.",
+		b, "rank", rank)
+	ro.causeHists[causeQueueWait][r] = ro.reg.Histogram("lobster_runtime_stall_queue_wait_seconds",
+		"Stall time attributed to load requests waiting in per-GPU queues, per iteration and rank.",
+		b, "rank", rank)
+	ro.causeHists[causeRecovery][r] = ro.reg.Histogram("lobster_runtime_stall_recovery_seconds",
+		"Stall time attributed to fallback PFS reads after a broken shared-tier promise (failover events), per iteration and rank.",
+		b, "rank", rank)
+}
+
+// ledgerOn returns the run's stall ledger when attribution is being
+// recorded — a trace ring is attached or the registry is enabled — and
+// nil otherwise (including on a nil *runtimeObs), so disabled runs pay
+// one pointer check and no clock reads.
+func (ro *runtimeObs) ledgerOn() *stallLedger {
+	if ro == nil {
+		return nil
+	}
+	if ro.trace == nil && !ro.stallSeconds[0].On() {
+		return nil
+	}
+	return ro.ledger
+}
+
+// flushLedger drains every rank's attribution row for the iteration the
+// barrier just completed: per-cause histograms observe the totals,
+// per-cause spans land on the rank's stall track (backdated so the span
+// ends at the flush), and the load-imbalance gauge gets max/mean of the
+// per-rank load-side time. Runs on the barrier's last arriver while all
+// ranks wait, which is what makes the lock-free drain safe (see
+// stallLedger).
+func (ro *runtimeObs) flushLedger(completed int) {
+	led := ro.ledgerOn()
+	if led == nil {
+		return
+	}
+	end := time.Now()
+	var durs [numStallCauses]time.Duration
+	var sum, max float64
+	for r := range led.rows {
+		led.drain(r, &durs)
+		var loadSide time.Duration
+		for c, d := range durs {
+			if d == 0 {
+				continue
+			}
+			cause := stallCause(c)
+			if loadSideCause(cause) {
+				loadSide += d
+			}
+			if ro.causeHists[c] != nil {
+				ro.causeHists[c][r].Observe(d.Seconds())
+			}
+			if ro.trace != nil {
+				ro.trace.SpanArgs(stallCauseNames[c], "stall", ro.ledgerTID[r],
+					end.Add(-d), d, "iter", int64(completed), "rank", int64(r))
+			}
+		}
+		s := loadSide.Seconds()
+		sum += s
+		if s > max {
+			max = s
+		}
+	}
+	if sum > 0 {
+		mean := sum / float64(len(led.rows))
+		ro.imbalance.Store(math.Float64bits(max / mean))
+	}
 }
 
 // instrumentNode registers one node's instruments: the load-latency
@@ -83,6 +200,9 @@ func (ro *runtimeObs) instrumentNode(node *nodeRuntime) {
 			ins.JobSeconds = ro.reg.Histogram("lobster_preproc_job_seconds",
 				"Decode+augment time per preprocessing job.",
 				obs.LatencyBuckets(), "node", n)
+		}
+		ins.QueueWait = func(ctx obs.TraceCtx, wait time.Duration) {
+			ro.ledger.add(ctx.Rank(), causeDecodeWait, wait)
 		}
 		node.pre.SetInstruments(ins)
 	}

@@ -116,8 +116,23 @@ type Progress struct {
 	RemoteHits uint64  `json:"remote_hits"`
 	PFSReads   uint64  `json:"pfs_reads"`
 	Prefetched uint64  `json:"prefetched"`
-	HitRatio   float64 `json:"hit_ratio"`
-	ElapsedSec float64 `json:"elapsed_sec"`
+	// Failovers and PartialFanouts mirror the Stats fields of the same
+	// names mid-run, so health endpoints can surface recovery-layer
+	// pressure while the run is still going.
+	Failovers      uint64  `json:"failovers"`
+	PartialFanouts uint64  `json:"partial_fanouts"`
+	HitRatio       float64 `json:"hit_ratio"`
+	ElapsedSec     float64 `json:"elapsed_sec"`
+}
+
+// HealthSignals implements monitor.HealthSignaler (structurally; the
+// runtime does not import the monitor): a /healthz probe on a monitor
+// fed with Progress snapshots shows recovery-layer pressure inline.
+func (p Progress) HealthSignals() map[string]uint64 {
+	return map[string]uint64{
+		"failovers":       p.Failovers,
+		"partial_fanouts": p.PartialFanouts,
+	}
 }
 
 // Stats summarize an online run.
@@ -304,7 +319,7 @@ func RunContext(ctx context.Context, opts Options) (*Stats, error) {
 		runDone:       make(chan struct{}),
 	}
 	rt.totalIters = opts.Epochs * rt.itersPerEpoch
-	rt.ro = newRuntimeObs(opts.Obs, opts.Trace, top.WorldSize(), top.Nodes)
+	rt.ro = newRuntimeObs(opts.Obs, opts.Trace, top.WorldSize(), top.Nodes, rt.itersPerEpoch)
 	if rt.kv != nil && opts.Obs != nil {
 		rt.kv.Instrument(opts.Obs)
 	}
@@ -408,6 +423,10 @@ func RunContext(ctx context.Context, opts Options) (*Stats, error) {
 			node.iterNow.Store(int32(completed + 1))
 			node.cache.maintain(now)
 		}
+		// Flush the stall ledger while every rank waits at the barrier:
+		// all of iteration `completed`'s attribution has landed, none of
+		// the next iteration's has started (see stallLedger).
+		rt.ro.flushLedger(completed)
 		rt.decideThreads(completed + 1)
 		if opts.Chaos != nil {
 			opts.Chaos.OnIteration(completed + 1)
@@ -493,6 +512,18 @@ func RunContext(ctx context.Context, opts Options) (*Stats, error) {
 				epoch, it := h/rt.itersPerEpoch, h%rt.itersPerEpoch
 				batch = rt.sched.Batch(batch[:0], epoch, it, rank)
 				iterSeed := opts.Seed ^ uint64(h)<<20
+				// The pre-check keeps the un-instrumented (and
+				// disabled-registry) path clock-free; when recording, the
+				// batch is dispatched with a trace context (this rank,
+				// epoch, global iteration) and a submit timestamp so the
+				// stall ledger can decompose the wait by cause.
+				rec := ro != nil && (ro.trace != nil || stallH.On())
+				var tctx obs.TraceCtx
+				var enq time.Time
+				if rec {
+					tctx = obs.NewTraceCtx(rank, epoch, int64(h))
+					enq = time.Now()
+				}
 				if perSample {
 					if verify {
 						clear(expect)
@@ -501,16 +532,14 @@ func RunContext(ctx context.Context, opts Options) (*Stats, error) {
 						}
 					}
 					for _, id := range batch {
-						q.submit(loadRequest{id: id, seed: iterSeed ^ uint64(id), out: out})
+						q.submit(loadRequest{id: id, seed: iterSeed ^ uint64(id), out: out, ctx: tctx, enq: enq})
 					}
 				} else {
 					comp.Reset(len(batch))
-					q.submitBatch(batch, iterSeed, comp, chunk)
+					q.submitBatch(batch, iterSeed, comp, chunk, tctx, enq)
 				}
 				// The data-stall stage: everything between dispatching the
-				// batch and holding every tensor. The pre-check keeps the
-				// un-instrumented (and disabled-registry) path clock-free.
-				rec := ro != nil && (ro.trace != nil || stallH.On())
+				// batch and holding every tensor.
 				var stallStart time.Time
 				if rec {
 					stallStart = time.Now()
@@ -711,6 +740,8 @@ func (rt *Runtime) progress(completed int, start time.Time) Progress {
 		p.RemoteHits += node.remoteHits.Load()
 		p.PFSReads += node.pfsReads.Load()
 		p.Prefetched += node.prefetched.Load()
+		p.Failovers += node.failovers.Load()
+		p.PartialFanouts += node.partials.Load()
 	}
 	if total := p.CacheHits + p.CacheMiss; total > 0 {
 		p.HitRatio = float64(p.CacheHits) / float64(total)

@@ -30,6 +30,11 @@
 #                        full regeneration: make bench-chaos)
 #  11. monitor smoke   — boot lobster-kv with its monitor attached and
 #                        scrape the live /metrics and /healthz endpoints
+#  12. doctor smoke    — point lobster-doctor at the live monitor (the
+#                        scrape/report path end to end over HTTP), then
+#                        run an instrumented mini training run and check
+#                        the doctor names at least one stall cause
+#                        (DESIGN.md §14)
 #
 # Run from anywhere: the script cds to the repo root. `make check` is an
 # alias for this script.
@@ -108,10 +113,24 @@ curl -fsS "$mon_url/metrics" | grep -q '^lobster_kvstore_shard_items ' \
   || { echo "live /metrics scrape missing lobster_kvstore_shard_items" >&2; exit 1; }
 curl -fsS "$mon_url/metrics" | grep -q '^# TYPE lobster_kvstore_shard_hits_total counter' \
   || { echo "live /metrics scrape missing kvstore counter metadata" >&2; exit 1; }
-curl -fsS "$mon_url/healthz" | grep -qx 'ok' \
+curl -fsS "$mon_url/healthz" | grep -q '"status":"ok"' \
   || { echo "live /healthz is not healthy" >&2; exit 1; }
+curl -fsS "$mon_url/healthz" | grep -q '"signals"' \
+  || { echo "live /healthz carries no health signals" >&2; exit 1; }
+
+echo "==> doctor smoke"
+# The doctor must ingest the live monitor over HTTP (its /metrics plus
+# the 0xA4-fed /trace.json) and produce a report...
+doctor_bin="$(dirname "$kv_bin")/lobster-doctor"
+go build -o "$doctor_bin" ./cmd/lobster-doctor
+"$doctor_bin" "$mon_url" | grep -q '^lobster-doctor report' \
+  || { echo "lobster-doctor could not report on the live monitor" >&2; exit 1; }
 kill "$kv_pid"
 wait "$kv_pid" 2>/dev/null || true
 trap - EXIT
+# ...and, fed an instrumented training run, rank at least one stall
+# cause (the in-process end-to-end: run -> monitor -> HTTP scrape ->
+# ranked report).
+go test ./internal/experiments -run TestDoctorEndToEnd -count=1
 
 echo "ALL CHECKS PASSED"
